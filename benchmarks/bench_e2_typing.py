@@ -1,0 +1,30 @@
+"""E2 — Figure 2 (the typing rules): rule coverage and scaling.
+
+Paper artefact: the Figure 2 type system. Measured: schema inference
+over the rule-coverage corpus, and inference cost as pattern depth
+grows (the expected shape is near-linear in the parse-tree size).
+"""
+
+from repro.bench.harness import Table, time_call
+from repro.bench.workloads import deep_pattern, typing_corpus
+from repro.gpc.ast import pattern_size
+from repro.gpc.typing import infer_schema
+
+
+def test_e2_typing_rules_and_scaling(benchmark):
+    corpus = typing_corpus()
+    for pattern in corpus:
+        infer_schema(pattern)  # every Figure 2 rule exercised
+
+    table = Table(
+        "E2 / Figure 2: schema inference scaling",
+        ["depth", "pattern size", "variables", "time (ms)"],
+    )
+    for depth in (8, 16, 32, 64):
+        pattern = deep_pattern(depth)
+        schema, elapsed = time_call(lambda p=pattern: infer_schema(p))
+        table.add(depth, pattern_size(pattern), len(schema), elapsed * 1000)
+    table.show()
+
+    big = deep_pattern(32)
+    benchmark(lambda: infer_schema(big))

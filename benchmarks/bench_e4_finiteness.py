@@ -1,0 +1,44 @@
+"""E4 — Theorem 10: finiteness of query answers.
+
+Paper artefact: Theorem 10 (every query returns finitely many answers,
+thanks to the mandatory restrictor). Measured: answer counts on cyclic
+graphs — where the *unrestricted* denotation is infinite — for every
+restrictor, across growing graph sizes. The expected shape: counts are
+finite, grow with graph size, and obey trail >= simple.
+"""
+
+from repro.bench.harness import Table
+from repro.bench.workloads import finiteness_workloads
+from repro.gpc.engine import evaluate
+from repro.gpc.parser import parse_query
+
+
+QUERIES = {
+    "trail": "TRAIL ->{1,}",
+    "simple": "SIMPLE ->{1,}",
+    "shortest": "SHORTEST ->{1,}",
+    "shortest trail": "SHORTEST TRAIL ->{1,}",
+    "shortest simple": "SHORTEST SIMPLE ->{1,}",
+}
+
+
+def test_e4_finiteness(benchmark):
+    table = Table(
+        "E4 / Theorem 10: answer counts per restrictor (all finite)",
+        ["graph"] + list(QUERIES),
+    )
+    for name, graph in finiteness_workloads():
+        row = [name]
+        counts = {}
+        for label, text in QUERIES.items():
+            answers = evaluate(parse_query(text), graph)
+            counts[label] = len(answers)
+            row.append(len(answers))
+        table.add(*row)
+        assert counts["simple"] <= counts["trail"]
+        assert counts["shortest trail"] <= counts["trail"]
+    table.show()
+
+    graph = finiteness_workloads()[0][1]
+    query = parse_query(QUERIES["trail"])
+    benchmark(lambda: evaluate(query, graph))

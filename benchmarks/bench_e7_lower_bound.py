@@ -1,0 +1,35 @@
+"""E7 — Theorem 13: the exponential lower bound.
+
+Paper artefact: Theorem 13's witness — on the 2-node, 4-edge gadget,
+``x = shortest () ->{k..k} ()`` has 2^k answers per endpoint pair, so
+no polynomial-space machine can enumerate them without repetition.
+Measured: the answer count doubles with each increment of k (exactly
+2^k per pair, 2 reachable pairs), and wall-clock time grows in step.
+"""
+
+from repro.bench.harness import Table, time_call
+from repro.gpc.engine import evaluate
+from repro.gpc.parser import parse_query
+from repro.graph.generators import theorem13_gadget
+
+
+def test_e7_exponential_answers(benchmark):
+    graph = theorem13_gadget()
+    table = Table(
+        "E7 / Theorem 13: answers of x = shortest () ->{k..k} ()",
+        ["k", "answers", "expected 2 * 2^k", "time (ms)"],
+    )
+    previous = None
+    for k in (2, 4, 6, 8, 10):
+        query = parse_query(f"x = SHORTEST () ->{{{k},{k}}} ()")
+        answers, elapsed = time_call(lambda q=query: evaluate(q, graph))
+        expected = 2 * 2**k
+        table.add(k, len(answers), expected, elapsed * 1000)
+        assert len(answers) == expected
+        if previous is not None:
+            assert len(answers) == 4 * previous  # k += 2 -> x4
+        previous = len(answers)
+    table.show()
+
+    query = parse_query("x = SHORTEST () ->{6,6} ()")
+    benchmark(lambda: evaluate(query, graph))

@@ -1,0 +1,60 @@
+"""E8 — Lemmas 16 and 17: the Appendix C size bounds, measured.
+
+Paper artefact: Lemma 16 (witness length bounds per restrictor) and
+Lemma 17 (assignment size bound |mu| <= |p| * (2^(|pi|+1) - 2)).
+Measured: on cyclic workloads, the maximum observed witness length and
+assignment size against the proved bounds — the bounds must hold, and
+the trail/simple bounds are tight on cycles.
+"""
+
+from repro.bench.harness import Table
+from repro.enumeration.bounds import (
+    lemma16_length_bound,
+    lemma17_mu_bound,
+    mu_size,
+)
+from repro.gpc import ast
+from repro.gpc.engine import evaluate
+from repro.gpc.parser import parse_query
+from repro.graph.generators import cycle_graph, ladder_graph
+
+
+def test_e8_bounds(benchmark):
+    workloads = [
+        ("cycle-5", cycle_graph(5)),
+        ("cycle-7", cycle_graph(7)),
+        ("ladder-2", ladder_graph(2)),
+    ]
+    queries = [
+        ("trail", "TRAIL -[e]->{1,}"),
+        ("simple", "SIMPLE -[e]->{1,}"),
+        ("shortest", "SHORTEST -[e]->{1,}"),
+    ]
+    table = Table(
+        "E8 / Lemmas 16-17: measured vs proved bounds",
+        ["graph", "restrictor", "max len", "len bound",
+         "max |mu|", "|mu| bound ok"],
+    )
+    for graph_name, graph in workloads:
+        for query_name, text in queries:
+            query = parse_query(text)
+            answers = evaluate(query, graph)
+            max_length = max(len(a.path) for a in answers)
+            length_bound = lemma16_length_bound(
+                graph, query.restrictor, query.pattern
+            )
+            mu_ok = all(
+                mu_size(a.assignment) <= lemma17_mu_bound(a.path, query.pattern)
+                for a in answers
+            )
+            max_mu = max(mu_size(a.assignment) for a in answers)
+            table.add(
+                graph_name, query_name, max_length, length_bound, max_mu, mu_ok
+            )
+            assert max_length <= length_bound
+            assert mu_ok
+    table.show()
+
+    graph = cycle_graph(5)
+    query = parse_query("TRAIL -[e]->{1,}")
+    benchmark(lambda: evaluate(query, graph))

@@ -1,0 +1,62 @@
+"""Quickstart: build a property graph, parse GPC queries, evaluate.
+
+Run with: python examples/quickstart.py
+"""
+
+from repro import GraphBuilder, Evaluator, parse_query
+
+
+def main() -> None:
+    # 1. Build a property graph: labeled nodes and edges, properties.
+    graph = (
+        GraphBuilder()
+        .node("ann", "Person", name="Ann", team="db")
+        .node("bob", "Person", name="Bob", team="db")
+        .node("cia", "Person", name="Cia", team="ml")
+        .node("dan", "Person", name="Dan", team="ml")
+        .edge("ann", "bob", "knows", since=2015)
+        .edge("bob", "cia", "knows", since=2018)
+        .edge("cia", "dan", "knows", since=2020)
+        .edge("dan", "ann", "knows", since=2021)
+        .undirected("ann", "cia", "married")
+        .build()
+    )
+    evaluator = Evaluator(graph)
+
+    # 2. A single-hop pattern with variable bindings.
+    print("== who knows whom ==")
+    query = parse_query("TRAIL (x:Person) -[e:knows]-> (y:Person)")
+    for answer in sorted(evaluator.evaluate(query), key=lambda a: repr(a.path)):
+        x, y = answer["x"], answer["y"]
+        print(f"  {graph.get_property(x, 'name')} knows "
+              f"{graph.get_property(y, 'name')}")
+
+    # 3. Reachability with a group variable: e binds the edge LIST.
+    print("== knows-chains within the same team (condition) ==")
+    query = parse_query(
+        "p = TRAIL [ (x:Person) -[e:knows]->{1,} (y:Person) ]"
+        " << x.team = y.team >>"
+    )
+    for answer in evaluator.evaluate(query):
+        hops = len(answer["e"].entries)
+        print(f"  {graph.get_property(answer['x'], 'name')} ->"
+              f" {graph.get_property(answer['y'], 'name')}  ({hops} hops)")
+
+    # 4. Shortest paths: one minimal witness set per endpoint pair.
+    print("== shortest knows-paths from Ann ==")
+    query = parse_query("SHORTEST (x:Person) -[:knows]->{1,} (y:Person)")
+    for answer in evaluator.evaluate(query):
+        if graph.get_property(answer["x"], "name") == "Ann":
+            print(f"  to {graph.get_property(answer['y'], 'name')}: "
+                  f"{len(answer.path)} hop(s)")
+
+    # 5. Undirected edges and unions of directions.
+    print("== married or knows (either direction) ==")
+    query = parse_query(
+        "TRAIL (x:Person) [~[:married]~ + -[:knows]-> + <-[:knows]-] (y:Person)"
+    )
+    print(f"  {len(evaluator.evaluate(query))} pairs")
+
+
+if __name__ == "__main__":
+    main()

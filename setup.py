@@ -1,0 +1,21 @@
+"""Legacy setup shim.
+
+The reproduction environment is offline and lacks the ``wheel``
+package, so PEP 517 editable installs fail; this shim lets
+``pip install -e .`` take the classic ``setup.py develop`` path.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reference implementation of GPC, the graph pattern calculus "
+        "underlying GQL and SQL/PGQ (PODS 2023)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

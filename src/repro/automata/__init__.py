@@ -1,0 +1,50 @@
+"""Automata substrate.
+
+Non-deterministic finite automata over *graph traversal steps*, used
+for:
+
+- the condition-free regular abstraction of GPC patterns that powers
+  the engine's ``shortest`` restrictor (candidate endpoint pairs and
+  length lower bounds);
+- the RPQ/2RPQ baseline evaluators of Section 6 (product construction
+  and BFS reachability).
+"""
+
+from repro.automata.nfa import NFA, EdgeStep, NodeTest, NFABuilder
+from repro.automata.regex import (
+    Concat as RegexConcat,
+    Epsilon,
+    Option,
+    Plus,
+    Regex,
+    Star,
+    Symbol,
+    Union as RegexUnion,
+    parse_regex,
+    regex_to_nfa,
+)
+from repro.automata.product import (
+    accepted_pairs,
+    min_accepting_lengths,
+    pairs_and_distances,
+)
+
+__all__ = [
+    "NFA",
+    "NFABuilder",
+    "EdgeStep",
+    "NodeTest",
+    "Regex",
+    "Epsilon",
+    "Symbol",
+    "RegexConcat",
+    "RegexUnion",
+    "Star",
+    "Plus",
+    "Option",
+    "parse_regex",
+    "regex_to_nfa",
+    "accepted_pairs",
+    "min_accepting_lengths",
+    "pairs_and_distances",
+]

@@ -1,0 +1,273 @@
+"""Regular expressions over edge labels — the RPQ/2RPQ query language.
+
+An RPQ (regular path query) is specified by a regular expression over
+edge labels; a 2RPQ additionally allows *inverse* symbols ``a^-``
+traversing an ``a``-edge backwards (Section 6). The concrete syntax
+accepted by :func:`parse_regex`::
+
+    expr   := term ('|' term)*
+    term   := factor+
+    factor := atom ('*' | '+' | '?')*
+    atom   := label | label '-' | '(' expr ')' | '()'   (epsilon)
+
+where ``label`` is an identifier and a trailing ``-`` marks an inverse
+symbol, e.g. ``(a b-)* | c+``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union as TUnion
+
+from repro.direction import Direction
+from repro.errors import ParseError
+from repro.automata.nfa import EdgeStep, NFA, NFABuilder
+
+__all__ = [
+    "Regex",
+    "Epsilon",
+    "Symbol",
+    "Concat",
+    "Union",
+    "Star",
+    "Plus",
+    "Option",
+    "parse_regex",
+    "regex_to_nfa",
+    "regex_size",
+]
+
+
+@dataclass(frozen=True)
+class Epsilon:
+    """Matches the empty word (an edgeless path)."""
+
+    def __str__(self) -> str:
+        return "()"
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """An edge label, traversed forward or (for 2RPQs) backward."""
+
+    label: str
+    inverse: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.label}-" if self.inverse else self.label
+
+
+@dataclass(frozen=True)
+class Concat:
+    left: "Regex"
+    right: "Regex"
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.left)} {_wrap(self.right)}"
+
+
+@dataclass(frozen=True)
+class Union:
+    left: "Regex"
+    right: "Regex"
+
+    def __str__(self) -> str:
+        return f"{self.left} | {self.right}"
+
+
+@dataclass(frozen=True)
+class Star:
+    inner: "Regex"
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.inner)}*"
+
+
+@dataclass(frozen=True)
+class Plus:
+    inner: "Regex"
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.inner)}+"
+
+
+@dataclass(frozen=True)
+class Option:
+    inner: "Regex"
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.inner)}?"
+
+
+Regex = TUnion[Epsilon, Symbol, Concat, Union, Star, Plus, Option]
+
+
+def _wrap(regex: Regex) -> str:
+    if isinstance(regex, (Union, Concat)):
+        return f"({regex})"
+    return str(regex)
+
+
+def regex_size(regex: Regex) -> int:
+    """Number of AST nodes."""
+    if isinstance(regex, (Epsilon, Symbol)):
+        return 1
+    if isinstance(regex, (Concat, Union)):
+        return 1 + regex_size(regex.left) + regex_size(regex.right)
+    return 1 + regex_size(regex.inner)
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+
+class _RegexParser:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def parse(self) -> Regex:
+        expr = self._expr()
+        self._skip_ws()
+        if self.pos != len(self.text):
+            raise ParseError(
+                f"unexpected input {self.text[self.pos:]!r}", self.pos
+            )
+        return expr
+
+    def _skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def _peek(self) -> str:
+        self._skip_ws()
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def _expr(self) -> Regex:
+        term = self._term()
+        while self._peek() == "|":
+            self.pos += 1
+            term = Union(term, self._term())
+        return term
+
+    def _term(self) -> Regex:
+        factors = [self._factor()]
+        while True:
+            ch = self._peek()
+            if ch and (ch.isalnum() or ch == "_" or ch == "("):
+                factors.append(self._factor())
+            else:
+                break
+        result = factors[0]
+        for factor in factors[1:]:
+            result = Concat(result, factor)
+        return result
+
+    def _factor(self) -> Regex:
+        atom = self._atom()
+        while True:
+            ch = self._peek()
+            if ch == "*":
+                self.pos += 1
+                atom = Star(atom)
+            elif ch == "+":
+                self.pos += 1
+                atom = Plus(atom)
+            elif ch == "?":
+                self.pos += 1
+                atom = Option(atom)
+            else:
+                return atom
+
+    def _atom(self) -> Regex:
+        ch = self._peek()
+        if ch == "(":
+            self.pos += 1
+            if self._peek() == ")":
+                self.pos += 1
+                return Epsilon()
+            inner = self._expr()
+            if self._peek() != ")":
+                raise ParseError("expected ')'", self.pos)
+            self.pos += 1
+            return inner
+        if ch.isalnum() or ch == "_":
+            start = self.pos
+            while self.pos < len(self.text) and (
+                self.text[self.pos].isalnum() or self.text[self.pos] == "_"
+            ):
+                self.pos += 1
+            label = self.text[start : self.pos]
+            if self.pos < len(self.text) and self.text[self.pos] == "-":
+                self.pos += 1
+                return Symbol(label, inverse=True)
+            return Symbol(label)
+        raise ParseError(f"unexpected character {ch!r}", self.pos)
+
+
+def parse_regex(text: str) -> Regex:
+    """Parse the concrete 2RPQ regex syntax described in the module
+    docstring."""
+    return _RegexParser(text).parse()
+
+
+# ---------------------------------------------------------------------------
+# Thompson construction
+# ---------------------------------------------------------------------------
+
+
+def regex_to_nfa(regex: Regex, state_limit: int = 100_000) -> NFA:
+    """Compile a (2)RPQ regular expression into an :class:`NFA`."""
+    builder = NFABuilder(state_limit=state_limit)
+    start, end = _compile(regex, builder)
+    return builder.build(start, {end})
+
+
+def _compile(regex: Regex, builder: NFABuilder) -> tuple[int, int]:
+    if isinstance(regex, Epsilon):
+        start = builder.new_state()
+        end = builder.new_state()
+        builder.add_epsilon(start, end)
+        return start, end
+    if isinstance(regex, Symbol):
+        start = builder.new_state()
+        end = builder.new_state()
+        direction = Direction.BACKWARD if regex.inverse else Direction.FORWARD
+        builder.add_edge_step(start, EdgeStep(direction, regex.label), end)
+        return start, end
+    if isinstance(regex, Concat):
+        left_start, left_end = _compile(regex.left, builder)
+        right_start, right_end = _compile(regex.right, builder)
+        builder.add_epsilon(left_end, right_start)
+        return left_start, right_end
+    if isinstance(regex, Union):
+        start = builder.new_state()
+        end = builder.new_state()
+        for branch in (regex.left, regex.right):
+            b_start, b_end = _compile(branch, builder)
+            builder.add_epsilon(start, b_start)
+            builder.add_epsilon(b_end, end)
+        return start, end
+    if isinstance(regex, Star):
+        start = builder.new_state()
+        end = builder.new_state()
+        inner_start, inner_end = _compile(regex.inner, builder)
+        builder.add_epsilon(start, inner_start)
+        builder.add_epsilon(inner_end, end)
+        builder.add_epsilon(start, end)
+        builder.add_epsilon(inner_end, inner_start)
+        return start, end
+    if isinstance(regex, Plus):
+        inner_start, inner_end = _compile(regex.inner, builder)
+        builder.add_epsilon(inner_end, inner_start)
+        return inner_start, inner_end
+    if isinstance(regex, Option):
+        start = builder.new_state()
+        end = builder.new_state()
+        inner_start, inner_end = _compile(regex.inner, builder)
+        builder.add_epsilon(start, inner_start)
+        builder.add_epsilon(inner_end, end)
+        builder.add_epsilon(start, end)
+        return start, end
+    raise TypeError(f"not a regex: {regex!r}")

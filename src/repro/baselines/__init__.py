@@ -1,0 +1,57 @@
+"""Baseline graph query formalisms (Section 6 of the paper).
+
+The classes GPC+ is compared against in Theorem 11, each implemented
+from scratch with its textbook evaluation algorithm:
+
+- :mod:`repro.baselines.rpq` — (two-way) regular path queries via the
+  NFA-product construction;
+- :mod:`repro.baselines.c2rpq` — conjunctive 2RPQs and their unions
+  via relation joins;
+- :mod:`repro.baselines.nre` — nested regular expressions via the
+  relational fixpoint algorithm;
+- :mod:`repro.baselines.datalog` — a non-recursive Datalog substrate
+  with transitive atoms ``R+(x, y)``;
+- :mod:`repro.baselines.regular_queries` — regular queries on top of
+  the Datalog substrate.
+"""
+
+from repro.baselines.rpq import eval_rpq, eval_rpq_regex
+from repro.baselines.c2rpq import Atom, C2RPQ, UC2RPQ, eval_c2rpq, eval_uc2rpq
+from repro.baselines.nre import (
+    NRE,
+    NREConcat,
+    NREEpsilon,
+    NRELabel,
+    NREStar,
+    NRESymbol,
+    NRETest,
+    NREUnion,
+    eval_nre,
+)
+from repro.baselines.datalog import DatalogAtom, Clause, Program, evaluate_program
+from repro.baselines.regular_queries import RegularQuery, eval_regular_query
+
+__all__ = [
+    "eval_rpq",
+    "eval_rpq_regex",
+    "Atom",
+    "C2RPQ",
+    "UC2RPQ",
+    "eval_c2rpq",
+    "eval_uc2rpq",
+    "NRE",
+    "NREEpsilon",
+    "NRESymbol",
+    "NRELabel",
+    "NRETest",
+    "NREConcat",
+    "NREUnion",
+    "NREStar",
+    "eval_nre",
+    "DatalogAtom",
+    "Clause",
+    "Program",
+    "evaluate_program",
+    "RegularQuery",
+    "eval_regular_query",
+]

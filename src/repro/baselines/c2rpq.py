@@ -1,0 +1,118 @@
+"""Conjunctive two-way regular path queries and their unions.
+
+A C2RPQ is a conjunction of 2RPQ atoms ``(x, regex, y)`` over node
+variables, with a projection head [Consens-Mendelzon 1990, Calvanese
+et al. 2000]; a UC2RPQ is a union of C2RPQs of the same arity. They
+are evaluated by materialising each atom's pair relation with the
+product automaton, then hash-joining the relations in order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union as TUnion
+
+from repro.errors import TranslationError
+from repro.graph.ids import NodeId
+from repro.graph.property_graph import PropertyGraph
+from repro.automata.regex import Regex, parse_regex
+from repro.baselines.rpq import eval_rpq_regex
+
+__all__ = ["Atom", "C2RPQ", "UC2RPQ", "eval_c2rpq", "eval_uc2rpq"]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """One 2RPQ atom ``regex(subject, object)``."""
+
+    subject: str
+    regex: TUnion[Regex, str]
+    object: str
+
+    def parsed_regex(self) -> Regex:
+        if isinstance(self.regex, str):
+            return parse_regex(self.regex)
+        return self.regex
+
+
+@dataclass(frozen=True)
+class C2RPQ:
+    """``Ans(head) :- atom_1, ..., atom_k`` (all variables node-typed)."""
+
+    head: tuple[str, ...]
+    atoms: tuple[Atom, ...]
+
+    def __post_init__(self) -> None:
+        if not self.atoms:
+            raise TranslationError("a C2RPQ needs at least one atom")
+        variables = self.variables
+        for head_variable in self.head:
+            if head_variable not in variables:
+                raise TranslationError(
+                    f"head variable {head_variable!r} not used in any atom"
+                )
+
+    @property
+    def variables(self) -> frozenset[str]:
+        out = set()
+        for atom in self.atoms:
+            out.add(atom.subject)
+            out.add(atom.object)
+        return frozenset(out)
+
+
+@dataclass(frozen=True)
+class UC2RPQ:
+    """A union of C2RPQs with a common head arity."""
+
+    disjuncts: tuple[C2RPQ, ...]
+
+    def __post_init__(self) -> None:
+        if not self.disjuncts:
+            raise TranslationError("a UC2RPQ needs at least one disjunct")
+        arities = {len(d.head) for d in self.disjuncts}
+        if len(arities) != 1:
+            raise TranslationError(
+                f"all disjuncts must share the head arity, found {sorted(arities)}"
+            )
+
+
+def eval_c2rpq(
+    graph: PropertyGraph, query: C2RPQ
+) -> frozenset[tuple[NodeId, ...]]:
+    """Evaluate by materialising atom relations and joining them."""
+    # Start from the single empty binding and join in each atom.
+    bindings: list[dict[str, NodeId]] = [{}]
+    for atom in query.atoms:
+        relation = eval_rpq_regex(graph, atom.parsed_regex())
+        new_bindings: list[dict[str, NodeId]] = []
+        for binding in bindings:
+            bound_subject = binding.get(atom.subject)
+            bound_object = binding.get(atom.object)
+            for subject, object_ in relation:
+                if bound_subject is not None and subject != bound_subject:
+                    continue
+                if bound_object is not None and object_ != bound_object:
+                    continue
+                if atom.subject == atom.object and subject != object_:
+                    continue
+                extended = dict(binding)
+                extended[atom.subject] = subject
+                extended[atom.object] = object_
+                new_bindings.append(extended)
+        bindings = new_bindings
+        if not bindings:
+            break
+    return frozenset(
+        tuple(binding[variable] for variable in query.head) for binding in bindings
+    )
+
+
+def eval_uc2rpq(
+    graph: PropertyGraph, query: UC2RPQ
+) -> frozenset[tuple[NodeId, ...]]:
+    """Union of the disjuncts' answers."""
+    out: set[tuple[NodeId, ...]] = set()
+    for disjunct in query.disjuncts:
+        out.update(eval_c2rpq(graph, disjunct))
+    return frozenset(out)

@@ -1,0 +1,230 @@
+"""Non-recursive Datalog with transitive atoms — the regular-query
+substrate.
+
+A *regular query* [Reutter-Romero-Vardi 2017] is a non-recursive
+Datalog program whose rule bodies may use transitive atoms ``R+(x, y)``
+over binary predicates. This module provides the generic substrate:
+
+- EDB predicates come from the graph: a binary predicate per edge
+  label (``a(x, y)`` holds iff some ``a``-labeled directed edge goes
+  from ``x`` to ``y``) and a unary predicate per node label;
+- IDB predicates are defined by clauses and evaluated bottom-up in
+  dependency order (the program must be non-recursive);
+- ``R+`` computes the (irreflexive) transitive closure of ``R``'s
+  relation, whether ``R`` is EDB or IDB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import DatalogError
+from repro.graph.ids import NodeId
+from repro.graph.property_graph import PropertyGraph
+
+__all__ = ["DatalogAtom", "Clause", "Program", "evaluate_program"]
+
+
+@dataclass(frozen=True)
+class DatalogAtom:
+    """``predicate(args)`` or ``predicate+(args)`` when ``transitive``."""
+
+    predicate: str
+    args: tuple[str, ...]
+    transitive: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.args:
+            raise DatalogError("atoms need at least one argument")
+        if self.transitive and len(self.args) != 2:
+            raise DatalogError(
+                f"transitive atom {self.predicate}+ must be binary, "
+                f"got arity {len(self.args)}"
+            )
+
+    def __str__(self) -> str:
+        plus = "+" if self.transitive else ""
+        return f"{self.predicate}{plus}({', '.join(self.args)})"
+
+
+@dataclass(frozen=True)
+class Clause:
+    """``head :- body``. Safety: every head variable occurs in the body."""
+
+    head: DatalogAtom
+    body: tuple[DatalogAtom, ...]
+
+    def __post_init__(self) -> None:
+        if self.head.transitive:
+            raise DatalogError("clause heads cannot be transitive atoms")
+        if not self.body:
+            raise DatalogError("clause bodies must be non-empty")
+        body_variables = {v for atom in self.body for v in atom.args}
+        for variable in self.head.args:
+            if variable not in body_variables:
+                raise DatalogError(
+                    f"unsafe clause: head variable {variable!r} not in body"
+                )
+
+    def __str__(self) -> str:
+        return f"{self.head} :- {', '.join(str(a) for a in self.body)}"
+
+
+@dataclass(frozen=True)
+class Program:
+    """A set of clauses with a distinguished answer predicate."""
+
+    clauses: tuple[Clause, ...]
+    answer_predicate: str = "Ans"
+
+    def __post_init__(self) -> None:
+        if not any(
+            clause.head.predicate == self.answer_predicate
+            for clause in self.clauses
+        ):
+            raise DatalogError(
+                f"no clause defines the answer predicate "
+                f"{self.answer_predicate!r}"
+            )
+
+    @property
+    def idb_predicates(self) -> frozenset[str]:
+        return frozenset(clause.head.predicate for clause in self.clauses)
+
+    def clauses_for(self, predicate: str) -> tuple[Clause, ...]:
+        return tuple(
+            clause for clause in self.clauses if clause.head.predicate == predicate
+        )
+
+    def check_nonrecursive(self) -> list[str]:
+        """Topologically sort the IDB dependency graph; raises
+        :class:`DatalogError` if the program is recursive. Returns the
+        evaluation order (dependencies first)."""
+        idb = self.idb_predicates
+        dependencies: dict[str, set[str]] = {p: set() for p in idb}
+        for clause in self.clauses:
+            for atom in clause.body:
+                if atom.predicate in idb:
+                    dependencies[clause.head.predicate].add(atom.predicate)
+        order: list[str] = []
+        state: dict[str, int] = {}  # 0 = visiting, 1 = done
+
+        def visit(predicate: str, stack: tuple[str, ...]) -> None:
+            if state.get(predicate) == 1:
+                return
+            if state.get(predicate) == 0:
+                cycle = " -> ".join(stack + (predicate,))
+                raise DatalogError(f"recursive program: {cycle}")
+            state[predicate] = 0
+            for dependency in sorted(dependencies[predicate]):
+                visit(dependency, stack + (predicate,))
+            state[predicate] = 1
+            order.append(predicate)
+
+        for predicate in sorted(idb):
+            visit(predicate, ())
+        return order
+
+
+Tuple = tuple[NodeId, ...]
+Relation = frozenset[Tuple]
+
+
+@dataclass
+class _Database:
+    graph: PropertyGraph
+    idb: dict[str, Relation] = field(default_factory=dict)
+    _edb_cache: dict[str, Relation] = field(default_factory=dict)
+    _closure_cache: dict[str, Relation] = field(default_factory=dict)
+
+    def relation(self, atom: DatalogAtom) -> Relation:
+        base = self._base_relation(atom.predicate, len(atom.args))
+        if not atom.transitive:
+            return base
+        if atom.predicate not in self._closure_cache:
+            self._closure_cache[atom.predicate] = _transitive_closure(base)
+        return self._closure_cache[atom.predicate]
+
+    def _base_relation(self, predicate: str, arity: int) -> Relation:
+        if predicate in self.idb:
+            return self.idb[predicate]
+        key = f"{predicate}/{arity}"
+        if key not in self._edb_cache:
+            self._edb_cache[key] = self._edb_relation(predicate, arity)
+        return self._edb_cache[key]
+
+    def _edb_relation(self, predicate: str, arity: int) -> Relation:
+        graph = self.graph
+        if arity == 1:
+            return frozenset((node,) for node in graph.nodes_with_label(predicate))
+        if arity == 2:
+            return frozenset(
+                (graph.source(edge), graph.target(edge))
+                for edge in graph.directed_edges_with_label(predicate)
+            )
+        raise DatalogError(
+            f"EDB predicate {predicate!r} must be unary (node label) or "
+            f"binary (edge label), got arity {arity}"
+        )
+
+
+def _transitive_closure(relation: Relation) -> Relation:
+    successors: dict[NodeId, set[NodeId]] = {}
+    for row in relation:
+        if len(row) != 2:
+            raise DatalogError("transitive closure needs a binary relation")
+        successors.setdefault(row[0], set()).add(row[1])
+    out: set[Tuple] = set()
+    for start in successors:
+        seen: set[NodeId] = set()
+        frontier = list(successors[start])
+        while frontier:
+            node = frontier.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            frontier.extend(successors.get(node, ()))
+        out.update((start, node) for node in seen)
+    return frozenset(out)
+
+
+def _eval_clause(clause: Clause, database: _Database) -> Relation:
+    bindings: list[dict[str, NodeId]] = [{}]
+    for atom in clause.body:
+        relation = database.relation(atom)
+        new_bindings: list[dict[str, NodeId]] = []
+        for binding in bindings:
+            for row in relation:
+                extended = dict(binding)
+                ok = True
+                for variable, value in zip(atom.args, row):
+                    if extended.get(variable, value) != value:
+                        ok = False
+                        break
+                    extended[variable] = value
+                if ok:
+                    new_bindings.append(extended)
+        bindings = new_bindings
+        if not bindings:
+            return frozenset()
+    return frozenset(
+        tuple(binding[variable] for variable in clause.head.args)
+        for binding in bindings
+    )
+
+
+def evaluate_program(
+    graph: PropertyGraph, program: Program
+) -> dict[str, Relation]:
+    """Bottom-up evaluation; returns every IDB predicate's relation."""
+    order = program.check_nonrecursive()
+    database = _Database(graph)
+    for predicate in order:
+        rows: set[Tuple] = set()
+        for clause in program.clauses_for(predicate):
+            rows.update(_eval_clause(clause, database))
+        database.idb[predicate] = frozenset(rows)
+        # Closures over freshly defined predicates must not be cached
+        # before definition; evaluation order guarantees they are not.
+    return database.idb

@@ -1,0 +1,166 @@
+"""Nested regular expressions (NREs).
+
+NREs [Barcelo-Perez-Reutter 2012] extend 2RPQs with *nesting*: along a
+path, ``[N]`` tests that a path matching the nested expression ``N``
+starts at the current node (as in PDL or XPath). The standard
+evaluation computes, bottom-up, the binary relation each subexpression
+denotes:
+
+- ``eps``          -> identity;
+- ``a`` / ``a-``   -> labeled edges, forward / backward;
+- ``(:A)``         -> identity restricted to ``A``-labeled nodes;
+- ``[N]``          -> identity restricted to nodes with an outgoing
+  ``N``-path;
+- concatenation    -> relation composition;
+- union            -> relation union;
+- star             -> reflexive-transitive closure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union as TUnion
+
+from repro.graph.ids import NodeId
+from repro.graph.property_graph import PropertyGraph
+
+__all__ = [
+    "NRE",
+    "NREEpsilon",
+    "NRESymbol",
+    "NRELabel",
+    "NRETest",
+    "NREConcat",
+    "NREUnion",
+    "NREStar",
+    "eval_nre",
+    "nre_size",
+]
+
+
+@dataclass(frozen=True)
+class NREEpsilon:
+    """The empty word."""
+
+
+@dataclass(frozen=True)
+class NRESymbol:
+    """An edge label, optionally inverse."""
+
+    label: str
+    inverse: bool = False
+
+
+@dataclass(frozen=True)
+class NRELabel:
+    """A node-label test (the straightforward node-label extension the
+    paper's Appendix B mentions)."""
+
+    label: str
+
+
+@dataclass(frozen=True)
+class NRETest:
+    """The nesting operator ``[N]``."""
+
+    inner: "NRE"
+
+
+@dataclass(frozen=True)
+class NREConcat:
+    left: "NRE"
+    right: "NRE"
+
+
+@dataclass(frozen=True)
+class NREUnion:
+    left: "NRE"
+    right: "NRE"
+
+
+@dataclass(frozen=True)
+class NREStar:
+    inner: "NRE"
+
+
+NRE = TUnion[NREEpsilon, NRESymbol, NRELabel, NRETest, NREConcat, NREUnion, NREStar]
+
+Relation = frozenset[tuple[NodeId, NodeId]]
+
+
+def nre_size(expression: NRE) -> int:
+    """Number of AST nodes."""
+    if isinstance(expression, (NREEpsilon, NRESymbol, NRELabel)):
+        return 1
+    if isinstance(expression, (NREConcat, NREUnion)):
+        return 1 + nre_size(expression.left) + nre_size(expression.right)
+    return 1 + nre_size(expression.inner)
+
+
+def _identity(graph: PropertyGraph) -> Relation:
+    return frozenset((node, node) for node in graph.nodes)
+
+
+def _compose(left: Relation, right: Relation) -> Relation:
+    by_source: dict[NodeId, set[NodeId]] = {}
+    for a, b in right:
+        by_source.setdefault(a, set()).add(b)
+    out: set[tuple[NodeId, NodeId]] = set()
+    for a, b in left:
+        for c in by_source.get(b, ()):
+            out.add((a, c))
+    return frozenset(out)
+
+
+def _closure(graph: PropertyGraph, relation: Relation) -> Relation:
+    """Reflexive-transitive closure via per-node BFS."""
+    successors: dict[NodeId, set[NodeId]] = {}
+    for a, b in relation:
+        successors.setdefault(a, set()).add(b)
+    out: set[tuple[NodeId, NodeId]] = set()
+    for start in graph.nodes:
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for successor in successors.get(node, ()):
+                if successor not in seen:
+                    seen.add(successor)
+                    frontier.append(successor)
+        out.update((start, node) for node in seen)
+    return frozenset(out)
+
+
+def eval_nre(graph: PropertyGraph, expression: NRE) -> Relation:
+    """The binary relation denoted by ``expression`` on ``graph``."""
+    if isinstance(expression, NREEpsilon):
+        return _identity(graph)
+    if isinstance(expression, NRESymbol):
+        out: set[tuple[NodeId, NodeId]] = set()
+        for edge in graph.directed_edges:
+            if expression.label in graph.labels(edge):
+                pair = (graph.source(edge), graph.target(edge))
+                if expression.inverse:
+                    pair = (pair[1], pair[0])
+                out.add(pair)
+        return frozenset(out)
+    if isinstance(expression, NRELabel):
+        return frozenset(
+            (node, node)
+            for node in graph.nodes_with_label(expression.label)
+        )
+    if isinstance(expression, NRETest):
+        inner = eval_nre(graph, expression.inner)
+        sources = {a for a, _ in inner}
+        return frozenset((node, node) for node in sources)
+    if isinstance(expression, NREConcat):
+        return _compose(
+            eval_nre(graph, expression.left), eval_nre(graph, expression.right)
+        )
+    if isinstance(expression, NREUnion):
+        return frozenset(
+            eval_nre(graph, expression.left) | eval_nre(graph, expression.right)
+        )
+    if isinstance(expression, NREStar):
+        return _closure(graph, eval_nre(graph, expression.inner))
+    raise TypeError(f"not an NRE: {expression!r}")

@@ -1,0 +1,75 @@
+"""Regular queries (RQs) — non-recursive Datalog with transitive atoms.
+
+A regular query [Reutter-Romero-Vardi 2017] is a non-recursive Datalog
+program where every non-answer IDB predicate is *binary* and transitive
+atoms ``R+(x, y)`` may appear in rule bodies. RQs subsume UC2RPQs and
+NREs and are the largest class Theorem 11 places inside GPC+.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DatalogError
+from repro.graph.ids import NodeId
+from repro.graph.property_graph import PropertyGraph
+from repro.baselines.datalog import Clause, DatalogAtom, Program, evaluate_program
+
+__all__ = ["RegularQuery", "eval_regular_query", "atom", "tatom", "clause"]
+
+
+def atom(predicate: str, *args: str) -> DatalogAtom:
+    """Convenience: a plain atom ``predicate(args)``."""
+    return DatalogAtom(predicate, args)
+
+
+def tatom(predicate: str, x: str, y: str) -> DatalogAtom:
+    """Convenience: a transitive atom ``predicate+(x, y)``."""
+    return DatalogAtom(predicate, (x, y), transitive=True)
+
+
+def clause(head: DatalogAtom, *body: DatalogAtom) -> Clause:
+    """Convenience: ``head :- body``."""
+    return Clause(head, tuple(body))
+
+
+@dataclass(frozen=True)
+class RegularQuery:
+    """A validated regular query."""
+
+    program: Program
+
+    def __post_init__(self) -> None:
+        self.program.check_nonrecursive()
+        answer = self.program.answer_predicate
+        for program_clause in self.program.clauses:
+            head = program_clause.head
+            if head.predicate != answer and len(head.args) != 2:
+                raise DatalogError(
+                    f"regular queries require binary non-answer predicates; "
+                    f"{head.predicate!r} has arity {len(head.args)}"
+                )
+            for body_atom in program_clause.body:
+                if (
+                    body_atom.transitive
+                    and body_atom.predicate == answer
+                ):
+                    raise DatalogError(
+                        "the answer predicate cannot appear under transitive "
+                        "closure"
+                    )
+
+    @property
+    def arity(self) -> int:
+        for program_clause in self.program.clauses:
+            if program_clause.head.predicate == self.program.answer_predicate:
+                return len(program_clause.head.args)
+        raise DatalogError("no answer clause")  # unreachable: Program validates
+
+
+def eval_regular_query(
+    graph: PropertyGraph, query: RegularQuery
+) -> frozenset[tuple[NodeId, ...]]:
+    """The answer relation of the regular query on ``graph``."""
+    relations = evaluate_program(graph, query.program)
+    return relations[query.program.answer_predicate]

@@ -1,0 +1,41 @@
+"""Regular path queries (RPQs) and their two-way extension (2RPQs).
+
+An RPQ returns all node pairs connected by a directed path whose edge
+labels spell a word in a regular language [Cruz-Mendelzon-Wood 1987].
+2RPQs add inverse symbols ``a-`` that traverse an ``a``-edge backwards
+[Calvanese et al. 2000]. Both are evaluated with the classical
+product-automaton construction in PTIME.
+
+These baselines operate on the directed, edge-labeled fragment of
+property graphs (the RPQ literature's data model); undirected edges
+are ignored, as the formalism predates them.
+"""
+
+from __future__ import annotations
+
+from repro.graph.ids import NodeId
+from repro.graph.property_graph import PropertyGraph
+from repro.automata.product import accepted_pairs, pairs_and_distances
+from repro.automata.regex import Regex, parse_regex, regex_to_nfa
+
+__all__ = ["eval_rpq", "eval_rpq_regex", "rpq_distances"]
+
+
+def eval_rpq_regex(
+    graph: PropertyGraph, regex: Regex
+) -> frozenset[tuple[NodeId, NodeId]]:
+    """Evaluate a (2)RPQ given as a regex AST."""
+    return accepted_pairs(graph, regex_to_nfa(regex))
+
+
+def eval_rpq(graph: PropertyGraph, expression: str) -> frozenset[tuple[NodeId, NodeId]]:
+    """Evaluate a (2)RPQ given in concrete syntax, e.g. ``"(a b-)* c"``."""
+    return eval_rpq_regex(graph, parse_regex(expression))
+
+
+def rpq_distances(
+    graph: PropertyGraph, regex: Regex
+) -> dict[tuple[NodeId, NodeId], int]:
+    """Like :func:`eval_rpq_regex` but also returns, per pair, the
+    length of the shortest witnessing path."""
+    return pairs_and_distances(graph, regex_to_nfa(regex))

@@ -1,0 +1,6 @@
+"""Benchmark support: experiment harness and shared workloads."""
+
+from repro.bench.harness import Table, time_call
+from repro.bench import workloads
+
+__all__ = ["Table", "time_call", "workloads"]

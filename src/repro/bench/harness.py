@@ -1,0 +1,68 @@
+"""Tiny experiment harness used by the ``benchmarks/`` suite.
+
+Each benchmark regenerates one of the paper's formal results as a
+printed table (the analogue of the paper's "figures"); pytest-benchmark
+supplies the timing machinery, and :class:`Table` renders the measured
+series so the run log doubles as the experiment report captured in
+``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+__all__ = ["Table", "time_call"]
+
+
+@dataclass
+class Table:
+    """A fixed-width ASCII table accumulated row by row."""
+
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[Any]] = field(default_factory=list)
+
+    def add(self, *values: Any) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} values for {len(self.headers)} headers"
+            )
+        self.rows.append(values)
+
+    def render(self) -> str:
+        cells = [[str(h) for h in self.headers]] + [
+            [_fmt(v) for v in row] for row in self.rows
+        ]
+        widths = [
+            max(len(row[i]) for row in cells) for i in range(len(self.headers))
+        ]
+        lines = [self.title, "-" * len(self.title)]
+        for index, row in enumerate(cells):
+            lines.append(
+                "  ".join(value.rjust(width) for value, width in zip(row, widths))
+            )
+            if index == 0:
+                lines.append("  ".join("-" * width for width in widths))
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print("\n" + self.render())
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value >= 100 or value == 0:
+            return f"{value:.1f}"
+        if value >= 0.01:
+            return f"{value:.3f}"
+        return f"{value:.2e}"
+    return str(value)
+
+
+def time_call(fn: Callable[[], Any]) -> tuple[Any, float]:
+    """Run ``fn`` once, returning ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start

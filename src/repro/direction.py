@@ -1,0 +1,25 @@
+"""Edge traversal directions, shared by the calculus and the automata
+substrate.
+
+Lives in its own leaf module so that :mod:`repro.gpc` (syntax and
+semantics) and :mod:`repro.automata` (NFA substrate) can both use it
+without importing each other.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Direction"]
+
+
+class Direction(enum.Enum):
+    """Edge-pattern direction: forward, backward, or undirected
+    (the paper's three arrow forms)."""
+
+    FORWARD = "->"
+    BACKWARD = "<-"
+    UNDIRECTED = "~"
+
+    def __str__(self) -> str:
+        return self.value

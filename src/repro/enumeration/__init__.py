@@ -1,0 +1,33 @@
+"""Answer enumeration and size bounds (Section 6 + Appendix C).
+
+- :mod:`repro.enumeration.radix` — paths of a graph in radix order
+  (by length, then lexicographically), the order Theorem 12's
+  enumerator consumes candidates in;
+- :mod:`repro.enumeration.bounds` — the Lemma 16 path-length bounds
+  and the Lemma 17 assignment-size bound;
+- :mod:`repro.enumeration.span_matcher` — matching a pattern against a
+  *fixed* path (the Lemma 18/19 polynomial-space subroutine), an
+  independent implementation used to cross-validate the engine;
+- :mod:`repro.enumeration.enumerator` — the instrumented Theorem 12
+  enumerator with working-set accounting.
+"""
+
+from repro.enumeration.radix import iter_paths_radix
+from repro.enumeration.bounds import (
+    mu_size,
+    lemma16_length_bound,
+    lemma17_mu_bound,
+)
+from repro.enumeration.span_matcher import span_matches, match_on_path
+from repro.enumeration.enumerator import EnumerationStats, enumerate_answers
+
+__all__ = [
+    "iter_paths_radix",
+    "mu_size",
+    "lemma16_length_bound",
+    "lemma17_mu_bound",
+    "span_matches",
+    "match_on_path",
+    "EnumerationStats",
+    "enumerate_answers",
+]

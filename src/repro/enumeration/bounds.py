@@ -1,0 +1,65 @@
+"""The Appendix C size bounds (Lemmas 16 and 17).
+
+Lemma 16 bounds witnessing path lengths per restrictor:
+
+- ``simple``   -> ``|N|``;
+- ``trail``    -> ``|E_d| + |E_u|``;
+- ``shortest`` -> ``(|N| + |E_d| + |E_u|) * 2^|pi|``.
+
+Lemma 17 bounds assignment sizes: ``|mu| <= |p| * (2^(|pi|+1) - 2)``,
+where ``|p|`` counts node and edge occurrences in the witnessing path
+and ``|mu|`` totals the path lengths and variable occurrences inside
+the assignment. Both bounds are checked empirically by experiment E8.
+"""
+
+from __future__ import annotations
+
+from repro.graph.paths import Path
+from repro.graph.property_graph import PropertyGraph
+from repro.gpc import ast
+from repro.gpc.assignments import Assignment
+from repro.gpc.values import GroupValue, NothingType, Value
+
+__all__ = [
+    "lemma16_length_bound",
+    "lemma17_mu_bound",
+    "mu_size",
+    "value_size",
+]
+
+
+def lemma16_length_bound(
+    graph: PropertyGraph, restrictor: ast.Restrictor, pattern: ast.Pattern
+) -> int:
+    """The Lemma 16 bound on ``len(p)`` for answers of ``rho pi``."""
+    if restrictor.mode == "simple":
+        return graph.num_nodes
+    if restrictor.mode == "trail":
+        return graph.num_edges
+    # shortest (alone): (|N| + |E|) * 2^|pi|.
+    size = ast.pattern_size(pattern)
+    return (graph.num_nodes + graph.num_edges) * (2 ** min(size, 62))
+
+
+def lemma17_mu_bound(path: Path, pattern: ast.Pattern) -> int:
+    """The Lemma 17 bound ``|p| * (2^(|pi|+1) - 2)``."""
+    size = ast.pattern_size(pattern)
+    return path.size * (2 ** (min(size, 60) + 1) - 2)
+
+
+def value_size(value: Value) -> int:
+    """Size contribution of one value: path lengths plus nested
+    variable-occurrence counts (Appendix C's measure)."""
+    if isinstance(value, Path):
+        return len(value)
+    if isinstance(value, NothingType):
+        return 0
+    if isinstance(value, GroupValue):
+        return sum(len(p) + 1 + value_size(v) for p, v in value.entries)
+    # Node and edge references have unit size.
+    return 1
+
+
+def mu_size(assignment: Assignment) -> int:
+    """``|mu|``: total path length plus variable occurrences."""
+    return sum(1 + value_size(value) for value in assignment.values())

@@ -1,0 +1,109 @@
+"""The Theorem 12 answer enumerator, with working-set accounting.
+
+The proof's machine enumerates candidate paths in radix order (so it
+never stores the answer set), checks each candidate against the
+pattern with the polynomial-space subroutine of Lemma 19, and handles
+``shortest`` by remembering the per-endpoint-pair best length seen so
+far. The interesting *measured* quantity is the size of the live
+working set — the analogue of the machine's work tape — which stays
+polynomial in the graph for a fixed query (data complexity) even as
+the number of emitted answers grows much larger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import RestrictorError
+from repro.graph.ids import NodeId
+from repro.graph.paths import is_simple, is_trail
+from repro.graph.property_graph import PropertyGraph
+from repro.gpc import ast
+from repro.gpc.answers import Answer
+from repro.gpc.collect import CollectMode
+from repro.enumeration.bounds import lemma16_length_bound
+from repro.enumeration.radix import iter_paths_radix
+from repro.enumeration.span_matcher import match_on_path
+
+__all__ = ["EnumerationStats", "enumerate_answers"]
+
+
+@dataclass
+class EnumerationStats:
+    """Resource accounting for one enumeration run."""
+
+    paths_enumerated: int = 0
+    answers_emitted: int = 0
+    peak_working_set: int = 0
+    length_bound: int = 0
+    max_answer_length: int = 0
+    _live: int = field(default=0, repr=False)
+
+    def track_live(self, items: int) -> None:
+        self._live = items
+        if items > self.peak_working_set:
+            self.peak_working_set = items
+
+
+def enumerate_answers(
+    graph: PropertyGraph,
+    query: ast.PatternQuery,
+    max_length: int | None = None,
+    collect_mode: CollectMode = CollectMode.GROUPING,
+) -> tuple[list[Answer], EnumerationStats]:
+    """Enumerate ``[[query]]_G`` in radix order of the witnessing path.
+
+    ``max_length`` overrides the Lemma 16 horizon (needed in practice
+    for ``shortest`` over unbounded patterns, whose theoretical bound
+    is astronomically loose).
+    """
+    stats = EnumerationStats()
+    restrictor = query.restrictor
+    bound = lemma16_length_bound(graph, restrictor, query.pattern)
+    if max_length is not None:
+        bound = min(bound, max_length)
+    stats.length_bound = bound
+    answers = list(_generate(graph, query, bound, collect_mode, stats))
+    return answers, stats
+
+
+def _generate(
+    graph: PropertyGraph,
+    query: ast.PatternQuery,
+    bound: int,
+    collect_mode: CollectMode,
+    stats: EnumerationStats,
+) -> Iterator[Answer]:
+    restrictor = query.restrictor
+    # For plain `shortest`, radix order makes the first match per
+    # endpoint pair shortest; later, longer candidates for that pair
+    # are skipped. For `shortest simple/trail` the same works within
+    # the filtered candidate stream.
+    found_pairs: dict[tuple[NodeId, NodeId], int] = {}
+    for path in iter_paths_radix(graph, bound):
+        stats.paths_enumerated += 1
+        if restrictor.mode == "trail" and not is_trail(path):
+            continue
+        if restrictor.mode == "simple" and not is_simple(path):
+            continue
+        if not restrictor.shortest and restrictor.mode is None:
+            raise RestrictorError(f"invalid restrictor {restrictor!r}")
+        if restrictor.shortest:
+            pair = (path.src, path.tgt)
+            best = found_pairs.get(pair)
+            if best is not None and len(path) > best:
+                continue
+        assignments = match_on_path(query.pattern, path, graph, collect_mode)
+        if not assignments:
+            continue
+        if restrictor.shortest:
+            found_pairs[(path.src, path.tgt)] = len(path)
+            stats.track_live(len(found_pairs))
+        for mu in sorted(assignments, key=repr):
+            if query.name is not None:
+                mu = mu.bind(query.name, path)
+            stats.answers_emitted += 1
+            if len(path) > stats.max_answer_length:
+                stats.max_answer_length = len(path)
+            yield Answer((path,), mu)

@@ -1,0 +1,252 @@
+"""Matching a pattern against a fixed path — the Lemma 18/19 routine.
+
+Given a path ``p = u0 e1 u1 ... en un`` of a graph, this module
+computes, for every span ``(i, j)`` of node positions, the set of
+assignments ``mu`` with ``(p[i..j], mu) in [[pi]]_G`` — the dynamic
+program behind Lemma 18 (variable-free patterns in PTIME) and Lemma 19
+(fixed patterns in PSPACE).
+
+Besides powering the Theorem 12 enumerator, this is a *second,
+independent* implementation of the pattern semantics: the differential
+tests check it against the compositional engine on random inputs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EvaluationLimitError
+from repro.graph.paths import Path
+from repro.graph.property_graph import PropertyGraph
+from repro.gpc import ast
+from repro.gpc.assignments import EMPTY_ASSIGNMENT, Assignment
+from repro.gpc.collect import CollectAccumulator, CollectMode, empty_group_assignment
+from repro.gpc.conditions import satisfies
+from repro.gpc.minlength import min_path_length
+from repro.gpc.typing import infer_schema
+from repro.gpc.values import Nothing
+
+__all__ = ["span_matches", "match_on_path"]
+
+Span = tuple[int, int]
+SpanTable = dict[Span, frozenset[Assignment]]
+
+_MAX_POWERS = 10_000
+
+
+def span_matches(
+    pattern: ast.Pattern,
+    path: Path,
+    graph: PropertyGraph,
+    collect_mode: CollectMode = CollectMode.GROUPING,
+) -> SpanTable:
+    """All ``(span, mu)`` such that the subpath at ``span`` matches."""
+    matcher = _SpanMatcher(path, graph, collect_mode)
+    return matcher.eval(pattern)
+
+
+def match_on_path(
+    pattern: ast.Pattern,
+    path: Path,
+    graph: PropertyGraph,
+    collect_mode: CollectMode = CollectMode.GROUPING,
+) -> frozenset[Assignment]:
+    """The assignments ``mu`` with ``(path, mu) in [[pattern]]_G`` —
+    i.e. matches spanning the *whole* path."""
+    table = span_matches(pattern, path, graph, collect_mode)
+    return table.get((0, len(path)), frozenset())
+
+
+class _SpanMatcher:
+    def __init__(self, path: Path, graph: PropertyGraph, collect_mode: CollectMode):
+        self.path = path
+        self.graph = graph
+        self.collect_mode = collect_mode
+        self.n = len(path)
+        self._memo: dict[ast.Pattern, SpanTable] = {}
+
+    def eval(self, pattern: ast.Pattern) -> SpanTable:
+        if pattern not in self._memo:
+            self._memo[pattern] = self._dispatch(pattern)
+        return self._memo[pattern]
+
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, pattern: ast.Pattern) -> SpanTable:
+        if isinstance(pattern, ast.NodePattern):
+            return self._eval_node(pattern)
+        if isinstance(pattern, ast.EdgePattern):
+            return self._eval_edge(pattern)
+        if isinstance(pattern, ast.Concat):
+            return self._eval_concat(pattern)
+        if isinstance(pattern, ast.Union):
+            return self._eval_union(pattern)
+        if isinstance(pattern, ast.Conditioned):
+            inner = self.eval(pattern.pattern)
+            return {
+                span: kept
+                for span, mus in inner.items()
+                if (
+                    kept := frozenset(
+                        mu
+                        for mu in mus
+                        if satisfies(self.graph, mu, pattern.condition)
+                    )
+                )
+            }
+        if isinstance(pattern, ast.Repeat):
+            return self._eval_repeat(pattern)
+        raise EvaluationLimitError(
+            f"span matcher does not support extension node {pattern!r}"
+        )
+
+    def _eval_node(self, pattern: ast.NodePattern) -> SpanTable:
+        table: SpanTable = {}
+        nodes = self.path.nodes
+        for i, node in enumerate(nodes):
+            if pattern.label is not None and pattern.label not in self.graph.labels(
+                node
+            ):
+                continue
+            mu = (
+                Assignment({pattern.variable: node})
+                if pattern.variable
+                else EMPTY_ASSIGNMENT
+            )
+            table[(i, i)] = frozenset({mu})
+        return table
+
+    def _eval_edge(self, pattern: ast.EdgePattern) -> SpanTable:
+        table: SpanTable = {}
+        graph = self.graph
+        for i, (before, edge, after) in enumerate(self.path.steps()):
+            if pattern.label is not None and pattern.label not in graph.labels(edge):
+                continue
+            if edge in graph.directed_edges:
+                if pattern.direction is ast.Direction.FORWARD:
+                    ok = graph.source(edge) == before and graph.target(edge) == after
+                elif pattern.direction is ast.Direction.BACKWARD:
+                    ok = graph.source(edge) == after and graph.target(edge) == before
+                else:
+                    ok = False
+            else:
+                ok = pattern.direction is ast.Direction.UNDIRECTED
+            if not ok:
+                continue
+            mu = (
+                Assignment({pattern.variable: edge})
+                if pattern.variable
+                else EMPTY_ASSIGNMENT
+            )
+            table.setdefault((i, i + 1), set())
+            table[(i, i + 1)] = frozenset(set(table[(i, i + 1)]) | {mu})
+        return table
+
+    def _eval_concat(self, pattern: ast.Concat) -> SpanTable:
+        left = self.eval(pattern.left)
+        right = self.eval(pattern.right)
+        by_start: dict[int, list[tuple[int, frozenset[Assignment]]]] = {}
+        for (k, j), mus in right.items():
+            by_start.setdefault(k, []).append((j, mus))
+        out: dict[Span, set[Assignment]] = {}
+        for (i, k), left_mus in left.items():
+            for j, right_mus in by_start.get(k, ()):
+                for left_mu in left_mus:
+                    for right_mu in right_mus:
+                        merged = left_mu.unify(right_mu)
+                        if merged is not None:
+                            out.setdefault((i, j), set()).add(merged)
+        return {span: frozenset(mus) for span, mus in out.items()}
+
+    def _eval_union(self, pattern: ast.Union) -> SpanTable:
+        domain = frozenset(infer_schema(pattern))
+        out: dict[Span, set[Assignment]] = {}
+        for branch in (pattern.left, pattern.right):
+            table = self.eval(branch)
+            missing = domain - frozenset(infer_schema(branch))
+            for span, mus in table.items():
+                for mu in mus:
+                    if missing:
+                        padded = dict(mu)
+                        padded.update({v: Nothing for v in missing})
+                        mu = Assignment(padded)
+                    out.setdefault(span, set()).add(mu)
+        return {span: frozenset(mus) for span, mus in out.items()}
+
+    def _eval_repeat(self, pattern: ast.Repeat) -> SpanTable:
+        body = self.eval(pattern.pattern)
+        domain = tuple(sorted(infer_schema(pattern.pattern)))
+        out: dict[Span, set[Assignment]] = {}
+        if pattern.lower == 0:
+            zero = empty_group_assignment(domain)
+            for i in range(self.n + 1):
+                out.setdefault((i, i), set()).add(zero)
+        if pattern.upper == 0:
+            return {span: frozenset(mus) for span, mus in out.items()}
+
+        # Power iteration over (span, accumulator) states.
+        State = tuple[int, int, CollectAccumulator]
+        subpath = self.path.subpath
+        by_start: dict[int, list[tuple[int, frozenset[Assignment]]]] = {}
+        for (i, j), mus in body.items():
+            by_start.setdefault(i, []).append((j, mus))
+        seed = CollectAccumulator(mode=self.collect_mode)
+        current: set[State] = set()
+        for (i, j), mus in body.items():
+            for mu in mus:
+                extended = seed.extend(subpath(i, j), mu)
+                if extended is not None:
+                    current.add((i, j, extended))
+        cap = self._power_cap(pattern, body)
+        power = 1
+        history: dict[frozenset, int] = {}
+        while current:
+            if power >= pattern.lower and (
+                pattern.upper is None or power <= pattern.upper
+            ):
+                for i, j, accumulator in current:
+                    out.setdefault((i, j), set()).add(accumulator.finalize(domain))
+            if pattern.upper is not None and power >= pattern.upper:
+                break
+            if power >= cap and power >= pattern.lower:
+                break
+            frozen = frozenset(current)
+            if frozen in history:
+                first = history[frozen]
+                period = power - first
+                by_index = {index: states for states, index in history.items()}
+                for index in range(first, power):
+                    reachable = index
+                    while reachable < pattern.lower:
+                        reachable += period
+                    if pattern.upper is not None and reachable > pattern.upper:
+                        continue
+                    for i, j, accumulator in by_index[index]:
+                        out.setdefault((i, j), set()).add(
+                            accumulator.finalize(domain)
+                        )
+                break
+            history[frozen] = power
+            if power >= _MAX_POWERS:
+                raise EvaluationLimitError("span matcher power iteration diverged")
+            next_states: set[State] = set()
+            for i, j, accumulator in current:
+                for j2, mus in by_start.get(j, ()):
+                    for mu in mus:
+                        extended = accumulator.extend(subpath(j, j2), mu)
+                        if extended is not None:
+                            next_states.add((i, j2, extended))
+            current = next_states
+            power += 1
+        return {span: frozenset(mus) for span, mus in out.items()}
+
+    def _power_cap(self, pattern: ast.Repeat, body: SpanTable) -> int:
+        if (
+            self.collect_mode is not CollectMode.GROUPING
+            or min_path_length(pattern.pattern) >= 1
+        ):
+            return self.n + 1
+        per_position: dict[int, int] = {}
+        for (i, j), mus in body.items():
+            if i == j:
+                per_position[i] = per_position.get(i, 0) + len(mus)
+        m = max(per_position.values(), default=0)
+        return (self.n + 1) * (m + 1)

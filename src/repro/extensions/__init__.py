@@ -1,0 +1,76 @@
+"""Section 7 extensions of the core calculus.
+
+Each extension is implemented against the
+:class:`~repro.gpc.ast.PatternExtension` protocol, leaving the core
+calculus modules untouched:
+
+- :mod:`repro.extensions.arithmetic` — arithmetic conditions with the
+  group-count aggregate ``#(x)`` (shown undecidable in Prop. 14);
+- :mod:`repro.extensions.diophantine` — the Appendix D gadget that
+  reduces Hilbert's 10th problem to GPC-with-arithmetic, plus a
+  bounded solver for decidable instances;
+- :mod:`repro.extensions.label_expressions` — complex label
+  expressions (conjunction, disjunction, negation, wildcard);
+- :mod:`repro.extensions.mixed_restrictors` — restrictors inside
+  patterns and the Section 7 placement counterexample;
+- :mod:`repro.extensions.bag_semantics` — a bag-semantics evaluator
+  counting derivations.
+"""
+
+from repro.extensions.arithmetic import (
+    ArithConditioned,
+    Count,
+    PropertyTerm,
+    TermConst,
+    TermProduct,
+    TermSum,
+    evaluate_term,
+)
+from repro.extensions.diophantine import (
+    DiophantineInstance,
+    build_gadget_graph,
+    build_gadget_pattern,
+    solve_bounded,
+)
+from repro.extensions.label_expressions import (
+    LabelAnd,
+    LabelAtom,
+    LabelNot,
+    LabelOr,
+    LabelWildcard,
+    NodeWithLabelExpr,
+    EdgeWithLabelExpr,
+    satisfies_label_expr,
+)
+from repro.extensions.mixed_restrictors import (
+    RestrictedSubpattern,
+    evaluate_gql_rationale,
+    section7_anomaly,
+)
+from repro.extensions.bag_semantics import BagEvaluator
+
+__all__ = [
+    "ArithConditioned",
+    "Count",
+    "PropertyTerm",
+    "TermConst",
+    "TermSum",
+    "TermProduct",
+    "evaluate_term",
+    "DiophantineInstance",
+    "build_gadget_graph",
+    "build_gadget_pattern",
+    "solve_bounded",
+    "LabelAtom",
+    "LabelAnd",
+    "LabelOr",
+    "LabelNot",
+    "LabelWildcard",
+    "NodeWithLabelExpr",
+    "EdgeWithLabelExpr",
+    "satisfies_label_expr",
+    "RestrictedSubpattern",
+    "evaluate_gql_rationale",
+    "section7_anomaly",
+    "BagEvaluator",
+]

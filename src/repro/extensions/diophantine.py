@@ -1,0 +1,220 @@
+"""The Proposition 14 / Appendix D gadget: Diophantine equations in
+GPC with arithmetic conditions.
+
+Appendix D reduces Hilbert's 10th problem to matching a GPC pattern
+with arithmetic conditions: a chain graph carries one self-loop per
+polynomial variable, the pattern loops ``v_i`` times over loop ``i``
+(so ``#(x_i) = v_i``), and per-monomial loops are forced — via
+arithmetic conditions — to be traversed exactly ``|c_j| * m_j(v)``
+times. A final condition equates the positive and negative monomial
+sums, which holds iff ``f(v) = 0``.
+
+One deviation from the paper's sketch: the paper writes
+``#(y_j) = y_j.coeff * m_j(...)`` with signed coefficients, but
+``#(y_j)`` is a count and cannot be negative. We therefore store
+``|c_j|`` in the ``coeff`` property and assert
+``sum_{c_j > 0} #(y_j) = sum_{c_j < 0} #(y_j) + u.k`` (with
+``u.k = 0``), which is equivalent and keeps every count non-negative.
+
+Undecidability is about *unbounded* loops; :func:`solve_bounded` caps
+every loop at a search bound, giving a decidable (and complete up to
+the bound) solver used by the experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.graph.property_graph import PropertyGraph
+from repro.gpc import ast
+from repro.gpc.engine import EngineConfig, Evaluator
+from repro.gpc.values import GroupValue
+from repro.extensions.arithmetic import (
+    ArithConditioned,
+    Count,
+    PropertyTerm,
+    Term,
+    TermConst,
+    TermProduct,
+    TermSum,
+)
+
+__all__ = [
+    "DiophantineInstance",
+    "build_gadget_graph",
+    "build_gadget_pattern",
+    "solve_bounded",
+]
+
+
+@dataclass(frozen=True)
+class DiophantineInstance:
+    """A polynomial ``f = sum_j c_j * prod_i x_i^(e_ji)`` over ``m``
+    natural-number variables.
+
+    ``monomials`` is a tuple of ``(coefficient, exponents)`` pairs with
+    ``exponents`` a length-``m`` tuple of non-negative integers.
+    """
+
+    num_variables: int
+    monomials: tuple[tuple[int, tuple[int, ...]], ...]
+
+    def __post_init__(self) -> None:
+        if self.num_variables < 1:
+            raise WorkloadError("need at least one variable")
+        if not self.monomials:
+            raise WorkloadError("need at least one monomial")
+        for coefficient, exponents in self.monomials:
+            if len(exponents) != self.num_variables:
+                raise WorkloadError(
+                    f"exponent tuple {exponents} does not match "
+                    f"{self.num_variables} variables"
+                )
+            if coefficient == 0:
+                raise WorkloadError("zero coefficients are redundant")
+            if any(e < 0 for e in exponents):
+                raise WorkloadError("exponents must be non-negative")
+
+    def evaluate(self, values: tuple[int, ...]) -> int:
+        """``f(values)`` — used to verify solutions independently."""
+        total = 0
+        for coefficient, exponents in self.monomials:
+            term = coefficient
+            for value, exponent in zip(values, exponents):
+                term *= value**exponent
+            total += term
+        return total
+
+
+def build_gadget_graph(instance: DiophantineInstance) -> PropertyGraph:
+    """The Appendix D graph: a chain of variable nodes (with ``A_i``
+    self-loops) followed by monomial nodes (with ``B_j`` loops and
+    ``coeff`` properties)."""
+    graph = PropertyGraph()
+    previous = None
+    chain_edges = 0
+    for i in range(instance.num_variables):
+        labels = {"V"}
+        properties = {}
+        if i == 0:
+            labels.add("S")
+            properties["k"] = 0
+        node = graph.add_node(f"n{i}", labels=labels, properties=properties or None)
+        graph.add_edge(f"loop_x{i}", node, node, labels={f"A{i}"})
+        if previous is not None:
+            graph.add_edge(f"chain{chain_edges}", previous, node, labels={"A"})
+            chain_edges += 1
+        previous = node
+    for j, (coefficient, _) in enumerate(instance.monomials):
+        node = graph.add_node(
+            f"m{j}", labels={"M"}, properties={"coeff": abs(coefficient)}
+        )
+        graph.add_edge(f"loop_y{j}", node, node, labels={f"B{j}"})
+        graph.add_edge(f"chain{chain_edges}", previous, node, labels={"A"})
+        chain_edges += 1
+        previous = node
+    return graph
+
+
+def _monomial_term(exponents: tuple[int, ...]) -> Term:
+    """``prod_i #(x_i)^(e_i)`` expanded into binary products (degrees
+    are written out, as in the paper's remark that every bounded-degree
+    monomial is a proper arithmetic term)."""
+    factors: list[Term] = []
+    for i, exponent in enumerate(exponents):
+        factors.extend(Count(f"x{i}") for _ in range(exponent))
+    if not factors:
+        return TermConst(1)
+    term = factors[0]
+    for factor in factors[1:]:
+        term = TermProduct(term, factor)
+    return term
+
+
+def _monomial_loop_bound(
+    instance: DiophantineInstance, j: int, variable_bound: int
+) -> int:
+    """How many times the j-th monomial loop may need to turn when all
+    variables are at most ``variable_bound``: ``|c_j| * bound^deg``."""
+    coefficient, exponents = instance.monomials[j]
+    return abs(coefficient) * max(1, variable_bound) ** sum(exponents)
+
+
+def build_gadget_pattern(
+    instance: DiophantineInstance, loop_bound: int | None = None
+) -> ast.Pattern:
+    """The Appendix D pattern. ``loop_bound`` of ``None`` gives the
+    paper's unbounded loops; an integer bounds each *variable* loop at
+    ``loop_bound`` turns (monomial loops are then bounded by
+    ``|c_j| * loop_bound^deg``, the largest count they might need)."""
+    parts: list[ast.Pattern] = [ast.node("u", "S")]
+    for i in range(instance.num_variables):
+        if i > 0:
+            parts.append(ast.forward(label="A"))
+            parts.append(ast.node())
+        parts.append(
+            ast.Repeat(ast.forward(f"x{i}", f"A{i}"), 0, loop_bound)
+        )
+    pattern: ast.Pattern = ast.concat(*parts)
+    # Monomial sections: each wraps the pattern so far and adds the
+    # per-monomial condition #(y_j) = coeff_j * m_j(#x...).
+    for j, (_, exponents) in enumerate(instance.monomials):
+        monomial_bound = (
+            None
+            if loop_bound is None
+            else _monomial_loop_bound(instance, j, loop_bound)
+        )
+        section = ast.concat(
+            ast.forward(label="A"),
+            ast.node(f"w{j}"),
+            ast.Repeat(ast.forward(f"y{j}", f"B{j}"), 0, monomial_bound),
+        )
+        pattern = ArithConditioned(
+            ast.Concat(pattern, section),
+            Count(f"y{j}"),
+            TermProduct(PropertyTerm(f"w{j}", "coeff"), _monomial_term(exponents)),
+        )
+    # Final condition: positive monomial sum = negative sum + u.k.
+    positive: Term = TermConst(0)
+    negative: Term = PropertyTerm("u", "k")
+    for j, (coefficient, _) in enumerate(instance.monomials):
+        if coefficient > 0:
+            positive = TermSum(positive, Count(f"y{j}"))
+        else:
+            negative = TermSum(negative, Count(f"y{j}"))
+    return ArithConditioned(pattern, positive, negative)
+
+
+def solve_bounded(
+    instance: DiophantineInstance,
+    bound: int,
+    config: EngineConfig | None = None,
+) -> tuple[int, ...] | None:
+    """Search for a solution with all variable values ``<= bound``.
+
+    Builds the gadget graph and the bounded pattern, evaluates it, and
+    decodes a solution from the loop counts of any match. Returns
+    ``None`` when no solution exists within the bound.
+    """
+    graph = build_gadget_graph(instance)
+    pattern = build_gadget_pattern(instance, loop_bound=bound)
+    evaluator = Evaluator(graph, config)
+    chain_edges = instance.num_variables + len(instance.monomials) - 1
+    loop_budget = bound * instance.num_variables + sum(
+        _monomial_loop_bound(instance, j, bound)
+        for j in range(len(instance.monomials))
+    )
+    matches = evaluator.eval_pattern(
+        pattern, max_length=chain_edges + loop_budget
+    )
+    for _, mu in matches:
+        values = []
+        for i in range(instance.num_variables):
+            binding = mu[f"x{i}"]
+            assert isinstance(binding, GroupValue)
+            values.append(len(binding))
+        solution = tuple(values)
+        assert instance.evaluate(solution) == 0, "gadget produced a non-solution"
+        return solution
+    return None

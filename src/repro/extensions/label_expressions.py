@@ -1,0 +1,189 @@
+"""Label expressions (a Section 7 extension).
+
+GQL offers complex label expressions in descriptors; the paper lists
+them as a natural GPC extension. Here node and edge patterns may carry
+a Boolean combination of labels:
+
+- ``LabelAtom("A")`` — the element has label ``A``;
+- ``LabelAnd`` / ``LabelOr`` / ``LabelNot`` — Boolean combinations;
+- ``LabelWildcard()`` — any element (even label-less).
+
+:class:`NodeWithLabelExpr` and :class:`EdgeWithLabelExpr` mirror the
+core atomic patterns through the extension protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union as TUnion
+
+from repro.direction import Direction
+from repro.gpc import ast
+from repro.gpc.assignments import EMPTY_ASSIGNMENT, Assignment
+from repro.gpc.types import EDGE, NODE
+from repro.graph.paths import Path
+from repro.automata.nfa import EdgeStep
+
+__all__ = [
+    "LabelAtom",
+    "LabelAnd",
+    "LabelOr",
+    "LabelNot",
+    "LabelWildcard",
+    "LabelExpr",
+    "satisfies_label_expr",
+    "NodeWithLabelExpr",
+    "EdgeWithLabelExpr",
+]
+
+
+@dataclass(frozen=True)
+class LabelAtom:
+    label: str
+
+
+@dataclass(frozen=True)
+class LabelAnd:
+    left: "LabelExpr"
+    right: "LabelExpr"
+
+
+@dataclass(frozen=True)
+class LabelOr:
+    left: "LabelExpr"
+    right: "LabelExpr"
+
+
+@dataclass(frozen=True)
+class LabelNot:
+    inner: "LabelExpr"
+
+
+@dataclass(frozen=True)
+class LabelWildcard:
+    pass
+
+
+LabelExpr = TUnion[LabelAtom, LabelAnd, LabelOr, LabelNot, LabelWildcard]
+
+
+def satisfies_label_expr(labels: frozenset[str], expression: LabelExpr) -> bool:
+    """Whether a label set satisfies the expression."""
+    if isinstance(expression, LabelAtom):
+        return expression.label in labels
+    if isinstance(expression, LabelAnd):
+        return satisfies_label_expr(labels, expression.left) and satisfies_label_expr(
+            labels, expression.right
+        )
+    if isinstance(expression, LabelOr):
+        return satisfies_label_expr(labels, expression.left) or satisfies_label_expr(
+            labels, expression.right
+        )
+    if isinstance(expression, LabelNot):
+        return not satisfies_label_expr(labels, expression.inner)
+    if isinstance(expression, LabelWildcard):
+        return True
+    raise TypeError(f"not a label expression: {expression!r}")
+
+
+@dataclass(frozen=True)
+class NodeWithLabelExpr(ast.PatternExtension):
+    """``(x : <label expression>)``."""
+
+    expression: LabelExpr
+    variable: Optional[str] = None
+
+    def children(self) -> tuple[ast.Pattern, ...]:
+        return ()
+
+    def own_variables(self) -> frozenset[str]:
+        return frozenset({self.variable} if self.variable else ())
+
+    def infer_schema_ext(self, child_schemas: list[dict]) -> dict:
+        return {self.variable: NODE} if self.variable else {}
+
+    def min_path_length_ext(self, child_mins: list[int]) -> int:
+        return 0
+
+    def max_path_length_ext(self, child_maxes) -> Optional[int]:
+        return 0
+
+    def evaluate_ext(self, evaluator, max_length: int):
+        graph = evaluator.graph
+        for node in graph.nodes:
+            if satisfies_label_expr(graph.labels(node), self.expression):
+                mu = (
+                    Assignment({self.variable: node})
+                    if self.variable
+                    else EMPTY_ASSIGNMENT
+                )
+                yield (Path.node(node), mu)
+
+    def compile_abstraction_ext(self, builder, compile_child):
+        # Over-approximate: label expressions are dropped like conditions.
+        start = builder.new_state()
+        end = builder.new_state()
+        builder.add_epsilon(start, end)
+        return start, end
+
+
+@dataclass(frozen=True)
+class EdgeWithLabelExpr(ast.PatternExtension):
+    """An edge pattern whose label is a Boolean label expression."""
+
+    direction: Direction
+    expression: LabelExpr
+    variable: Optional[str] = None
+
+    def children(self) -> tuple[ast.Pattern, ...]:
+        return ()
+
+    def own_variables(self) -> frozenset[str]:
+        return frozenset({self.variable} if self.variable else ())
+
+    def infer_schema_ext(self, child_schemas: list[dict]) -> dict:
+        return {self.variable: EDGE} if self.variable else {}
+
+    def min_path_length_ext(self, child_mins: list[int]) -> int:
+        return 1
+
+    def max_path_length_ext(self, child_maxes) -> Optional[int]:
+        return 1
+
+    def evaluate_ext(self, evaluator, max_length: int):
+        if max_length < 1:
+            return
+        graph = evaluator.graph
+
+        def mu(edge):
+            return (
+                Assignment({self.variable: edge})
+                if self.variable
+                else EMPTY_ASSIGNMENT
+            )
+
+        if self.direction in (Direction.FORWARD, Direction.BACKWARD):
+            for edge in graph.directed_edges:
+                if not satisfies_label_expr(graph.labels(edge), self.expression):
+                    continue
+                source, target = graph.source(edge), graph.target(edge)
+                if self.direction is Direction.FORWARD:
+                    yield (Path.of(source, edge, target), mu(edge))
+                else:
+                    yield (Path.of(target, edge, source), mu(edge))
+        else:
+            for edge in graph.undirected_edges:
+                if not satisfies_label_expr(graph.labels(edge), self.expression):
+                    continue
+                ends = sorted(graph.endpoints(edge))
+                if len(ends) == 1:
+                    yield (Path.of(ends[0], edge, ends[0]), mu(edge))
+                else:
+                    yield (Path.of(ends[0], edge, ends[1]), mu(edge))
+                    yield (Path.of(ends[1], edge, ends[0]), mu(edge))
+
+    def compile_abstraction_ext(self, builder, compile_child):
+        start = builder.new_state()
+        end = builder.new_state()
+        builder.add_edge_step(start, EdgeStep(self.direction, None), end)
+        return start, end

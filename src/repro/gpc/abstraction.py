@@ -1,0 +1,101 @@
+"""The condition-free regular abstraction of GPC patterns.
+
+Dropping conditions and variable bindings from a GPC pattern leaves a
+regular language of traversal steps. The abstraction *over-approximates*
+the pattern: every true match is an accepted product path, so
+
+- the set of endpoint pairs accepted by the product is a superset of
+  the truly matchable pairs, and
+- the minimum accepted length per pair is a lower bound on the true
+  minimum match length.
+
+The engine uses both facts to make the ``shortest`` restrictor
+terminate quickly (Section 5 semantics, Lemma 16(c) bound).
+
+Repetition bounds are unrolled exactly (``pi{n..m}`` becomes ``n``
+copies plus ``m - n`` optional copies, or a star when unbounded), with
+the builder's state cap guarding against pathological binary bounds.
+"""
+
+from __future__ import annotations
+
+from repro.gpc import ast
+from repro.automata.nfa import EdgeStep, NFA, NFABuilder, NodeTest
+
+__all__ = ["compile_pattern_abstraction"]
+
+
+def compile_pattern_abstraction(
+    pattern: ast.Pattern, state_limit: int = 100_000
+) -> NFA:
+    """Compile the condition-free abstraction of ``pattern``."""
+    builder = NFABuilder(state_limit=state_limit)
+    start, end = _compile(pattern, builder)
+    return builder.build(start, {end})
+
+
+def _compile(pattern: ast.Pattern, builder: NFABuilder) -> tuple[int, int]:
+    if isinstance(pattern, ast.NodePattern):
+        start = builder.new_state()
+        end = builder.new_state()
+        if pattern.label is None:
+            builder.add_epsilon(start, end)
+        else:
+            builder.add_node_test(start, NodeTest(pattern.label), end)
+        return start, end
+    if isinstance(pattern, ast.EdgePattern):
+        start = builder.new_state()
+        end = builder.new_state()
+        builder.add_edge_step(
+            start, EdgeStep(pattern.direction, pattern.label), end
+        )
+        return start, end
+    if isinstance(pattern, ast.Concat):
+        left_start, left_end = _compile(pattern.left, builder)
+        right_start, right_end = _compile(pattern.right, builder)
+        builder.add_epsilon(left_end, right_start)
+        return left_start, right_end
+    if isinstance(pattern, ast.Union):
+        start = builder.new_state()
+        end = builder.new_state()
+        for branch in (pattern.left, pattern.right):
+            b_start, b_end = _compile(branch, builder)
+            builder.add_epsilon(start, b_start)
+            builder.add_epsilon(b_end, end)
+        return start, end
+    if isinstance(pattern, ast.Conditioned):
+        # Conditions are dropped: this is what makes it an abstraction.
+        return _compile(pattern.pattern, builder)
+    if isinstance(pattern, ast.Repeat):
+        return _compile_repeat(pattern, builder)
+    if isinstance(pattern, ast.PatternExtension):
+        return pattern.compile_abstraction_ext(
+            builder, lambda child: _compile(child, builder)
+        )
+    raise TypeError(f"not a pattern: {pattern!r}")
+
+
+def _compile_repeat(pattern: ast.Repeat, builder: NFABuilder) -> tuple[int, int]:
+    start = builder.new_state()
+    current = start
+    # Mandatory copies.
+    for _ in range(pattern.lower):
+        body_start, body_end = _compile(pattern.pattern, builder)
+        builder.add_epsilon(current, body_start)
+        current = body_end
+    end = builder.new_state()
+    if pattern.upper is None:
+        # Unbounded tail: a star of the body.
+        body_start, body_end = _compile(pattern.pattern, builder)
+        builder.add_epsilon(current, body_start)
+        builder.add_epsilon(body_end, current)
+        builder.add_epsilon(current, end)
+    else:
+        # (upper - lower) optional copies.
+        builder.add_epsilon(current, end)
+        for _ in range(pattern.upper - pattern.lower):
+            body_start, body_end = _compile(pattern.pattern, builder)
+            builder.add_epsilon(current, body_start)
+            builder.add_epsilon(body_end, end)
+            current = body_end
+    return start, end

@@ -1,0 +1,441 @@
+"""Abstract syntax of GPC (Figure 1 of the paper).
+
+The grammar, verbatim:
+
+.. code-block:: text
+
+    descriptor  d  ::=  x  |  :l  |  x:l
+    direction      ::=  ->  |  <-  |  ~
+    restrictor  r  ::=  simple | trail | shortest
+                        | shortest simple | shortest trail
+    pattern     p  ::=  ()  |  (d)                (node pattern)
+                     |  ->  |  -[d]->  (etc.)     (edge pattern)
+                     |  p + p                     (union)
+                     |  p p                       (concatenation)
+                     |  p <theta>                 (conditioning)
+                     |  p{n..m}                   (repetition)
+    query       Q  ::=  r p  |  x = r p           (pattern query)
+                     |  Q, Q                      (join)
+
+Every class is an immutable, hashable dataclass; helper constructors
+(:func:`node`, :func:`forward`, ...) give a concise construction DSL
+used throughout tests and examples. Structural well-formedness (e.g.
+``n <= m`` in repetitions) is validated at construction time;
+*type*-correctness is the job of :mod:`repro.gpc.typing`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Iterator, Optional, Union as TUnion
+
+from repro.direction import Direction
+from repro.errors import GPCError
+from repro.gpc.conditions_ast import Condition, condition_variables
+
+__all__ = [
+    "Direction",
+    "Descriptor",
+    "NodePattern",
+    "EdgePattern",
+    "Union",
+    "Concat",
+    "Conditioned",
+    "Repeat",
+    "Pattern",
+    "Restrictor",
+    "PatternQuery",
+    "Join",
+    "Query",
+    "Expression",
+    "node",
+    "edge",
+    "forward",
+    "backward",
+    "undirected",
+    "concat",
+    "union",
+    "variables",
+    "pattern_size",
+    "iter_subpatterns",
+    "INFINITY",
+]
+
+#: Sentinel for an unbounded repetition upper limit (``m = infinity``).
+INFINITY: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Descriptor:
+    """An optional variable and an optional label: ``x``, ``:l``, ``x:l``.
+
+    Both components absent is also legal (the anonymous descriptor used
+    by ``()`` and bare arrows).
+    """
+
+    variable: Optional[str] = None
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.variable is not None and not self.variable:
+            raise GPCError("descriptor variable must be a non-empty string")
+        if self.label is not None and not self.label:
+            raise GPCError("descriptor label must be a non-empty string")
+
+    @property
+    def is_empty(self) -> bool:
+        return self.variable is None and self.label is None
+
+    def __str__(self) -> str:
+        var = self.variable or ""
+        label = f":{self.label}" if self.label else ""
+        return f"{var}{label}"
+
+
+_EMPTY_DESCRIPTOR = Descriptor()
+
+
+@dataclass(frozen=True)
+class NodePattern:
+    """``( d )`` — matches a single node."""
+
+    descriptor: Descriptor = _EMPTY_DESCRIPTOR
+
+    @property
+    def variable(self) -> Optional[str]:
+        return self.descriptor.variable
+
+    @property
+    def label(self) -> Optional[str]:
+        return self.descriptor.label
+
+    def __str__(self) -> str:
+        return f"({self.descriptor})"
+
+
+@dataclass(frozen=True)
+class EdgePattern:
+    """``-[d]->``, ``<-[d]-`` or ``~[d]~`` — matches a single edge
+    traversal (with its endpoint nodes included in the matched path)."""
+
+    direction: Direction
+    descriptor: Descriptor = _EMPTY_DESCRIPTOR
+
+    @property
+    def variable(self) -> Optional[str]:
+        return self.descriptor.variable
+
+    @property
+    def label(self) -> Optional[str]:
+        return self.descriptor.label
+
+    def __str__(self) -> str:
+        if self.descriptor.is_empty:
+            return str(self.direction)
+        if self.direction is Direction.FORWARD:
+            return f"-[{self.descriptor}]->"
+        if self.direction is Direction.BACKWARD:
+            return f"<-[{self.descriptor}]-"
+        return f"~[{self.descriptor}]~"
+
+
+@dataclass(frozen=True)
+class Union:
+    """``p1 + p2`` — disjunction of patterns."""
+
+    left: "Pattern"
+    right: "Pattern"
+
+
+@dataclass(frozen=True)
+class Concat:
+    """``p1 p2`` — concatenation (juxtaposition) of patterns."""
+
+    left: "Pattern"
+    right: "Pattern"
+
+
+@dataclass(frozen=True)
+class Conditioned:
+    """``p <theta>`` — filter matches of ``p`` by a condition."""
+
+    pattern: "Pattern"
+    condition: Condition
+
+
+@dataclass(frozen=True)
+class Repeat:
+    """``p{n..m}`` — repetition between ``n`` and ``m`` times.
+
+    ``upper is None`` encodes ``m = infinity``; ``p{0..None}`` is the
+    Kleene star.
+    """
+
+    pattern: "Pattern"
+    lower: int
+    upper: Optional[int]
+
+    def __post_init__(self) -> None:
+        if self.lower < 0:
+            raise GPCError(f"repetition lower bound must be >= 0, got {self.lower}")
+        if self.upper is not None and self.upper < self.lower:
+            raise GPCError(
+                f"repetition bounds must satisfy n <= m, got {self.lower}..{self.upper}"
+            )
+
+    @property
+    def is_unbounded(self) -> bool:
+        return self.upper is None
+
+
+class PatternExtension:
+    """Base class for extension pattern constructs (Section 7).
+
+    The core calculus is fixed by Figure 1; the paper's Section 7
+    sketches extensions (label expressions, arithmetic conditions,
+    restrictors inside patterns). Subclasses plug into the type system
+    and the evaluator by implementing the hooks below, leaving the core
+    modules untouched.
+    """
+
+    def children(self) -> tuple["Pattern", ...]:
+        """Direct subpatterns."""
+        raise NotImplementedError
+
+    def own_variables(self) -> frozenset[str]:
+        """Variables introduced by this construct itself."""
+        return frozenset()
+
+    def infer_schema_ext(self, child_schemas: list[dict]) -> dict:
+        """Combine child schemas (may raise ``GPCTypeError``)."""
+        raise NotImplementedError
+
+    def min_path_length_ext(self, child_mins: list[int]) -> int:
+        """Minimum match length given the children's minima."""
+        raise NotImplementedError
+
+    def max_path_length_ext(
+        self, child_maxes: list[Optional[int]]
+    ) -> Optional[int]:
+        """Maximum match length (``None`` = unbounded)."""
+        raise NotImplementedError
+
+    def evaluate_ext(self, evaluator, max_length: int):
+        """Bounded evaluation; ``evaluator`` is the
+        :class:`~repro.gpc.semantics.BoundedEvaluator`."""
+        raise NotImplementedError
+
+    def compile_abstraction_ext(self, builder, compile_child):
+        """Add this construct to the condition-free NFA abstraction;
+        returns a ``(start, end)`` state pair."""
+        raise NotImplementedError
+
+
+Pattern = TUnion[
+    NodePattern, EdgePattern, Union, Concat, Conditioned, Repeat, PatternExtension
+]
+
+
+@dataclass(frozen=True)
+class Restrictor:
+    """A path restrictor: ``simple``, ``trail``, ``shortest``,
+    ``shortest simple`` or ``shortest trail``.
+
+    ``mode`` is ``"simple"``, ``"trail"`` or ``None``; at least one of
+    ``shortest``/``mode`` must be present, which guarantees finiteness
+    of query answers (Theorem 10).
+    """
+
+    shortest: bool = False
+    mode: Optional[str] = None
+
+    #: The five legal restrictors, as convenient constants (set after
+    #: the class body; ClassVar keeps them out of the dataclass fields).
+    SIMPLE: ClassVar["Restrictor"]
+    TRAIL: ClassVar["Restrictor"]
+    SHORTEST: ClassVar["Restrictor"]
+    SHORTEST_SIMPLE: ClassVar["Restrictor"]
+    SHORTEST_TRAIL: ClassVar["Restrictor"]
+
+    def __post_init__(self) -> None:
+        if self.mode not in (None, "simple", "trail"):
+            raise GPCError(f"unknown restrictor mode {self.mode!r}")
+        if not self.shortest and self.mode is None:
+            raise GPCError(
+                "a restrictor needs 'shortest', a mode, or both "
+                "(otherwise answers may be infinite)"
+            )
+
+    def __str__(self) -> str:
+        parts = []
+        if self.shortest:
+            parts.append("shortest")
+        if self.mode:
+            parts.append(self.mode)
+        return " ".join(parts)
+
+
+Restrictor.SIMPLE = Restrictor(mode="simple")
+Restrictor.TRAIL = Restrictor(mode="trail")
+Restrictor.SHORTEST = Restrictor(shortest=True)
+Restrictor.SHORTEST_SIMPLE = Restrictor(shortest=True, mode="simple")
+Restrictor.SHORTEST_TRAIL = Restrictor(shortest=True, mode="trail")
+
+
+@dataclass(frozen=True)
+class PatternQuery:
+    """``r p`` or ``x = r p`` — a restricted, optionally named pattern."""
+
+    restrictor: Restrictor
+    pattern: Pattern
+    name: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Join:
+    """``Q1, Q2`` — the join of two queries."""
+
+    left: "Query"
+    right: "Query"
+
+
+Query = TUnion[PatternQuery, Join]
+
+#: An *expression* is a pattern or a query (the paper's terminology).
+Expression = TUnion[Pattern, Query]
+
+
+# ---------------------------------------------------------------------------
+# Construction DSL
+# ---------------------------------------------------------------------------
+
+
+def node(variable: str | None = None, label: str | None = None) -> NodePattern:
+    """Build a node pattern ``(x:l)`` with optional components."""
+    return NodePattern(Descriptor(variable, label))
+
+
+def edge(
+    direction: Direction,
+    variable: str | None = None,
+    label: str | None = None,
+) -> EdgePattern:
+    """Build an edge pattern with explicit direction."""
+    return EdgePattern(direction, Descriptor(variable, label))
+
+
+def forward(variable: str | None = None, label: str | None = None) -> EdgePattern:
+    """``-[x:l]->``"""
+    return edge(Direction.FORWARD, variable, label)
+
+
+def backward(variable: str | None = None, label: str | None = None) -> EdgePattern:
+    """``<-[x:l]-``"""
+    return edge(Direction.BACKWARD, variable, label)
+
+
+def undirected(variable: str | None = None, label: str | None = None) -> EdgePattern:
+    """``~[x:l]~``"""
+    return edge(Direction.UNDIRECTED, variable, label)
+
+
+def concat(*patterns: Pattern) -> Pattern:
+    """Left-associated concatenation of one or more patterns."""
+    if not patterns:
+        raise GPCError("concat needs at least one pattern")
+    result = patterns[0]
+    for pattern in patterns[1:]:
+        result = Concat(result, pattern)
+    return result
+
+
+def union(*patterns: Pattern) -> Pattern:
+    """Left-associated union of one or more patterns."""
+    if not patterns:
+        raise GPCError("union needs at least one pattern")
+    result = patterns[0]
+    for pattern in patterns[1:]:
+        result = Union(result, pattern)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Structural queries over expressions
+# ---------------------------------------------------------------------------
+
+
+def variables(expression: Expression) -> frozenset[str]:
+    """``var(xi)``: all variables occurring in the expression.
+
+    Includes variables bound by descriptors, path names in queries, and
+    variables mentioned in conditions.
+    """
+    out: set[str] = set()
+    _collect_variables(expression, out)
+    return frozenset(out)
+
+
+def _collect_variables(expression: Expression, out: set[str]) -> None:
+    if isinstance(expression, PatternExtension):
+        out.update(expression.own_variables())
+        for child in expression.children():
+            _collect_variables(child, out)
+    elif isinstance(expression, NodePattern) or isinstance(expression, EdgePattern):
+        if expression.variable is not None:
+            out.add(expression.variable)
+    elif isinstance(expression, (Union, Concat)):
+        _collect_variables(expression.left, out)
+        _collect_variables(expression.right, out)
+    elif isinstance(expression, Conditioned):
+        _collect_variables(expression.pattern, out)
+        out.update(condition_variables(expression.condition))
+    elif isinstance(expression, Repeat):
+        _collect_variables(expression.pattern, out)
+    elif isinstance(expression, PatternQuery):
+        _collect_variables(expression.pattern, out)
+        if expression.name is not None:
+            out.add(expression.name)
+    elif isinstance(expression, Join):
+        _collect_variables(expression.left, out)
+        _collect_variables(expression.right, out)
+    else:
+        raise TypeError(f"not a GPC expression: {expression!r}")
+
+
+def iter_subpatterns(pattern: Pattern) -> Iterator[Pattern]:
+    """Yield every subpattern of ``pattern`` (including itself),
+    pre-order."""
+    stack: list[Pattern] = [pattern]
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, (Union, Concat)):
+            stack.append(current.right)
+            stack.append(current.left)
+        elif isinstance(current, Conditioned):
+            stack.append(current.pattern)
+        elif isinstance(current, Repeat):
+            stack.append(current.pattern)
+        elif isinstance(current, PatternExtension):
+            stack.extend(current.children())
+
+
+def pattern_size(expression: Expression) -> int:
+    """``|pi|`` per Appendix C: parse-tree nodes plus the bits needed
+    to represent repetition bounds."""
+    if isinstance(expression, (NodePattern, EdgePattern)):
+        return 1
+    if isinstance(expression, (Union, Concat, Join)):
+        return 1 + pattern_size(expression.left) + pattern_size(expression.right)
+    if isinstance(expression, Conditioned):
+        return 1 + pattern_size(expression.pattern)
+    if isinstance(expression, Repeat):
+        bits = expression.lower.bit_length() or 1
+        if expression.upper is not None:
+            bits += expression.upper.bit_length() or 1
+        return 1 + bits + pattern_size(expression.pattern)
+    if isinstance(expression, PatternQuery):
+        return 1 + pattern_size(expression.pattern)
+    if isinstance(expression, PatternExtension):
+        return 1 + sum(pattern_size(child) for child in expression.children())
+    raise TypeError(f"not a GPC expression: {expression!r}")

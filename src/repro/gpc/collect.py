@@ -1,0 +1,206 @@
+"""The ``collect`` operator for repeated patterns (Section 5).
+
+Given the per-iteration matches ``(p1, mu1), ..., (pn, mun)`` of a
+repetition, ``collect`` builds the single assignment that binds every
+variable of the body to a *list* value. When every ``p_i`` has positive
+length this is simply equation (3) of the paper::
+
+    collect[(p1, mu1), ..., (pn, mun)](x) = list((p1, mu1(x)), ..., (pn, mun(x)))
+
+Edgeless factors make the naive definition produce infinitely many
+answers, and the paper describes three ways out, all implemented here:
+
+- **Approach 1 (syntactic)** — forbid repetition bodies that may match
+  edgeless paths; validation lives in :mod:`repro.gpc.minlength`, and
+  ``collect`` then never sees an edgeless factor.
+- **Approach 2 (run-time)** — ``collect`` is *undefined* whenever some
+  factor is edgeless; the combination simply produces no answer.
+- **Approach 3 (grouping)** — refactorize the path by merging maximal
+  runs of consecutive edgeless factors (Figure 3), unifying the
+  assignments within each run; undefined if some run fails to unify.
+  This subsumes the other two and is the paper's default.
+
+:class:`CollectAccumulator` is the incremental form used by the
+evaluation engine: it consumes factors left to right, maintaining the
+(hashable) grouped state so that partial matches can be deduplicated
+during fixpoint iteration of pattern powers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.errors import CollectError
+from repro.graph.paths import Path
+from repro.gpc.assignments import Assignment
+from repro.gpc.values import GroupValue
+
+__all__ = [
+    "CollectMode",
+    "collect",
+    "collect_simple",
+    "collect_grouping",
+    "refactorize",
+    "CollectAccumulator",
+    "empty_group_assignment",
+]
+
+
+class CollectMode(enum.Enum):
+    """Which of the paper's three approaches the engine uses."""
+
+    SYNTACTIC = "syntactic"
+    RUNTIME = "runtime"
+    GROUPING = "grouping"
+
+
+def empty_group_assignment(domain: Iterable[str]) -> Assignment:
+    """The 0th-power assignment: every variable maps to ``list()``."""
+    return Assignment({variable: GroupValue() for variable in domain})
+
+
+def collect_simple(
+    factors: Sequence[tuple[Path, Assignment]], domain: Iterable[str]
+) -> Assignment:
+    """Equation (3): one list entry per factor, no grouping."""
+    domain = tuple(domain)
+    bindings = {}
+    for variable in domain:
+        bindings[variable] = GroupValue(
+            tuple((path, mu[variable]) for path, mu in factors)
+        )
+    return Assignment(bindings)
+
+
+def refactorize(lengths: Sequence[int]) -> list[tuple[int, int]]:
+    """The Figure 3 refactorization, on factor lengths.
+
+    Returns the list of half-open index ranges ``[i_k, i_{k+1})`` such
+    that each range is either a single positive-length factor or a
+    maximal run of consecutive edgeless factors.
+    """
+    ranges: list[tuple[int, int]] = []
+    i = 0
+    n = len(lengths)
+    while i < n:
+        if lengths[i] != 0:
+            ranges.append((i, i + 1))
+            i += 1
+        else:
+            j = i
+            while j < n and lengths[j] == 0:
+                j += 1
+            ranges.append((i, j))
+            i = j
+    return ranges
+
+
+def collect_grouping(
+    factors: Sequence[tuple[Path, Assignment]], domain: Iterable[str]
+) -> Optional[Assignment]:
+    """Approach 3: group consecutive edgeless factors (Figure 3).
+
+    Returns ``None`` when some edgeless run fails to unify — in that
+    case ``collect`` is undefined and the combination yields no answer.
+    """
+    domain = tuple(domain)
+    groups: list[tuple[Path, Assignment]] = []
+    for start, stop in refactorize([len(path) for path, _ in factors]):
+        path = factors[start][0]
+        merged = factors[start][1]
+        for index in range(start + 1, stop):
+            next_path, next_mu = factors[index]
+            path = path.concat(next_path)
+            unified = merged.unify(next_mu)
+            if unified is None:
+                return None
+            merged = unified
+        groups.append((path, merged))
+    bindings = {
+        variable: GroupValue(tuple((path, mu[variable]) for path, mu in groups))
+        for variable in domain
+    }
+    return Assignment(bindings)
+
+
+def collect(
+    factors: Sequence[tuple[Path, Assignment]],
+    domain: Iterable[str],
+    mode: CollectMode = CollectMode.GROUPING,
+) -> Optional[Assignment]:
+    """Apply ``collect`` under the chosen approach.
+
+    - ``SYNTACTIC``: edgeless factors are a *caller* bug (validation
+      should have rejected the pattern) and raise
+      :class:`~repro.errors.CollectError`;
+    - ``RUNTIME``: edgeless factors make the result ``None`` (undefined);
+    - ``GROUPING``: Figure 3 semantics.
+
+    ``factors`` must be non-empty; the 0th power is handled separately
+    by :func:`empty_group_assignment`.
+    """
+    if not factors:
+        raise CollectError("collect requires at least one factor")
+    has_edgeless = any(path.is_edgeless for path, _ in factors)
+    if mode is CollectMode.SYNTACTIC:
+        if has_edgeless:
+            raise CollectError(
+                "edgeless factor reached collect under the syntactic "
+                "restriction; the pattern should have been rejected upfront"
+            )
+        return collect_simple(factors, domain)
+    if mode is CollectMode.RUNTIME:
+        if has_edgeless:
+            return None
+        return collect_simple(factors, domain)
+    if mode is CollectMode.GROUPING:
+        return collect_grouping(factors, domain)
+    raise TypeError(f"unknown collect mode: {mode!r}")
+
+
+@dataclass(frozen=True)
+class CollectAccumulator:
+    """Incremental left-to-right ``collect`` state.
+
+    ``groups`` holds the completed ``(p'_k, mu'_k)`` groups;
+    ``open_run`` is True when the final group is a run of edgeless
+    factors that may still absorb further edgeless factors. The state
+    is immutable and hashable, so the engine can deduplicate partial
+    matches that are indistinguishable going forward.
+    """
+
+    groups: tuple[tuple[Path, Assignment], ...] = ()
+    open_run: bool = False
+    mode: CollectMode = CollectMode.GROUPING
+
+    def extend(self, path: Path, mu: Assignment) -> Optional["CollectAccumulator"]:
+        """Absorb the next factor; ``None`` when collect is undefined."""
+        if path.is_edgeless:
+            if self.mode is CollectMode.SYNTACTIC:
+                raise CollectError(
+                    "edgeless factor under the syntactic restriction"
+                )
+            if self.mode is CollectMode.RUNTIME:
+                return None
+            if self.open_run:
+                last_path, last_mu = self.groups[-1]
+                unified = last_mu.unify(mu)
+                if unified is None:
+                    return None
+                updated = self.groups[:-1] + ((last_path, unified),)
+                return CollectAccumulator(updated, True, self.mode)
+            return CollectAccumulator(self.groups + ((path, mu),), True, self.mode)
+        return CollectAccumulator(self.groups + ((path, mu),), False, self.mode)
+
+    def finalize(self, domain: Iterable[str]) -> Assignment:
+        """Produce the collected assignment for the factors seen."""
+        return Assignment(
+            {
+                variable: GroupValue(
+                    tuple((path, mu[variable]) for path, mu in self.groups)
+                )
+                for variable in domain
+            }
+        )

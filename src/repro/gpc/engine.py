@@ -1,0 +1,297 @@
+"""The GPC query engine: restrictors, queries, joins (Section 5).
+
+:class:`Evaluator` ties everything together:
+
+- patterns are evaluated by the bounded compositional evaluator
+  (:mod:`repro.gpc.semantics`);
+- the ``trail`` and ``simple`` restrictors supply the Lemma 16 length
+  bounds ``|E_d| + |E_u|`` and ``|N|`` and filter accordingly;
+- ``shortest`` keeps, per endpoint pair, only the answers whose
+  witnessing path has minimum length. When the pattern's maximum match
+  length is unbounded, the engine runs *iterative deepening* seeded and
+  cut off by the condition-free regular abstraction
+  (:mod:`repro.automata.gpc_abstraction`): the abstraction's accepted
+  pairs over-approximate the truly matchable pairs, so deepening stops
+  as soon as every candidate pair has been found (or refuted at the
+  configured cap);
+- queries are restricted patterns, optionally named (``x = r p``), and
+  joins combine answers by unifying assignments (the type system
+  guarantees only singleton variables are shared).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import EvaluationLimitError, RestrictorError
+from repro.graph.ids import NodeId
+from repro.graph.paths import is_simple, is_trail
+from repro.graph.property_graph import PropertyGraph
+from repro.gpc import ast
+from repro.gpc.answers import Answer
+from repro.gpc.assignments import Assignment
+from repro.gpc.collect import CollectMode
+from repro.gpc.minlength import max_path_length, validate_approach1
+from repro.gpc.semantics import BoundedEvaluator, Match, _Limits
+from repro.gpc.typing import infer_schema
+from repro.gpc.abstraction import compile_pattern_abstraction
+from repro.gpc.register_nfa import (
+    UnsupportedPattern,
+    compile_register_nfa,
+    enumerate_exact_length_walks,
+    shortest_pair_lengths,
+)
+from repro.automata.product import pairs_and_distances
+
+__all__ = ["EngineConfig", "Evaluator", "evaluate", "CollectMode"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine knobs.
+
+    ``collect_mode``
+        Which of the paper's three ``collect`` approaches to use
+        (Section 5); GROUPING (Approach 3) is the paper's default.
+    ``max_pattern_length``
+        Optional override for the length bound used when evaluating a
+        bare pattern without a restrictor (needed because unrestricted
+        denotations may be infinite).
+    ``shortest_deepening_limit``
+        Hard ceiling for iterative deepening under ``shortest``. When
+        candidate endpoint pairs remain unresolved at this length, the
+        engine raises :class:`~repro.errors.EvaluationLimitError`
+        rather than silently dropping potentially valid answers
+        (set ``lenient_shortest=True`` to accept the approximation).
+    ``automaton_state_limit``
+        Cap on abstraction-automaton size (repetition bounds unroll).
+    ``max_intermediate_results`` / ``max_power_iterations``
+        Resource fail-safes for the bounded evaluator.
+    """
+
+    collect_mode: CollectMode = CollectMode.GROUPING
+    max_pattern_length: int | None = None
+    shortest_deepening_limit: int = 4096
+    lenient_shortest: bool = False
+    automaton_state_limit: int = 100_000
+    max_intermediate_results: int = 2_000_000
+    max_power_iterations: int = 10_000
+
+
+DEFAULT_CONFIG = EngineConfig()
+
+
+class Evaluator:
+    """Evaluates GPC queries over a fixed property graph."""
+
+    def __init__(self, graph: PropertyGraph, config: EngineConfig | None = None):
+        self.graph = graph
+        self.config = config or DEFAULT_CONFIG
+        limits = _Limits(
+            max_intermediate_results=self.config.max_intermediate_results,
+            max_power_iterations=self.config.max_power_iterations,
+        )
+        self._bounded = BoundedEvaluator(
+            graph, collect_mode=self.config.collect_mode, limits=limits
+        )
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def evaluate(self, query: ast.Query) -> frozenset[Answer]:
+        """Compute ``[[Q]]_G`` — always finite (Theorem 10)."""
+        infer_schema(query)  # reject ill-typed queries upfront
+        return self._eval_query(query)
+
+    def eval_pattern(
+        self, pattern: ast.Pattern, max_length: int | None = None
+    ) -> frozenset[Match]:
+        """Bounded pattern denotation ``{(p, mu) : len(p) <= L}``.
+
+        Patterns alone have no restrictor; a length bound must come
+        from the caller or :attr:`EngineConfig.max_pattern_length`.
+        When neither is given, the trail bound ``|E|`` is used (every
+        longer path repeats an edge).
+        """
+        infer_schema(pattern)
+        self._validate_collect(pattern)
+        if max_length is None:
+            max_length = self.config.max_pattern_length
+        if max_length is None:
+            max_length = self.graph.num_edges
+        return self._bounded.evaluate(pattern, max_length)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def _eval_query(self, query: ast.Query) -> frozenset[Answer]:
+        if isinstance(query, ast.PatternQuery):
+            matches = self._eval_restricted(query.restrictor, query.pattern)
+            out = []
+            for path, mu in matches:
+                if query.name is not None:
+                    mu = mu.bind(query.name, path)
+                out.append(Answer((path,), mu))
+            return frozenset(out)
+        if isinstance(query, ast.Join):
+            left = self._eval_query(query.left)
+            right = self._eval_query(query.right)
+            out = []
+            for left_answer in left:
+                for right_answer in right:
+                    combined = left_answer.combine(right_answer)
+                    if combined is not None:
+                        out.append(combined)
+            return frozenset(out)
+        raise TypeError(f"not a query: {query!r}")
+
+    # ------------------------------------------------------------------
+    # Restrictors
+    # ------------------------------------------------------------------
+
+    def _eval_restricted(
+        self, restrictor: ast.Restrictor, pattern: ast.Pattern
+    ) -> frozenset[Match]:
+        self._validate_collect(pattern)
+        if restrictor.mode == "trail":
+            bound = self.graph.num_edges
+            matches = frozenset(
+                m for m in self._bounded.evaluate(pattern, bound) if is_trail(m[0])
+            )
+        elif restrictor.mode == "simple":
+            bound = self.graph.num_nodes
+            matches = frozenset(
+                m for m in self._bounded.evaluate(pattern, bound) if is_simple(m[0])
+            )
+        else:
+            matches = None
+        if not restrictor.shortest:
+            if matches is None:
+                raise RestrictorError(f"invalid restrictor {restrictor!r}")
+            return matches
+        if matches is not None:
+            # shortest trail / shortest simple: minimise within the
+            # already-finite filtered set.
+            return _keep_shortest(matches)
+        return self._eval_shortest(pattern)
+
+    def _eval_shortest(self, pattern: ast.Pattern) -> frozenset[Match]:
+        """``shortest pi`` with no trail/simple underneath.
+
+        The main route compiles the pattern to a register NFA
+        (:mod:`repro.gpc.register_nfa`), computes the *exact* minimum
+        match length per endpoint pair, and materialises only the
+        witnesses of that length. Patterns using extension constructs
+        without register compilation fall back to bounded iterative
+        deepening.
+        """
+        try:
+            rnfa = compile_register_nfa(
+                pattern, state_limit=self.config.automaton_state_limit
+            )
+        except UnsupportedPattern:
+            return self._eval_shortest_fallback(pattern)
+        from repro.enumeration.span_matcher import match_on_path
+
+        limit = self.config.shortest_deepening_limit
+        answers: set[Match] = set()
+        for start in sorted(self.graph.nodes):
+            best = shortest_pair_lengths(self.graph, rnfa, start)
+            for end in sorted(best):
+                length = best[end]
+                # The register search can under-estimate in one corner:
+                # an accepted run whose every factorization fails
+                # collect unification. Probe upward until a witness
+                # with a defined assignment appears.
+                while True:
+                    found = False
+                    for witness in enumerate_exact_length_walks(
+                        self.graph, rnfa, start, end, length
+                    ):
+                        for mu in match_on_path(
+                            pattern, witness, self.graph,
+                            self.config.collect_mode,
+                        ):
+                            answers.add((witness, mu))
+                            found = True
+                    if found:
+                        break
+                    length += 1
+                    if length > limit:
+                        if self.config.lenient_shortest:
+                            break
+                        raise EvaluationLimitError(
+                            f"shortest: no collectible witness for pair "
+                            f"({start!r}, {end!r}) up to length {limit}; "
+                            f"raise EngineConfig.shortest_deepening_limit "
+                            f"or set lenient_shortest=True"
+                        )
+        return frozenset(answers)
+
+    def _eval_shortest_fallback(self, pattern: ast.Pattern) -> frozenset[Match]:
+        """Bounded-evaluation fallback for extension patterns."""
+        syntactic_max = max_path_length(pattern)
+        if syntactic_max is not None:
+            # Bounded pattern: evaluate exactly and minimise.
+            return _keep_shortest(self._bounded.evaluate(pattern, syntactic_max))
+        # Unbounded: iterative deepening guided by the regular abstraction.
+        nfa = compile_pattern_abstraction(
+            pattern, state_limit=self.config.automaton_state_limit
+        )
+        candidates = pairs_and_distances(self.graph, nfa)
+        if not candidates:
+            return frozenset()
+        limit = self.config.shortest_deepening_limit
+        # Start at the *smallest* lower bound and deepen geometrically:
+        # most pairs resolve early, and evaluating at unnecessarily
+        # large bounds explodes (answer sets grow exponentially with
+        # the length horizon — Theorem 13).
+        length = max(1, min(candidates.values()))
+        while True:
+            results = self._bounded.evaluate(pattern, length)
+            found_pairs = {(m[0].src, m[0].tgt) for m in results}
+            remaining = set(candidates) - found_pairs
+            if not remaining:
+                return _keep_shortest(results)
+            if length >= limit:
+                if self.config.lenient_shortest:
+                    return _keep_shortest(results)
+                raise EvaluationLimitError(
+                    f"shortest: {len(remaining)} candidate endpoint pair(s) "
+                    f"unresolved at deepening limit {limit}; they may be "
+                    f"unmatchable (conditions pruned the abstraction) or "
+                    f"require longer paths. Raise "
+                    f"EngineConfig.shortest_deepening_limit or set "
+                    f"lenient_shortest=True."
+                )
+            length = min(length * 2, limit)
+
+    def _validate_collect(self, pattern: ast.Pattern) -> None:
+        if self.config.collect_mode is CollectMode.SYNTACTIC:
+            validate_approach1(pattern)
+
+
+def _keep_shortest(matches: frozenset[Match]) -> frozenset[Match]:
+    """Keep, per endpoint pair, the answers of minimum path length."""
+    minima: dict[tuple[NodeId, NodeId], int] = {}
+    for path, _ in matches:
+        key = (path.src, path.tgt)
+        length = len(path)
+        if key not in minima or length < minima[key]:
+            minima[key] = length
+    return frozenset(
+        (path, mu)
+        for path, mu in matches
+        if len(path) == minima[(path.src, path.tgt)]
+    )
+
+
+def evaluate(
+    query: ast.Query,
+    graph: PropertyGraph,
+    config: EngineConfig | None = None,
+) -> frozenset[Answer]:
+    """Convenience one-shot evaluation of a query over a graph."""
+    return Evaluator(graph, config).evaluate(query)

@@ -1,0 +1,138 @@
+"""Query introspection: schemas, length analysis, and plan summaries.
+
+``explain`` renders what the engine knows about an expression before
+touching a graph: the inferred schema (Figure 2), the min/max match
+lengths (the Approach 1 analysis), which collect approach would accept
+it, and — for queries — the length bound each restrictor implies.
+
+Useful in examples and when debugging why a pattern is rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import CollectError, GPCTypeError
+from repro.gpc import ast
+from repro.gpc.minlength import (
+    max_path_length,
+    min_path_length,
+    validate_approach1,
+)
+from repro.gpc.pretty import pretty
+from repro.gpc.typing import infer_schema
+from repro.gpc.types import Type
+
+__all__ = ["PatternReport", "QueryReport", "explain_pattern", "explain_query", "explain"]
+
+
+@dataclass(frozen=True)
+class PatternReport:
+    """Static analysis of a pattern."""
+
+    text: str
+    well_typed: bool
+    type_error: Optional[str]
+    schema: dict[str, Type]
+    min_length: int
+    max_length: Optional[int]
+    gql_repetition_legal: bool
+    size: int
+
+    def render(self) -> str:
+        lines = [f"pattern: {self.text}"]
+        if not self.well_typed:
+            lines.append(f"  ILL-TYPED: {self.type_error}")
+            return "\n".join(lines)
+        if self.schema:
+            lines.append("  schema:")
+            for variable in sorted(self.schema):
+                lines.append(f"    {variable} : {self.schema[variable]}")
+        else:
+            lines.append("  schema: (no variables)")
+        max_text = "unbounded" if self.max_length is None else str(self.max_length)
+        lines.append(f"  match length: {self.min_length} .. {max_text}")
+        lines.append(f"  pattern size |pi|: {self.size}")
+        lines.append(
+            f"  GQL repetition rule (Approach 1): "
+            f"{'ok' if self.gql_repetition_legal else 'VIOLATED'}"
+        )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class QueryReport:
+    """Static analysis of a query: per-item pattern reports plus the
+    restrictor-implied evaluation strategy."""
+
+    text: str
+    items: tuple[tuple[str, PatternReport], ...]
+
+    def render(self) -> str:
+        lines = [f"query: {self.text}"]
+        for strategy, report in self.items:
+            lines.append(f"- restrictor strategy: {strategy}")
+            lines.extend("  " + line for line in report.render().splitlines())
+        return "\n".join(lines)
+
+
+def explain_pattern(pattern: ast.Pattern) -> PatternReport:
+    """Analyse a pattern without evaluating it."""
+    schema: dict[str, Type] = {}
+    error: Optional[str] = None
+    try:
+        schema = infer_schema(pattern)
+    except GPCTypeError as exc:
+        error = str(exc)
+    legal = True
+    try:
+        validate_approach1(pattern)
+    except CollectError:
+        legal = False
+    return PatternReport(
+        text=pretty(pattern),
+        well_typed=error is None,
+        type_error=error,
+        schema=schema,
+        min_length=min_path_length(pattern),
+        max_length=max_path_length(pattern),
+        gql_repetition_legal=legal,
+        size=ast.pattern_size(pattern),
+    )
+
+
+def _strategy(restrictor: ast.Restrictor, pattern: ast.Pattern) -> str:
+    if restrictor.mode == "trail":
+        base = "bounded eval at |E|, filter trails"
+    elif restrictor.mode == "simple":
+        base = "bounded eval at |N|, filter simple"
+    else:
+        base = "register-NFA exact shortest"
+    if restrictor.shortest and restrictor.mode:
+        return base + ", then per-pair minima"
+    return base
+
+
+def explain_query(query: ast.Query) -> QueryReport:
+    """Analyse a query: one entry per joined pattern item."""
+    items: list[tuple[str, PatternReport]] = []
+
+    def walk(q: ast.Query) -> None:
+        if isinstance(q, ast.Join):
+            walk(q.left)
+            walk(q.right)
+        else:
+            items.append(
+                (_strategy(q.restrictor, q.pattern), explain_pattern(q.pattern))
+            )
+
+    walk(query)
+    return QueryReport(text=pretty(query), items=tuple(items))
+
+
+def explain(expression: ast.Expression) -> str:
+    """Render a human-readable report for a pattern or query."""
+    if isinstance(expression, (ast.PatternQuery, ast.Join)):
+        return explain_query(expression).render()
+    return explain_pattern(expression).render()

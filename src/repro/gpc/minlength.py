@@ -1,0 +1,107 @@
+"""Syntactic path-length analysis (Approach 1 of Section 5).
+
+The GQL standard forbids ``pi{n..m}`` whenever ``pi`` may match an
+edgeless path; equivalently, the *minimum path length* of every
+repetition body must be positive. This module computes minimum (and
+maximum) match lengths syntactically and implements the Approach 1
+validation.
+
+The analysis is exact:
+
+- a node pattern matches only length-0 paths;
+- an edge pattern matches only length-1 paths;
+- union takes min/max, concatenation adds, conditioning is neutral
+  (conditions can only remove matches, never shorten them);
+- ``pi{n..m}`` has minimum ``n * min(pi)`` and maximum ``m * max(pi)``
+  (``0`` when ``n = 0``, unbounded when ``m`` is infinite and
+  ``max(pi) > 0``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import CollectError
+from repro.gpc import ast
+
+__all__ = [
+    "min_path_length",
+    "max_path_length",
+    "may_match_edgeless",
+    "validate_approach1",
+]
+
+
+def min_path_length(pattern: ast.Pattern) -> int:
+    """The length of the shortest path the pattern could ever match."""
+    if isinstance(pattern, ast.NodePattern):
+        return 0
+    if isinstance(pattern, ast.EdgePattern):
+        return 1
+    if isinstance(pattern, ast.Union):
+        return min(min_path_length(pattern.left), min_path_length(pattern.right))
+    if isinstance(pattern, ast.Concat):
+        return min_path_length(pattern.left) + min_path_length(pattern.right)
+    if isinstance(pattern, ast.Conditioned):
+        return min_path_length(pattern.pattern)
+    if isinstance(pattern, ast.Repeat):
+        return pattern.lower * min_path_length(pattern.pattern)
+    if isinstance(pattern, ast.PatternExtension):
+        return pattern.min_path_length_ext(
+            [min_path_length(child) for child in pattern.children()]
+        )
+    raise TypeError(f"not a pattern: {pattern!r}")
+
+
+def max_path_length(pattern: ast.Pattern) -> Optional[int]:
+    """The length of the longest path the pattern could match, or
+    ``None`` when unbounded."""
+    if isinstance(pattern, ast.NodePattern):
+        return 0
+    if isinstance(pattern, ast.EdgePattern):
+        return 1
+    if isinstance(pattern, ast.Union):
+        left = max_path_length(pattern.left)
+        right = max_path_length(pattern.right)
+        if left is None or right is None:
+            return None
+        return max(left, right)
+    if isinstance(pattern, ast.Concat):
+        left = max_path_length(pattern.left)
+        right = max_path_length(pattern.right)
+        if left is None or right is None:
+            return None
+        return left + right
+    if isinstance(pattern, ast.Conditioned):
+        return max_path_length(pattern.pattern)
+    if isinstance(pattern, ast.Repeat):
+        inner = max_path_length(pattern.pattern)
+        if inner == 0:
+            return 0
+        if pattern.upper is None or inner is None:
+            return None
+        return pattern.upper * inner
+    if isinstance(pattern, ast.PatternExtension):
+        return pattern.max_path_length_ext(
+            [max_path_length(child) for child in pattern.children()]
+        )
+    raise TypeError(f"not a pattern: {pattern!r}")
+
+
+def may_match_edgeless(pattern: ast.Pattern) -> bool:
+    """Whether the pattern may match a length-0 path."""
+    return min_path_length(pattern) == 0
+
+
+def validate_approach1(pattern: ast.Pattern) -> None:
+    """Enforce the Approach 1 syntactic restriction.
+
+    Raises :class:`~repro.errors.CollectError` if any repetition body
+    may match an edgeless path (this is the GQL standard's rule).
+    """
+    for sub in ast.iter_subpatterns(pattern):
+        if isinstance(sub, ast.Repeat) and may_match_edgeless(sub.pattern):
+            raise CollectError(
+                f"repetition body may match an edgeless path, which "
+                f"Approach 1 (the GQL rule) forbids: {sub.pattern!r}"
+            )

@@ -1,0 +1,148 @@
+"""Pretty-printer for GPC expressions.
+
+Produces concrete syntax that :mod:`repro.gpc.parser` parses back to an
+equal AST (``parse(pretty(e)) == e``), which the property-based tests
+verify over randomly generated expressions.
+"""
+
+from __future__ import annotations
+
+from repro.gpc import ast
+from repro.gpc.conditions_ast import (
+    And,
+    Condition,
+    Not,
+    Or,
+    PropertyEqualsConst,
+    PropertyEqualsProperty,
+)
+
+__all__ = ["pretty", "pretty_condition"]
+
+
+def pretty(expression: ast.Expression) -> str:
+    """Render a pattern or query in concrete syntax."""
+    if isinstance(expression, (ast.PatternQuery, ast.Join)):
+        return _query(expression)
+    return _pattern(expression)
+
+
+# -- queries ----------------------------------------------------------------
+
+
+def _query(query: ast.Query) -> str:
+    if isinstance(query, ast.Join):
+        return f"{_query(query.left)}, {_query(query.right)}"
+    parts = []
+    if query.name is not None:
+        parts.append(f"{query.name} =")
+    parts.append(str(query.restrictor).upper())
+    parts.append(_pattern(query.pattern))
+    return " ".join(parts)
+
+
+# -- patterns -----------------------------------------------------------------
+
+# Precedence levels: union (1) < concat (2) < postfix (3) < atom (4).
+
+
+def _pattern(pattern: ast.Pattern, parent_level: int = 0) -> str:
+    text, level = _render(pattern)
+    if level < parent_level:
+        return f"[{text}]"
+    return text
+
+
+def _render(pattern: ast.Pattern) -> tuple[str, int]:
+    if isinstance(pattern, ast.NodePattern):
+        return f"({_descriptor(pattern.descriptor)})", 4
+    if isinstance(pattern, ast.EdgePattern):
+        return _edge(pattern), 4
+    if isinstance(pattern, ast.Union):
+        left = _pattern(pattern.left, 1)
+        right = _pattern(pattern.right, 2)  # right operand must bind tighter
+        return f"{left} + {right}", 1
+    if isinstance(pattern, ast.Concat):
+        left = _pattern(pattern.left, 2)
+        right = _pattern(pattern.right, 3)
+        return f"{left} {right}", 2
+    if isinstance(pattern, ast.Conditioned):
+        inner = _pattern(pattern.pattern, 3)
+        return f"{inner} << {pretty_condition(pattern.condition)} >>", 3
+    if isinstance(pattern, ast.Repeat):
+        inner = _pattern(pattern.pattern, 3)
+        return f"{inner}{_bounds(pattern)}", 3
+    raise TypeError(f"not a pattern: {pattern!r}")
+
+
+def _bounds(pattern: ast.Repeat) -> str:
+    if pattern.lower == 0 and pattern.upper is None:
+        return "*"
+    if pattern.upper is None:
+        return f"{{{pattern.lower},}}"
+    if pattern.lower == pattern.upper:
+        return f"{{{pattern.lower}}}"
+    return f"{{{pattern.lower},{pattern.upper}}}"
+
+
+def _descriptor(descriptor: ast.Descriptor) -> str:
+    variable = descriptor.variable or ""
+    label = f":{descriptor.label}" if descriptor.label else ""
+    return f"{variable}{label}"
+
+
+def _edge(pattern: ast.EdgePattern) -> str:
+    descriptor = _descriptor(pattern.descriptor)
+    if not descriptor:
+        return {
+            ast.Direction.FORWARD: "->",
+            ast.Direction.BACKWARD: "<-",
+            ast.Direction.UNDIRECTED: "~",
+        }[pattern.direction]
+    if pattern.direction is ast.Direction.FORWARD:
+        return f"-[{descriptor}]->"
+    if pattern.direction is ast.Direction.BACKWARD:
+        return f"<-[{descriptor}]-"
+    return f"~[{descriptor}]~"
+
+
+# -- conditions ----------------------------------------------------------------
+
+
+def pretty_condition(condition: Condition) -> str:
+    """Render a condition; binary connectives are fully parenthesized
+    so the structure round-trips exactly."""
+    if isinstance(condition, PropertyEqualsConst):
+        return (
+            f"{condition.variable}.{condition.key} = "
+            f"{_constant(condition.constant)}"
+        )
+    if isinstance(condition, PropertyEqualsProperty):
+        return (
+            f"{condition.left_variable}.{condition.left_key} = "
+            f"{condition.right_variable}.{condition.right_key}"
+        )
+    if isinstance(condition, And):
+        return (
+            f"({pretty_condition(condition.left)} AND "
+            f"{pretty_condition(condition.right)})"
+        )
+    if isinstance(condition, Or):
+        return (
+            f"({pretty_condition(condition.left)} OR "
+            f"{pretty_condition(condition.right)})"
+        )
+    if isinstance(condition, Not):
+        return f"NOT ({pretty_condition(condition.inner)})"
+    raise TypeError(f"not a condition: {condition!r}")
+
+
+def _constant(value) -> str:
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace("'", "\\'")
+        return f"'{escaped}'"
+    raise TypeError(f"cannot render constant {value!r}")

@@ -1,0 +1,444 @@
+"""Register automata for exact ``shortest`` evaluation.
+
+The condition-free NFA abstraction over-approximates patterns: it
+drops property conditions *and* the implicit joins of repeated
+variables, so its accepted pairs may include endpoint pairs no true
+match connects. Computing ``shortest`` by iterative deepening against
+such candidates explodes (the bounded denotation of a pattern grows
+exponentially with the length horizon — Theorem 13).
+
+This module compiles patterns into *register* NFAs instead:
+
+- ``bind(x)`` transitions bind (or check) a register against the
+  current node;
+- edge steps optionally bind/check an edge register;
+- ``check(theta)`` transitions evaluate property conditions against
+  the bound registers (well-typedness guarantees the variables are
+  bound by then);
+- ``reset(V)`` transitions clear a repetition body's registers between
+  iterations (group variables impose no cross-iteration constraints).
+
+A 0-1 BFS over ``(node, state, registers)`` then yields the *exact*
+minimum match length per endpoint pair, in time polynomial in the
+product size (registers stay few in practice). Witness paths of that
+exact length are enumerated with product-guided DFS, and the span
+matcher reconstructs the full assignments (including group values).
+
+One caveat, handled by the engine: under the GROUPING collect mode an
+accepted run can exist while every factorization's ``collect`` is
+undefined (edgeless-run unification failure), so the minimum is a
+lower bound in that corner; the engine then probes longer lengths.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.direction import Direction
+from repro.errors import EvaluationLimitError
+from repro.graph.ids import NodeId
+from repro.graph.paths import Path
+from repro.graph.property_graph import PropertyGraph
+from repro.gpc import ast
+from repro.gpc.assignments import Assignment
+from repro.gpc.conditions import satisfies
+from repro.gpc.conditions_ast import Condition
+
+__all__ = [
+    "RegisterNFA",
+    "UnsupportedPattern",
+    "compile_register_nfa",
+    "shortest_pair_lengths",
+    "enumerate_exact_length_walks",
+]
+
+
+class UnsupportedPattern(Exception):
+    """The pattern uses a construct the register compiler cannot
+    handle (engine falls back to bounded deepening)."""
+
+
+@dataclass(frozen=True)
+class _Eps:
+    pass
+
+
+@dataclass(frozen=True)
+class _NodeTest:
+    label: str
+
+
+@dataclass(frozen=True)
+class _Bind:
+    variable: str
+
+
+@dataclass(frozen=True)
+class _Check:
+    condition: Condition
+
+
+@dataclass(frozen=True)
+class _Reset:
+    variables: frozenset[str]
+
+
+@dataclass(frozen=True)
+class _EdgeStep:
+    direction: Direction
+    label: Optional[str]
+    variable: Optional[str]
+
+
+@dataclass
+class RegisterNFA:
+    num_states: int
+    initial: int
+    final: int
+    #: zero-weight transitions per state: (op, target)
+    zero: tuple[tuple[tuple[object, int], ...], ...]
+    #: edge-step (weight 1) transitions per state
+    steps: tuple[tuple[tuple[_EdgeStep, int], ...], ...]
+
+
+@dataclass
+class _Builder:
+    state_limit: int = 100_000
+    zero: list[list[tuple[object, int]]] = field(default_factory=list)
+    steps: list[list[tuple[_EdgeStep, int]]] = field(default_factory=list)
+
+    def new_state(self) -> int:
+        if len(self.zero) >= self.state_limit:
+            raise EvaluationLimitError(
+                f"register automaton exceeded {self.state_limit} states; "
+                f"repetition bounds may be too large"
+            )
+        self.zero.append([])
+        self.steps.append([])
+        return len(self.zero) - 1
+
+    def add_zero(self, source: int, op: object, target: int) -> None:
+        self.zero[source].append((op, target))
+
+    def add_step(self, source: int, step: _EdgeStep, target: int) -> None:
+        self.steps[source].append((step, target))
+
+
+def compile_register_nfa(
+    pattern: ast.Pattern, state_limit: int = 100_000
+) -> RegisterNFA:
+    """Compile a pattern into a register NFA.
+
+    Raises :class:`UnsupportedPattern` for extension constructs that do
+    not fit the register model (e.g. arithmetic conditions over group
+    counts).
+    """
+    builder = _Builder(state_limit=state_limit)
+    start, end = _compile(pattern, builder)
+    return RegisterNFA(
+        num_states=len(builder.zero),
+        initial=start,
+        final=end,
+        zero=tuple(tuple(z) for z in builder.zero),
+        steps=tuple(tuple(s) for s in builder.steps),
+    )
+
+
+def _compile(pattern: ast.Pattern, builder: _Builder) -> tuple[int, int]:
+    if isinstance(pattern, ast.NodePattern):
+        start = builder.new_state()
+        end = builder.new_state()
+        current = start
+        if pattern.label is not None:
+            mid = builder.new_state()
+            builder.add_zero(current, _NodeTest(pattern.label), mid)
+            current = mid
+        if pattern.variable is not None:
+            builder.add_zero(current, _Bind(pattern.variable), end)
+        else:
+            builder.add_zero(current, _Eps(), end)
+        return start, end
+    if isinstance(pattern, ast.EdgePattern):
+        start = builder.new_state()
+        end = builder.new_state()
+        builder.add_step(
+            start,
+            _EdgeStep(pattern.direction, pattern.label, pattern.variable),
+            end,
+        )
+        return start, end
+    if isinstance(pattern, ast.Concat):
+        left_start, left_end = _compile(pattern.left, builder)
+        right_start, right_end = _compile(pattern.right, builder)
+        builder.add_zero(left_end, _Eps(), right_start)
+        return left_start, right_end
+    if isinstance(pattern, ast.Union):
+        start = builder.new_state()
+        end = builder.new_state()
+        for branch in (pattern.left, pattern.right):
+            b_start, b_end = _compile(branch, builder)
+            builder.add_zero(start, _Eps(), b_start)
+            builder.add_zero(b_end, _Eps(), end)
+        return start, end
+    if isinstance(pattern, ast.Conditioned):
+        inner_start, inner_end = _compile(pattern.pattern, builder)
+        end = builder.new_state()
+        builder.add_zero(inner_end, _Check(pattern.condition), end)
+        return inner_start, end
+    if isinstance(pattern, ast.Repeat):
+        return _compile_repeat(pattern, builder)
+    if isinstance(pattern, ast.PatternExtension):
+        hook = getattr(pattern, "compile_register_ext", None)
+        if hook is None:
+            raise UnsupportedPattern(
+                f"extension {type(pattern).__name__} has no register "
+                f"compilation"
+            )
+        return hook(builder, lambda child: _compile(child, builder))
+    raise TypeError(f"not a pattern: {pattern!r}")
+
+
+def _compile_repeat(pattern: ast.Repeat, builder: _Builder) -> tuple[int, int]:
+    body_vars = frozenset(ast.variables(pattern.pattern))
+    reset = _Reset(body_vars)
+
+    def body_copy(source: int) -> int:
+        """One body iteration followed by a register reset."""
+        b_start, b_end = _compile(pattern.pattern, builder)
+        builder.add_zero(source, _Eps(), b_start)
+        after = builder.new_state()
+        builder.add_zero(b_end, reset if body_vars else _Eps(), after)
+        return after
+
+    start = builder.new_state()
+    current = start
+    for _ in range(pattern.lower):
+        current = body_copy(current)
+    end = builder.new_state()
+    if pattern.upper is None:
+        loop_exit = body_copy(current)
+        builder.add_zero(loop_exit, _Eps(), current)
+        builder.add_zero(current, _Eps(), end)
+    else:
+        builder.add_zero(current, _Eps(), end)
+        for _ in range(pattern.upper - pattern.lower):
+            current = body_copy(current)
+            builder.add_zero(current, _Eps(), end)
+    return start, end
+
+
+# ---------------------------------------------------------------------------
+# Search
+# ---------------------------------------------------------------------------
+
+Registers = tuple[tuple[str, object], ...]  # sorted (variable, id) pairs
+
+
+def _apply_zero(
+    op: object,
+    node: NodeId,
+    registers: Registers,
+    graph: PropertyGraph,
+) -> Optional[Registers]:
+    """Apply a zero-weight op at ``node``; ``None`` when blocked."""
+    if isinstance(op, _Eps):
+        return registers
+    if isinstance(op, _NodeTest):
+        return registers if op.label in graph.labels(node) else None
+    if isinstance(op, _Bind):
+        current = dict(registers)
+        bound = current.get(op.variable)
+        if bound is None:
+            current[op.variable] = node
+            return tuple(sorted(current.items()))
+        return registers if bound == node else None
+    if isinstance(op, _Check):
+        mu = Assignment({v: value for v, value in registers})
+        try:
+            ok = satisfies(graph, mu, op.condition)
+        except Exception:
+            return None
+        return registers if ok else None
+    if isinstance(op, _Reset):
+        kept = tuple(
+            (v, value) for v, value in registers if v not in op.variables
+        )
+        return kept
+    raise TypeError(f"unknown op {op!r}")
+
+
+def _step_targets(
+    step: _EdgeStep, node: NodeId, graph: PropertyGraph
+) -> list[tuple[object, NodeId]]:
+    """Edges usable from ``node`` under ``step``: (edge, next node)."""
+    out = []
+    if step.direction is Direction.FORWARD:
+        for edge in graph.out_edges(node):
+            if step.label is None or step.label in graph.labels(edge):
+                out.append((edge, graph.target(edge)))
+    elif step.direction is Direction.BACKWARD:
+        for edge in graph.in_edges(node):
+            if step.label is None or step.label in graph.labels(edge):
+                out.append((edge, graph.source(edge)))
+    else:
+        for edge in graph.undirected_edges_at(node):
+            if step.label is None or step.label in graph.labels(edge):
+                out.append((edge, graph.other_endpoint(edge, node)))
+    return out
+
+
+def shortest_pair_lengths(
+    graph: PropertyGraph,
+    nfa: RegisterNFA,
+    start: NodeId,
+    state_budget: int = 2_000_000,
+) -> dict[NodeId, int]:
+    """Exact minimum accepted path length from ``start`` to every
+    reachable end node, via 0-1 BFS over (node, state, registers)."""
+    initial = (start, nfa.initial, ())
+    dist: dict[tuple, int] = {initial: 0}
+    queue: deque[tuple] = deque([initial])
+    best: dict[NodeId, int] = {}
+    while queue:
+        state = queue.popleft()
+        node, q, registers = state
+        d = dist[state]
+        if q == nfa.final and (node not in best or d < best[node]):
+            best[node] = d
+        for op, target in nfa.zero[q]:
+            updated = _apply_zero(op, node, registers, graph)
+            if updated is None:
+                continue
+            key = (node, target, updated)
+            if key not in dist or dist[key] > d:
+                dist[key] = d
+                queue.appendleft(key)
+        for step, target in nfa.steps[q]:
+            for edge, successor in _step_targets(step, node, graph):
+                updated = registers
+                if step.variable is not None:
+                    current = dict(registers)
+                    bound = current.get(step.variable)
+                    if bound is None:
+                        current[step.variable] = edge
+                        updated = tuple(sorted(current.items()))
+                    elif bound != edge:
+                        continue
+                key = (successor, target, updated)
+                if key not in dist or dist[key] > d + 1:
+                    dist[key] = d + 1
+                    queue.append(key)
+        if len(dist) > state_budget:
+            raise EvaluationLimitError(
+                f"register search exceeded {state_budget} states"
+            )
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Witness enumeration
+# ---------------------------------------------------------------------------
+
+
+def _register_free_state_sets(
+    nfa: RegisterNFA, graph: PropertyGraph, node: NodeId, states: frozenset[int]
+) -> frozenset[int]:
+    """Closure under zero-weight ops, ignoring registers (binds/checks
+    optimistically succeed) — an over-approximation used for pruning."""
+    closure = set(states)
+    stack = list(states)
+    while stack:
+        q = stack.pop()
+        for op, target in nfa.zero[q]:
+            if isinstance(op, _NodeTest) and op.label not in graph.labels(node):
+                continue
+            if target not in closure:
+                closure.add(target)
+                stack.append(target)
+    return frozenset(closure)
+
+
+def _backward_distances(nfa: RegisterNFA) -> list[int]:
+    """Min remaining edge steps from each state to the final state,
+    register-free (a lower bound for pruning)."""
+    INF = float("inf")
+    dist = [INF] * nfa.num_states
+    dist[nfa.final] = 0
+    # Reverse adjacency.
+    zero_rev: list[list[int]] = [[] for _ in range(nfa.num_states)]
+    step_rev: list[list[int]] = [[] for _ in range(nfa.num_states)]
+    for q in range(nfa.num_states):
+        for _op, target in nfa.zero[q]:
+            zero_rev[target].append(q)
+        for _step, target in nfa.steps[q]:
+            step_rev[target].append(q)
+    queue: deque[int] = deque([nfa.final])
+    while queue:
+        q = queue.popleft()
+        for p in zero_rev[q]:
+            if dist[p] > dist[q]:
+                dist[p] = dist[q]
+                queue.appendleft(p)
+        for p in step_rev[q]:
+            if dist[p] > dist[q] + 1:
+                dist[p] = dist[q] + 1
+                queue.append(p)
+    return [int(d) if d != INF else -1 for d in dist]
+
+
+def enumerate_exact_length_walks(
+    graph: PropertyGraph,
+    nfa: RegisterNFA,
+    start: NodeId,
+    end: NodeId,
+    length: int,
+) -> list[Path]:
+    """All graph walks from ``start`` to ``end`` of exactly ``length``
+    edges that are plausible under the register-free projection of
+    ``nfa`` (final matching is re-checked by the span matcher).
+
+    The DFS is pruned by register-free reachability and by the
+    remaining-steps lower bound, so it explores little beyond the true
+    witnesses.
+    """
+    back = _backward_distances(nfa)
+    results: list[Path] = []
+
+    def viable(states: frozenset[int], remaining: int) -> bool:
+        return any(0 <= back[q] <= remaining for q in states)
+
+    initial_states = _register_free_state_sets(
+        nfa, graph, start, frozenset({nfa.initial})
+    )
+
+    def dfs(path: Path, states: frozenset[int], remaining: int) -> None:
+        if remaining == 0:
+            if path.tgt == end and any(q == nfa.final for q in states):
+                results.append(path)
+            return
+        node = path.tgt
+        # One edge step in every direction the NFA allows from here.
+        moves: dict[tuple[object, NodeId], set[int]] = {}
+        for q in states:
+            for step, target in nfa.steps[q]:
+                for edge, successor in _step_targets(step, node, graph):
+                    moves.setdefault((edge, successor), set()).add(target)
+        for (edge, successor), targets in sorted(
+            moves.items(), key=lambda kv: (repr(kv[0][0]), repr(kv[0][1]))
+        ):
+            next_states = _register_free_state_sets(
+                nfa, graph, successor, frozenset(targets)
+            )
+            if not viable(next_states, remaining - 1):
+                continue
+            dfs(
+                Path(path.elements + (edge, successor)),
+                next_states,
+                remaining - 1,
+            )
+
+    if viable(initial_states, length):
+        dfs(Path.node(start), initial_states, length)
+    return results

@@ -1,0 +1,130 @@
+"""Semantic values (Definition 7).
+
+Values of type ``tau`` are:
+
+- ``V_Node = N`` — node ids;
+- ``V_Edge = E_d | E_u`` — edge ids;
+- ``V_Path = Paths`` — paths;
+- ``V_Maybe(tau) = V_tau | {Nothing}`` — with the special ``Nothing``;
+- ``V_Group(tau)`` — lists of ``(path, value)`` pairs.
+
+GPC returns *references* to graph elements, never the constants they
+carry, so elements of ``Const`` are not values. All values here are
+immutable and hashable, which is what lets answer sets be genuine sets
+(the calculus has set semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union as TUnion
+
+from repro.graph.ids import DirectedEdgeId, NodeId, UndirectedEdgeId
+from repro.graph.paths import Path
+from repro.gpc.types import (
+    EdgeType,
+    GroupType,
+    MaybeType,
+    NodeType,
+    PathType,
+    Type,
+)
+
+__all__ = ["Nothing", "NothingType", "GroupValue", "Value", "conforms"]
+
+
+class NothingType:
+    """The special value assigned to absent optional variables.
+
+    A singleton: ``NothingType() is Nothing`` always holds.
+    """
+
+    _instance: "NothingType | None" = None
+
+    def __new__(cls) -> "NothingType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "Nothing"
+
+    def __hash__(self) -> int:
+        return hash("repro.gpc.Nothing")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, NothingType)
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: The unique ``Nothing`` value.
+Nothing = NothingType()
+
+
+@dataclass(frozen=True)
+class GroupValue:
+    """A composite value ``list((p1, v1), ..., (pn, vn))``.
+
+    Each entry pairs the portion ``p_i`` of the matched path with the
+    value ``v_i`` the variable took on that portion. ``n = 0`` (the
+    empty list) is the value group variables take in the 0th power of a
+    repetition.
+    """
+
+    entries: tuple[tuple[Path, "Value"], ...] = ()
+
+    def __post_init__(self) -> None:
+        for entry in self.entries:
+            if len(entry) != 2 or not isinstance(entry[0], Path):
+                raise TypeError(f"group entries must be (Path, value) pairs: {entry!r}")
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[tuple[Path, "Value"]]:
+        return iter(self.entries)
+
+    def __getitem__(self, index: int) -> tuple[Path, "Value"]:
+        return self.entries[index]
+
+    @property
+    def values(self) -> tuple["Value", ...]:
+        """Just the ``v_i`` components, in order."""
+        return tuple(v for _, v in self.entries)
+
+    @property
+    def paths(self) -> tuple[Path, ...]:
+        """Just the ``p_i`` components, in order."""
+        return tuple(p for p, _ in self.entries)
+
+    def append(self, path: Path, value: "Value") -> "GroupValue":
+        """A new group with one more entry (groups are immutable)."""
+        return GroupValue(self.entries + ((path, value),))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"({p!r}, {v!r})" for p, v in self.entries)
+        return f"list({inner})"
+
+
+Value = TUnion[NodeId, DirectedEdgeId, UndirectedEdgeId, Path, NothingType, GroupValue]
+
+
+def conforms(value: Value, tau: Type) -> bool:
+    """Whether ``value`` belongs to ``V_tau`` (Definition 7)."""
+    if isinstance(tau, NodeType):
+        return isinstance(value, NodeId)
+    if isinstance(tau, EdgeType):
+        return isinstance(value, (DirectedEdgeId, UndirectedEdgeId))
+    if isinstance(tau, PathType):
+        return isinstance(value, Path)
+    if isinstance(tau, MaybeType):
+        return isinstance(value, NothingType) or conforms(value, tau.inner)
+    if isinstance(tau, GroupType):
+        if not isinstance(value, GroupValue):
+            return False
+        return all(
+            isinstance(p, Path) and conforms(v, tau.inner) for p, v in value.entries
+        )
+    raise TypeError(f"not a value type: {tau!r}")

@@ -1,0 +1,34 @@
+"""Property-graph substrate (Section 2 of the paper).
+
+This package implements the data model the calculus is defined over:
+
+- :mod:`repro.graph.ids` — the disjoint sorts of node / directed-edge /
+  undirected-edge identifiers;
+- :mod:`repro.graph.property_graph` — the property graph
+  ``G = <N, Ed, Eu, lambda, endpoints, src, tgt, delta>``;
+- :mod:`repro.graph.builder` — a fluent construction API;
+- :mod:`repro.graph.paths` — paths (walks), concatenation, and the
+  trail/simple predicates used by restrictors;
+- :mod:`repro.graph.generators` — workload graphs used by examples,
+  tests, and the benchmark harness;
+- :mod:`repro.graph.serialization` — JSON round-tripping;
+- :mod:`repro.graph.statistics` — size/degree summaries.
+"""
+
+from repro.graph.ids import EdgeId, NodeId, UndirectedEdgeId, DirectedEdgeId
+from repro.graph.property_graph import PropertyGraph
+from repro.graph.builder import GraphBuilder
+from repro.graph.paths import Path, concat_paths, is_simple, is_trail
+
+__all__ = [
+    "NodeId",
+    "EdgeId",
+    "DirectedEdgeId",
+    "UndirectedEdgeId",
+    "PropertyGraph",
+    "GraphBuilder",
+    "Path",
+    "concat_paths",
+    "is_simple",
+    "is_trail",
+]

@@ -1,0 +1,402 @@
+"""Workload graph generators.
+
+These generators produce the property graphs used throughout the test
+suite, the examples, and the benchmark harness:
+
+- structured families (chains, cycles, grids, cliques, ladders) with
+  predictable answer counts, used to validate evaluation results;
+- random multigraphs for differential testing of the Theorem 11
+  translations against the baseline evaluators;
+- domain graphs (social network, transport network) for the examples;
+- the paper's own gadget graphs: the Theorem 13 lower-bound graph and
+  the Section 7 restrictor-placement counterexample.
+
+All randomness is seeded; every generator is deterministic given its
+arguments.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.errors import WorkloadError
+from repro.graph.ids import NodeId
+from repro.graph.property_graph import PropertyGraph
+
+__all__ = [
+    "chain_graph",
+    "cycle_graph",
+    "grid_graph",
+    "complete_graph",
+    "ladder_graph",
+    "random_multigraph",
+    "random_labeled_digraph",
+    "social_network",
+    "transport_network",
+    "theorem13_gadget",
+    "section7_counterexample",
+    "two_cliques_bridge",
+]
+
+
+def _node_key(i: int) -> str:
+    return f"n{i}"
+
+
+def chain_graph(
+    length: int,
+    node_label: str = "N",
+    edge_label: str = "e",
+    value_key: str | None = None,
+) -> PropertyGraph:
+    """A directed chain ``n0 -> n1 -> ... -> n_length``.
+
+    The chain has ``length`` edges and ``length + 1`` nodes. When
+    ``value_key`` is given, node ``i`` carries ``value_key = i``.
+    """
+    if length < 0:
+        raise WorkloadError("chain length must be non-negative")
+    graph = PropertyGraph()
+    nodes = []
+    for i in range(length + 1):
+        props = {value_key: i} if value_key else None
+        nodes.append(graph.add_node(_node_key(i), labels={node_label}, properties=props))
+    for i in range(length):
+        graph.add_edge(f"e{i}", nodes[i], nodes[i + 1], labels={edge_label})
+    return graph
+
+
+def cycle_graph(
+    size: int, node_label: str = "N", edge_label: str = "e"
+) -> PropertyGraph:
+    """A directed cycle of ``size`` nodes (``size >= 1``).
+
+    With ``size = 1`` this is a single node with a directed self-loop —
+    the smallest graph on which unrestricted repetition diverges, used
+    by the Theorem 10 finiteness experiments.
+    """
+    if size < 1:
+        raise WorkloadError("cycle size must be at least 1")
+    graph = PropertyGraph()
+    nodes = [graph.add_node(_node_key(i), labels={node_label}) for i in range(size)]
+    for i in range(size):
+        graph.add_edge(f"e{i}", nodes[i], nodes[(i + 1) % size], labels={edge_label})
+    return graph
+
+
+def grid_graph(
+    width: int, height: int, node_label: str = "N", edge_label: str = "e"
+) -> PropertyGraph:
+    """A ``width x height`` directed grid (edges right and down)."""
+    if width < 1 or height < 1:
+        raise WorkloadError("grid dimensions must be positive")
+    graph = PropertyGraph()
+    ids: dict[tuple[int, int], NodeId] = {}
+    for y in range(height):
+        for x in range(width):
+            ids[(x, y)] = graph.add_node(
+                f"n{x}_{y}",
+                labels={node_label},
+                properties={"x": x, "y": y},
+            )
+    counter = 0
+    for y in range(height):
+        for x in range(width):
+            if x + 1 < width:
+                graph.add_edge(
+                    f"e{counter}", ids[(x, y)], ids[(x + 1, y)], labels={edge_label}
+                )
+                counter += 1
+            if y + 1 < height:
+                graph.add_edge(
+                    f"e{counter}", ids[(x, y)], ids[(x, y + 1)], labels={edge_label}
+                )
+                counter += 1
+    return graph
+
+
+def complete_graph(
+    size: int, node_label: str = "N", edge_label: str = "e"
+) -> PropertyGraph:
+    """A complete directed graph (no self-loops): an edge ``i -> j``
+    for every ordered pair ``i != j``."""
+    if size < 1:
+        raise WorkloadError("complete graph size must be positive")
+    graph = PropertyGraph()
+    nodes = [graph.add_node(_node_key(i), labels={node_label}) for i in range(size)]
+    counter = 0
+    for i in range(size):
+        for j in range(size):
+            if i != j:
+                graph.add_edge(f"e{counter}", nodes[i], nodes[j], labels={edge_label})
+                counter += 1
+    return graph
+
+
+def ladder_graph(rungs: int, edge_label: str = "e") -> PropertyGraph:
+    """A ladder: two parallel chains with cross rungs.
+
+    The number of simple source-to-sink paths grows exponentially with
+    ``rungs``, which makes ladders the standard workload for restrictor
+    blow-up experiments (Theorem 12/13 shape).
+    """
+    if rungs < 1:
+        raise WorkloadError("ladder needs at least one rung")
+    graph = PropertyGraph()
+    top = [graph.add_node(f"t{i}", labels={"N"}) for i in range(rungs + 1)]
+    bottom = [graph.add_node(f"b{i}", labels={"N"}) for i in range(rungs + 1)]
+    counter = 0
+    for i in range(rungs):
+        for a, b in ((top[i], top[i + 1]), (bottom[i], bottom[i + 1])):
+            graph.add_edge(f"e{counter}", a, b, labels={edge_label})
+            counter += 1
+        graph.add_edge(f"e{counter}", top[i], bottom[i], labels={edge_label})
+        counter += 1
+        graph.add_edge(f"e{counter}", bottom[i], top[i], labels={edge_label})
+        counter += 1
+    return graph
+
+
+def random_multigraph(
+    num_nodes: int,
+    num_directed: int,
+    num_undirected: int = 0,
+    node_labels: Sequence[str] = ("A", "B", "C"),
+    edge_labels: Sequence[str] = ("a", "b"),
+    property_keys: Sequence[str] = ("k",),
+    value_range: int = 3,
+    seed: int = 0,
+) -> PropertyGraph:
+    """A random mixed multigraph with labels and integer properties.
+
+    Nodes get one random label from ``node_labels`` plus a random value
+    in ``[0, value_range)`` for each key in ``property_keys`` (with
+    probability 0.8 per key, so some properties are undefined — this
+    exercises the partiality of ``delta``). Self-loops and parallel
+    edges are allowed, as the data model requires.
+    """
+    if num_nodes < 1:
+        raise WorkloadError("need at least one node")
+    rng = random.Random(seed)
+    graph = PropertyGraph()
+    nodes = []
+    for i in range(num_nodes):
+        labels = {rng.choice(node_labels)}
+        props = {
+            key: rng.randrange(value_range)
+            for key in property_keys
+            if rng.random() < 0.8
+        }
+        nodes.append(graph.add_node(_node_key(i), labels=labels, properties=props))
+    for i in range(num_directed):
+        src = rng.choice(nodes)
+        tgt = rng.choice(nodes)
+        labels = {rng.choice(edge_labels)}
+        props = {
+            key: rng.randrange(value_range)
+            for key in property_keys
+            if rng.random() < 0.5
+        }
+        graph.add_edge(f"d{i}", src, tgt, labels=labels, properties=props)
+    for i in range(num_undirected):
+        a = rng.choice(nodes)
+        b = rng.choice(nodes)
+        labels = {rng.choice(edge_labels)}
+        graph.add_undirected_edge(f"u{i}", a, b, labels=labels)
+    return graph
+
+
+def random_labeled_digraph(
+    num_nodes: int,
+    num_edges: int,
+    edge_labels: Sequence[str] = ("a", "b"),
+    node_labels: Sequence[str] = (),
+    seed: int = 0,
+) -> PropertyGraph:
+    """A random edge-labeled digraph (the RPQ-literature data model).
+
+    Used for differential testing against the baseline evaluators,
+    which are defined over edge-labeled graphs without properties.
+    """
+    rng = random.Random(seed)
+    graph = PropertyGraph()
+    nodes = []
+    for i in range(num_nodes):
+        labels = {rng.choice(node_labels)} if node_labels else set()
+        nodes.append(graph.add_node(_node_key(i), labels=labels))
+    for i in range(num_edges):
+        graph.add_edge(
+            f"e{i}",
+            rng.choice(nodes),
+            rng.choice(nodes),
+            labels={rng.choice(edge_labels)},
+        )
+    return graph
+
+
+def social_network(
+    num_people: int = 20,
+    num_cities: int = 4,
+    friend_degree: int = 3,
+    seed: int = 0,
+) -> PropertyGraph:
+    """A small social network for the examples.
+
+    - ``Person`` nodes with ``name`` and ``age`` properties;
+    - directed ``knows`` edges with a ``since`` year;
+    - directed ``lives_in`` edges to ``City`` nodes (with ``name``);
+    - undirected ``married`` edges between some pairs.
+    """
+    if num_people < 2:
+        raise WorkloadError("need at least two people")
+    rng = random.Random(seed)
+    graph = PropertyGraph()
+    cities = [
+        graph.add_node(
+            f"city{i}", labels={"City"}, properties={"name": f"City-{i}"}
+        )
+        for i in range(num_cities)
+    ]
+    people = []
+    for i in range(num_people):
+        people.append(
+            graph.add_node(
+                f"p{i}",
+                labels={"Person"},
+                properties={"name": f"Person-{i}", "age": 18 + rng.randrange(60)},
+            )
+        )
+    edge_count = 0
+    for person in people:
+        graph.add_edge(
+            f"lives{edge_count}",
+            person,
+            rng.choice(cities),
+            labels={"lives_in"},
+        )
+        edge_count += 1
+        for _ in range(friend_degree):
+            other = rng.choice(people)
+            if other != person:
+                graph.add_edge(
+                    f"knows{edge_count}",
+                    person,
+                    other,
+                    labels={"knows"},
+                    properties={"since": 2000 + rng.randrange(24)},
+                )
+                edge_count += 1
+    # Some marriages (undirected).
+    for i in range(0, min(num_people - 1, 6), 2):
+        graph.add_undirected_edge(
+            f"married{i}", people[i], people[i + 1], labels={"married"}
+        )
+    return graph
+
+
+def transport_network(lines: int = 3, stops_per_line: int = 5, seed: int = 0) -> PropertyGraph:
+    """A transport network: ``Station`` nodes joined by ``link`` edges.
+
+    Each line is a bidirectional chain of stations; lines intersect at
+    shared hub stations. Edges carry ``line`` and ``minutes``
+    properties; stations carry ``name`` and ``zone``.
+    """
+    if lines < 1 or stops_per_line < 2:
+        raise WorkloadError("need at least one line with two stops")
+    rng = random.Random(seed)
+    graph = PropertyGraph()
+    hub = graph.add_node(
+        "hub", labels={"Station", "Hub"}, properties={"name": "Hub", "zone": 1}
+    )
+    edge_count = 0
+    for line in range(lines):
+        previous = hub
+        for stop in range(stops_per_line):
+            station = graph.add_node(
+                f"l{line}s{stop}",
+                labels={"Station"},
+                properties={"name": f"L{line}-S{stop}", "zone": 1 + (stop // 2)},
+            )
+            minutes = 2 + rng.randrange(6)
+            graph.add_edge(
+                f"e{edge_count}",
+                previous,
+                station,
+                labels={"link"},
+                properties={"line": f"L{line}", "minutes": minutes},
+            )
+            edge_count += 1
+            graph.add_edge(
+                f"e{edge_count}",
+                station,
+                previous,
+                labels={"link"},
+                properties={"line": f"L{line}", "minutes": minutes},
+            )
+            edge_count += 1
+            previous = station
+    return graph
+
+
+def theorem13_gadget() -> PropertyGraph:
+    """The Theorem 13 lower-bound graph.
+
+    Two nodes ``u`` and ``v`` with ``a``-labeled edges ``u -> v`` and
+    ``v -> u``, and ``b``-labeled edges ``u -> v`` and ``v -> u``. The
+    query ``x = shortest () ->{k..k} ()`` admits ``2^k`` distinct
+    witnessing paths from each start node, because at every step both a
+    parallel ``a``- and ``b``-edge are available.
+    """
+    graph = PropertyGraph()
+    u = graph.add_node("u", labels={"N"})
+    v = graph.add_node("v", labels={"N"})
+    graph.add_edge("a_uv", u, v, labels={"a"})
+    graph.add_edge("a_vu", v, u, labels={"a"})
+    graph.add_edge("b_uv", u, v, labels={"b"})
+    graph.add_edge("b_vu", v, u, labels={"b"})
+    return graph
+
+
+def section7_counterexample() -> PropertyGraph:
+    """The Section 7 restrictor-placement counterexample graph.
+
+    Nodes labeled ``A``, ``B``, ``C``; a direct ``a``-labeled edge
+    ``e2 : A -> B`` and a two-edge detour ``e1 : A -> C``,
+    ``e3 : C -> B``. Under ``trail [shortest ...]`` the shortest
+    subpattern is forced onto the non-shortest detour ``[e1, e3]``.
+    """
+    graph = PropertyGraph()
+    a = graph.add_node("a", labels={"A"})
+    b = graph.add_node("b", labels={"B"})
+    c = graph.add_node("c", labels={"C"})
+    graph.add_edge("e2", a, b, labels={"a"})
+    graph.add_edge("e1", a, c)
+    graph.add_edge("e3", c, b)
+    return graph
+
+
+def two_cliques_bridge(clique_size: int = 3) -> PropertyGraph:
+    """Two directed cliques joined by a single bridge edge.
+
+    Handy for join/conjunction tests: patterns restricted to one clique
+    can only reach the other through the bridge.
+    """
+    if clique_size < 2:
+        raise WorkloadError("clique size must be at least 2")
+    graph = PropertyGraph()
+    left = [
+        graph.add_node(f"l{i}", labels={"L"}) for i in range(clique_size)
+    ]
+    right = [
+        graph.add_node(f"r{i}", labels={"R"}) for i in range(clique_size)
+    ]
+    counter = 0
+    for group in (left, right):
+        for x in group:
+            for y in group:
+                if x != y:
+                    graph.add_edge(f"e{counter}", x, y, labels={"c"})
+                    counter += 1
+    graph.add_edge("bridge", left[0], right[0], labels={"bridge"})
+    return graph

@@ -1,0 +1,434 @@
+"""The property-graph data model (Section 2 of the paper).
+
+A property graph is a tuple ``G = <N, Ed, Eu, lambda, endpoints, src,
+tgt, delta>`` where
+
+- ``N``, ``Ed``, ``Eu`` are finite, pairwise-disjoint sets of node,
+  directed-edge and undirected-edge identifiers;
+- ``lambda`` assigns a finite (possibly empty) set of labels to every
+  identifier;
+- ``src``/``tgt`` give the endpoints of directed edges;
+- ``endpoints`` gives the 1- or 2-element endpoint set of undirected
+  edges (a singleton encodes an undirected self-loop);
+- ``delta`` is a partial function from ``(id, key)`` to constants.
+
+Property graphs are multigraphs (parallel edges allowed), pseudographs
+(self-loops allowed) and mixed graphs (directed and undirected edges
+coexist). :class:`PropertyGraph` enforces all the structural invariants
+at mutation time so that evaluation code can rely on them.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Mapping
+
+from repro.errors import DuplicateIdError, GraphError, UnknownIdError
+from repro.graph.ids import (
+    DirectedEdgeId,
+    EdgeId,
+    GraphElementId,
+    NodeId,
+    UndirectedEdgeId,
+)
+
+__all__ = ["PropertyGraph"]
+
+#: Property values are constants from the paper's set ``Const``; we admit
+#: any immutable Python scalar.
+Constant = Hashable
+
+
+def _check_constant(value: object) -> None:
+    if isinstance(value, (list, dict, set)):
+        raise GraphError(
+            f"property values must be immutable constants, got {type(value).__name__}"
+        )
+
+
+class PropertyGraph:
+    """A mutable property graph with full adjacency indexing.
+
+    The class exposes the formal model's accessors (``labels``,
+    ``source``, ``target``, ``endpoints``, ``get_property``) together
+    with the adjacency indexes the evaluation engine needs
+    (``out_edges``, ``in_edges``, ``undirected_edges_at``).
+
+    Example
+    -------
+    >>> g = PropertyGraph()
+    >>> alice = g.add_node("alice", labels={"Person"}, properties={"name": "Alice"})
+    >>> bob = g.add_node("bob", labels={"Person"})
+    >>> e = g.add_edge("e1", alice, bob, labels={"knows"})
+    >>> g.source(e) == alice and g.target(e) == bob
+    True
+    """
+
+    def __init__(self) -> None:
+        self._node_labels: dict[NodeId, frozenset[str]] = {}
+        self._dedge_labels: dict[DirectedEdgeId, frozenset[str]] = {}
+        self._uedge_labels: dict[UndirectedEdgeId, frozenset[str]] = {}
+        self._src: dict[DirectedEdgeId, NodeId] = {}
+        self._tgt: dict[DirectedEdgeId, NodeId] = {}
+        self._endpoints: dict[UndirectedEdgeId, frozenset[NodeId]] = {}
+        self._properties: dict[GraphElementId, dict[str, Constant]] = {}
+        # Adjacency indexes.
+        self._out: dict[NodeId, set[DirectedEdgeId]] = {}
+        self._in: dict[NodeId, set[DirectedEdgeId]] = {}
+        self._undirected_at: dict[NodeId, set[UndirectedEdgeId]] = {}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add_node(
+        self,
+        key: Hashable,
+        labels: Iterable[str] = (),
+        properties: Mapping[str, Constant] | None = None,
+    ) -> NodeId:
+        """Add a node and return its :class:`NodeId`.
+
+        ``key`` must be unique among this graph's nodes.
+        """
+        node = key if isinstance(key, NodeId) else NodeId(key)
+        if node in self._node_labels:
+            raise DuplicateIdError(f"node {node!r} already exists")
+        self._node_labels[node] = frozenset(labels)
+        self._out[node] = set()
+        self._in[node] = set()
+        self._undirected_at[node] = set()
+        if properties:
+            self._set_properties(node, properties)
+        return node
+
+    def add_edge(
+        self,
+        key: Hashable,
+        source: NodeId,
+        target: NodeId,
+        labels: Iterable[str] = (),
+        properties: Mapping[str, Constant] | None = None,
+    ) -> DirectedEdgeId:
+        """Add a directed edge from ``source`` to ``target``."""
+        edge = key if isinstance(key, DirectedEdgeId) else DirectedEdgeId(key)
+        if edge in self._dedge_labels:
+            raise DuplicateIdError(f"directed edge {edge!r} already exists")
+        self._require_node(source)
+        self._require_node(target)
+        self._dedge_labels[edge] = frozenset(labels)
+        self._src[edge] = source
+        self._tgt[edge] = target
+        self._out[source].add(edge)
+        self._in[target].add(edge)
+        if properties:
+            self._set_properties(edge, properties)
+        return edge
+
+    def add_undirected_edge(
+        self,
+        key: Hashable,
+        endpoint_a: NodeId,
+        endpoint_b: NodeId,
+        labels: Iterable[str] = (),
+        properties: Mapping[str, Constant] | None = None,
+    ) -> UndirectedEdgeId:
+        """Add an undirected edge between the two endpoints.
+
+        Passing the same node twice creates an undirected self-loop,
+        whose ``endpoints`` set is a singleton, as in the paper.
+        """
+        edge = key if isinstance(key, UndirectedEdgeId) else UndirectedEdgeId(key)
+        if edge in self._uedge_labels:
+            raise DuplicateIdError(f"undirected edge {edge!r} already exists")
+        self._require_node(endpoint_a)
+        self._require_node(endpoint_b)
+        self._uedge_labels[edge] = frozenset(labels)
+        self._endpoints[edge] = frozenset({endpoint_a, endpoint_b})
+        self._undirected_at[endpoint_a].add(edge)
+        self._undirected_at[endpoint_b].add(edge)
+        if properties:
+            self._set_properties(edge, properties)
+        return edge
+
+    def set_property(self, element: GraphElementId, key: str, value: Constant) -> None:
+        """Define ``delta(element, key) = value``."""
+        self._require_element(element)
+        _check_constant(value)
+        self._properties.setdefault(element, {})[key] = value
+
+    def remove_property(self, element: GraphElementId, key: str) -> None:
+        """Make ``delta(element, key)`` undefined again."""
+        self._require_element(element)
+        props = self._properties.get(element)
+        if not props or key not in props:
+            raise UnknownIdError(f"no property {key!r} on {element!r}")
+        del props[key]
+        if not props:
+            del self._properties[element]
+
+    def _set_properties(
+        self, element: GraphElementId, properties: Mapping[str, Constant]
+    ) -> None:
+        for key, value in properties.items():
+            if not isinstance(key, str):
+                raise GraphError(f"property keys must be strings, got {key!r}")
+            _check_constant(value)
+        self._properties[element] = dict(properties)
+
+    # ------------------------------------------------------------------
+    # The formal accessors
+    # ------------------------------------------------------------------
+
+    def labels(self, element: GraphElementId) -> frozenset[str]:
+        """Return ``lambda(element)``, the element's label set."""
+        for table in (self._node_labels, self._dedge_labels, self._uedge_labels):
+            if element in table:
+                return table[element]  # type: ignore[index]
+        raise UnknownIdError(f"unknown element {element!r}")
+
+    def source(self, edge: DirectedEdgeId) -> NodeId:
+        """Return ``src(edge)`` for a directed edge."""
+        try:
+            return self._src[edge]
+        except KeyError:
+            raise UnknownIdError(f"unknown directed edge {edge!r}") from None
+
+    def target(self, edge: DirectedEdgeId) -> NodeId:
+        """Return ``tgt(edge)`` for a directed edge."""
+        try:
+            return self._tgt[edge]
+        except KeyError:
+            raise UnknownIdError(f"unknown directed edge {edge!r}") from None
+
+    def endpoints(self, edge: UndirectedEdgeId) -> frozenset[NodeId]:
+        """Return ``endpoints(edge)`` (1 or 2 nodes) for an undirected edge."""
+        try:
+            return self._endpoints[edge]
+        except KeyError:
+            raise UnknownIdError(f"unknown undirected edge {edge!r}") from None
+
+    def get_property(self, element: GraphElementId, key: str) -> Constant | None:
+        """Return ``delta(element, key)``, or ``None`` when undefined.
+
+        The paper's ``delta`` is a partial function; ``None`` encodes
+        "undefined" (``None`` itself is not an admissible constant).
+        """
+        self._require_element(element)
+        props = self._properties.get(element)
+        if props is None:
+            return None
+        return props.get(key)
+
+    def has_property(self, element: GraphElementId, key: str) -> bool:
+        """Return whether ``delta(element, key)`` is defined."""
+        return self.get_property(element, key) is not None
+
+    def properties(self, element: GraphElementId) -> Mapping[str, Constant]:
+        """Return a read-only snapshot of the element's property map."""
+        self._require_element(element)
+        return dict(self._properties.get(element, {}))
+
+    # ------------------------------------------------------------------
+    # Iteration and counting
+    # ------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> frozenset[NodeId]:
+        """The node set ``N``."""
+        return frozenset(self._node_labels)
+
+    @property
+    def directed_edges(self) -> frozenset[DirectedEdgeId]:
+        """The directed-edge set ``E_d``."""
+        return frozenset(self._dedge_labels)
+
+    @property
+    def undirected_edges(self) -> frozenset[UndirectedEdgeId]:
+        """The undirected-edge set ``E_u``."""
+        return frozenset(self._uedge_labels)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._node_labels)
+
+    @property
+    def num_directed_edges(self) -> int:
+        return len(self._dedge_labels)
+
+    @property
+    def num_undirected_edges(self) -> int:
+        return len(self._uedge_labels)
+
+    @property
+    def num_edges(self) -> int:
+        """Total number of edges ``|E_d| + |E_u|``."""
+        return self.num_directed_edges + self.num_undirected_edges
+
+    def iter_nodes(self) -> Iterator[NodeId]:
+        """Iterate over nodes in a deterministic (sorted) order."""
+        return iter(sorted(self._node_labels))
+
+    def iter_directed_edges(self) -> Iterator[DirectedEdgeId]:
+        return iter(sorted(self._dedge_labels))
+
+    def iter_undirected_edges(self) -> Iterator[UndirectedEdgeId]:
+        return iter(sorted(self._uedge_labels))
+
+    def nodes_with_label(self, label: str) -> frozenset[NodeId]:
+        """All nodes ``u`` with ``label in lambda(u)``."""
+        return frozenset(
+            n for n, labels in self._node_labels.items() if label in labels
+        )
+
+    def directed_edges_with_label(self, label: str) -> frozenset[DirectedEdgeId]:
+        return frozenset(
+            e for e, labels in self._dedge_labels.items() if label in labels
+        )
+
+    def undirected_edges_with_label(self, label: str) -> frozenset[UndirectedEdgeId]:
+        return frozenset(
+            e for e, labels in self._uedge_labels.items() if label in labels
+        )
+
+    def all_labels(self) -> frozenset[str]:
+        """Every label used anywhere in the graph."""
+        out: set[str] = set()
+        for table in (self._node_labels, self._dedge_labels, self._uedge_labels):
+            for labels in table.values():
+                out.update(labels)
+        return frozenset(out)
+
+    def all_property_keys(self) -> frozenset[str]:
+        """Every property key used anywhere in the graph."""
+        out: set[str] = set()
+        for props in self._properties.values():
+            out.update(props)
+        return frozenset(out)
+
+    # ------------------------------------------------------------------
+    # Adjacency
+    # ------------------------------------------------------------------
+
+    def out_edges(self, node: NodeId) -> frozenset[DirectedEdgeId]:
+        """Directed edges with ``src = node``."""
+        self._require_node(node)
+        return frozenset(self._out[node])
+
+    def in_edges(self, node: NodeId) -> frozenset[DirectedEdgeId]:
+        """Directed edges with ``tgt = node``."""
+        self._require_node(node)
+        return frozenset(self._in[node])
+
+    def undirected_edges_at(self, node: NodeId) -> frozenset[UndirectedEdgeId]:
+        """Undirected edges having ``node`` among their endpoints."""
+        self._require_node(node)
+        return frozenset(self._undirected_at[node])
+
+    def degree(self, node: NodeId) -> int:
+        """Total degree: out + in + undirected incidences."""
+        self._require_node(node)
+        return (
+            len(self._out[node])
+            + len(self._in[node])
+            + len(self._undirected_at[node])
+        )
+
+    def neighbours(self, node: NodeId) -> frozenset[NodeId]:
+        """Nodes reachable from ``node`` by traversing one edge in any
+        legal direction (forward, backward, or undirected)."""
+        self._require_node(node)
+        out: set[NodeId] = set()
+        for edge in self._out[node]:
+            out.add(self._tgt[edge])
+        for edge in self._in[node]:
+            out.add(self._src[edge])
+        for edge in self._undirected_at[node]:
+            out.add(self.other_endpoint(edge, node))
+        return frozenset(out)
+
+    def other_endpoint(self, edge: UndirectedEdgeId, node: NodeId) -> NodeId:
+        """The endpoint of ``edge`` other than ``node`` (or ``node`` for
+        a self-loop)."""
+        ends = self.endpoints(edge)
+        if node not in ends:
+            raise GraphError(f"{node!r} is not an endpoint of {edge!r}")
+        if len(ends) == 1:
+            return node
+        (other,) = ends - {node}
+        return other
+
+    # ------------------------------------------------------------------
+    # Membership / checks
+    # ------------------------------------------------------------------
+
+    def has_node(self, node: NodeId) -> bool:
+        return node in self._node_labels
+
+    def has_edge(self, edge: EdgeId) -> bool:
+        return edge in self._dedge_labels or edge in self._uedge_labels
+
+    def has_element(self, element: GraphElementId) -> bool:
+        return (
+            element in self._node_labels
+            or element in self._dedge_labels
+            or element in self._uedge_labels
+        )
+
+    def _require_node(self, node: NodeId) -> None:
+        if not isinstance(node, NodeId):
+            raise GraphError(f"expected a NodeId, got {node!r}")
+        if node not in self._node_labels:
+            raise UnknownIdError(f"unknown node {node!r}")
+
+    def _require_element(self, element: GraphElementId) -> None:
+        if not self.has_element(element):
+            raise UnknownIdError(f"unknown element {element!r}")
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+
+    def __contains__(self, element: object) -> bool:
+        try:
+            return self.has_element(element)  # type: ignore[arg-type]
+        except Exception:
+            return False
+
+    def __len__(self) -> int:
+        """Number of nodes (len over the primary carrier set)."""
+        return self.num_nodes
+
+    def __repr__(self) -> str:
+        return (
+            f"PropertyGraph(nodes={self.num_nodes}, "
+            f"directed_edges={self.num_directed_edges}, "
+            f"undirected_edges={self.num_undirected_edges})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PropertyGraph):
+            return NotImplemented
+        return (
+            self._node_labels == other._node_labels
+            and self._dedge_labels == other._dedge_labels
+            and self._uedge_labels == other._uedge_labels
+            and self._src == other._src
+            and self._tgt == other._tgt
+            and self._endpoints == other._endpoints
+            and self._properties == other._properties
+        )
+
+    def copy(self) -> "PropertyGraph":
+        """Return an independent deep copy of this graph."""
+        new = PropertyGraph()
+        new._node_labels = dict(self._node_labels)
+        new._dedge_labels = dict(self._dedge_labels)
+        new._uedge_labels = dict(self._uedge_labels)
+        new._src = dict(self._src)
+        new._tgt = dict(self._tgt)
+        new._endpoints = dict(self._endpoints)
+        new._properties = {k: dict(v) for k, v in self._properties.items()}
+        new._out = {k: set(v) for k, v in self._out.items()}
+        new._in = {k: set(v) for k, v in self._in.items()}
+        new._undirected_at = {k: set(v) for k, v in self._undirected_at.items()}
+        return new

@@ -1,0 +1,118 @@
+"""JSON serialization for property graphs.
+
+The format is a plain JSON object with ``nodes``, ``directed_edges``
+and ``undirected_edges`` arrays. Identifier keys are serialized as
+strings; non-string keys are tagged so that round-tripping preserves
+them exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import GraphError
+from repro.graph.ids import DirectedEdgeId, NodeId, UndirectedEdgeId
+from repro.graph.property_graph import PropertyGraph
+
+__all__ = ["graph_to_dict", "graph_from_dict", "dumps", "loads"]
+
+_FORMAT = "repro/property-graph@1"
+
+
+def _encode_key(key: Any) -> Any:
+    if isinstance(key, str):
+        return key
+    if isinstance(key, bool) or not isinstance(key, (int, float)):
+        raise GraphError(f"cannot serialize id key {key!r}")
+    return {"$num": key}
+
+
+def _decode_key(value: Any) -> Any:
+    if isinstance(value, dict) and "$num" in value:
+        return value["$num"]
+    return value
+
+
+def graph_to_dict(graph: PropertyGraph) -> dict[str, Any]:
+    """Serialize a graph to a JSON-compatible dictionary."""
+    nodes = []
+    for node in graph.iter_nodes():
+        nodes.append(
+            {
+                "id": _encode_key(node.key),
+                "labels": sorted(graph.labels(node)),
+                "properties": dict(graph.properties(node)),
+            }
+        )
+    directed = []
+    for edge in graph.iter_directed_edges():
+        directed.append(
+            {
+                "id": _encode_key(edge.key),
+                "source": _encode_key(graph.source(edge).key),
+                "target": _encode_key(graph.target(edge).key),
+                "labels": sorted(graph.labels(edge)),
+                "properties": dict(graph.properties(edge)),
+            }
+        )
+    undirected = []
+    for edge in graph.iter_undirected_edges():
+        ends = sorted(graph.endpoints(edge))
+        undirected.append(
+            {
+                "id": _encode_key(edge.key),
+                "endpoints": [_encode_key(n.key) for n in ends],
+                "labels": sorted(graph.labels(edge)),
+                "properties": dict(graph.properties(edge)),
+            }
+        )
+    return {
+        "format": _FORMAT,
+        "nodes": nodes,
+        "directed_edges": directed,
+        "undirected_edges": undirected,
+    }
+
+
+def graph_from_dict(data: dict[str, Any]) -> PropertyGraph:
+    """Deserialize a graph from :func:`graph_to_dict` output."""
+    if data.get("format") != _FORMAT:
+        raise GraphError(f"unsupported format {data.get('format')!r}")
+    graph = PropertyGraph()
+    for entry in data.get("nodes", []):
+        graph.add_node(
+            NodeId(_decode_key(entry["id"])),
+            labels=entry.get("labels", ()),
+            properties=entry.get("properties") or None,
+        )
+    for entry in data.get("directed_edges", []):
+        graph.add_edge(
+            DirectedEdgeId(_decode_key(entry["id"])),
+            NodeId(_decode_key(entry["source"])),
+            NodeId(_decode_key(entry["target"])),
+            labels=entry.get("labels", ()),
+            properties=entry.get("properties") or None,
+        )
+    for entry in data.get("undirected_edges", []):
+        ends = [NodeId(_decode_key(k)) for k in entry["endpoints"]]
+        if len(ends) == 1:
+            ends = ends * 2
+        graph.add_undirected_edge(
+            UndirectedEdgeId(_decode_key(entry["id"])),
+            ends[0],
+            ends[1],
+            labels=entry.get("labels", ()),
+            properties=entry.get("properties") or None,
+        )
+    return graph
+
+
+def dumps(graph: PropertyGraph, indent: int | None = None) -> str:
+    """Serialize a graph to a JSON string."""
+    return json.dumps(graph_to_dict(graph), indent=indent, sort_keys=True)
+
+
+def loads(text: str) -> PropertyGraph:
+    """Deserialize a graph from a JSON string."""
+    return graph_from_dict(json.loads(text))

@@ -1,0 +1,65 @@
+"""Summary statistics over property graphs.
+
+Used by the benchmark harness to report workload characteristics next
+to measured results, and by tests as a cheap structural fingerprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.property_graph import PropertyGraph
+
+__all__ = ["GraphStatistics", "compute_statistics"]
+
+
+@dataclass(frozen=True)
+class GraphStatistics:
+    """Structural summary of a property graph."""
+
+    num_nodes: int
+    num_directed_edges: int
+    num_undirected_edges: int
+    num_labels: int
+    num_property_keys: int
+    max_degree: int
+    min_degree: int
+    mean_degree: float
+    num_directed_self_loops: int
+    num_undirected_self_loops: int
+    label_histogram: dict[str, int] = field(hash=False, default_factory=dict)
+
+    @property
+    def num_edges(self) -> int:
+        return self.num_directed_edges + self.num_undirected_edges
+
+
+def compute_statistics(graph: PropertyGraph) -> GraphStatistics:
+    """Compute a :class:`GraphStatistics` summary for ``graph``."""
+    degrees = [graph.degree(n) for n in graph.nodes] or [0]
+    directed_loops = sum(
+        1 for e in graph.directed_edges if graph.source(e) == graph.target(e)
+    )
+    undirected_loops = sum(
+        1 for e in graph.undirected_edges if len(graph.endpoints(e)) == 1
+    )
+    histogram: dict[str, int] = {}
+    for node in graph.nodes:
+        for label in graph.labels(node):
+            histogram[label] = histogram.get(label, 0) + 1
+    for edge in graph.directed_edges | graph.undirected_edges:
+        for label in graph.labels(edge):
+            histogram[label] = histogram.get(label, 0) + 1
+    return GraphStatistics(
+        num_nodes=graph.num_nodes,
+        num_directed_edges=graph.num_directed_edges,
+        num_undirected_edges=graph.num_undirected_edges,
+        num_labels=len(graph.all_labels()),
+        num_property_keys=len(graph.all_property_keys()),
+        max_degree=max(degrees),
+        min_degree=min(degrees),
+        mean_degree=sum(degrees) / len(degrees),
+        num_directed_self_loops=directed_loops,
+        num_undirected_self_loops=undirected_loops,
+        label_histogram=histogram,
+    )

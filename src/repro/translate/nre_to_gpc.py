@@ -1,0 +1,81 @@
+"""Nested regular expressions -> GPC+ (Theorem 11's interesting case).
+
+The nesting operator ``[N]`` tests that an ``N``-path leaves the
+current node. GPC has no subpath existence test, so the proof of
+Theorem 11 encodes the test *inside the matched path*: bind the
+current node to a fresh variable ``z``, traverse the nested pattern
+away from ``z``, then walk back to ``z`` along arbitrary edges
+(any direction) and continue. Repeating the variable forces the
+return to the very same node, and the walk back always exists because
+every traversed edge can be re-traversed in the opposite direction.
+Projecting onto the endpoints (with ``shortest`` for finiteness)
+yields exactly the NRE's answer relation.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.gpc import ast
+from repro.gpc.gpc_plus import GPCPlusQuery, Rule
+from repro.baselines import nre as n
+
+__all__ = ["nre_to_pattern", "nre_to_gpc_plus"]
+
+#: A single step in any direction; its Kleene star is the "walk back"
+#: pattern used to return from a nested test.
+_ANY_STEP = ast.Union(
+    ast.Union(ast.forward(), ast.backward()), ast.undirected()
+)
+
+
+def _walk_back() -> ast.Pattern:
+    return ast.Repeat(_ANY_STEP, 0, None)
+
+
+def nre_to_pattern(
+    expression: n.NRE, counter: itertools.count | None = None
+) -> ast.Pattern:
+    """Translate an NRE into a GPC pattern whose endpoint pairs are the
+    NRE's denotation. Fresh variables are drawn from ``counter``."""
+    if counter is None:
+        counter = itertools.count()
+    return _translate(expression, counter)
+
+
+def _translate(expression: n.NRE, counter: itertools.count) -> ast.Pattern:
+    if isinstance(expression, n.NREEpsilon):
+        return ast.node()
+    if isinstance(expression, n.NRESymbol):
+        if expression.inverse:
+            return ast.backward(label=expression.label)
+        return ast.forward(label=expression.label)
+    if isinstance(expression, n.NRELabel):
+        return ast.node(label=expression.label)
+    if isinstance(expression, n.NRETest):
+        anchor = f"__t{next(counter)}"
+        inner = _translate(expression.inner, counter)
+        # (z) inner walk-back (z): leaves z, checks the nested path,
+        # and returns, pinning both endpoints to z.
+        return ast.concat(ast.node(anchor), inner, _walk_back(), ast.node(anchor))
+    if isinstance(expression, n.NREConcat):
+        return ast.Concat(
+            _translate(expression.left, counter),
+            _translate(expression.right, counter),
+        )
+    if isinstance(expression, n.NREUnion):
+        return ast.Union(
+            _translate(expression.left, counter),
+            _translate(expression.right, counter),
+        )
+    if isinstance(expression, n.NREStar):
+        return ast.Repeat(_translate(expression.inner, counter), 0, None)
+    raise TypeError(f"not an NRE: {expression!r}")
+
+
+def nre_to_gpc_plus(expression: n.NRE) -> GPCPlusQuery:
+    """``Ans(x, y) :- shortest (x) pi_N (y)``."""
+    pattern = nre_to_pattern(expression)
+    wrapped = ast.Concat(ast.Concat(ast.node("x"), pattern), ast.node("y"))
+    query = ast.PatternQuery(ast.Restrictor.SHORTEST, wrapped)
+    return GPCPlusQuery((Rule(("x", "y"), query),))

@@ -1,0 +1,94 @@
+"""RPQ / 2RPQ / (U)C2RPQ -> GPC+ (the easy cases of Theorem 11).
+
+2RPQs embed directly: regex symbols become edge patterns (inverse
+symbols become backward edge patterns), regex operators map to the
+corresponding GPC operators, and the endpoints are captured by node
+variables. Since only endpoint pairs matter, the ``shortest``
+restrictor suffices for finiteness without changing the answer set.
+
+C2RPQs become joins of such pattern queries (shared variables join
+implicitly); UC2RPQs become multi-rule GPC+ queries.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.gpc import ast
+from repro.gpc.gpc_plus import GPCPlusQuery, Rule
+from repro.automata import regex as rx
+from repro.baselines.c2rpq import C2RPQ, UC2RPQ
+
+__all__ = [
+    "regex_to_pattern",
+    "rpq_to_gpc_plus",
+    "c2rpq_to_gpc_plus",
+    "uc2rpq_to_gpc_plus",
+]
+
+
+def regex_to_pattern(regex: rx.Regex) -> ast.Pattern:
+    """Translate a (2)RPQ regular expression into a variable-free GPC
+    pattern matching exactly the paths whose traversal word is in the
+    regex's language."""
+    if isinstance(regex, rx.Epsilon):
+        return ast.node()
+    if isinstance(regex, rx.Symbol):
+        if regex.inverse:
+            return ast.backward(label=regex.label)
+        return ast.forward(label=regex.label)
+    if isinstance(regex, rx.Concat):
+        return ast.Concat(regex_to_pattern(regex.left), regex_to_pattern(regex.right))
+    if isinstance(regex, rx.Union):
+        return ast.Union(regex_to_pattern(regex.left), regex_to_pattern(regex.right))
+    if isinstance(regex, rx.Star):
+        return ast.Repeat(regex_to_pattern(regex.inner), 0, None)
+    if isinstance(regex, rx.Plus):
+        return ast.Repeat(regex_to_pattern(regex.inner), 1, None)
+    if isinstance(regex, rx.Option):
+        return ast.Repeat(regex_to_pattern(regex.inner), 0, 1)
+    raise TypeError(f"not a regex: {regex!r}")
+
+
+def _endpoint_query(
+    subject: str, pattern: ast.Pattern, object_: str
+) -> ast.PatternQuery:
+    """``shortest (subject) pattern (object)``."""
+    wrapped = ast.Concat(ast.Concat(ast.node(subject), pattern), ast.node(object_))
+    return ast.PatternQuery(ast.Restrictor.SHORTEST, wrapped)
+
+
+def rpq_to_gpc_plus(regex: rx.Regex | str) -> GPCPlusQuery:
+    """``Ans(x, y) :- shortest (x) pi_regex (y)``."""
+    if isinstance(regex, str):
+        regex = rx.parse_regex(regex)
+    query = _endpoint_query("x", regex_to_pattern(regex), "y")
+    return GPCPlusQuery((Rule(("x", "y"), query),))
+
+
+def _c2rpq_rule(query: C2RPQ) -> Rule:
+    joined: ast.Query | None = None
+    for atom in query.atoms:
+        pattern_query = _endpoint_query(
+            atom.subject, regex_to_pattern(atom.parsed_regex()), atom.object
+        )
+        joined = pattern_query if joined is None else ast.Join(joined, pattern_query)
+    assert joined is not None  # C2RPQ validates non-empty atoms
+    return Rule(tuple(query.head), joined)
+
+
+def c2rpq_to_gpc_plus(query: C2RPQ) -> GPCPlusQuery:
+    """A C2RPQ becomes a single GPC+ rule joining one pattern query per
+    atom."""
+    return GPCPlusQuery((_c2rpq_rule(query),))
+
+
+def uc2rpq_to_gpc_plus(query: UC2RPQ) -> GPCPlusQuery:
+    """A UC2RPQ becomes one GPC+ rule per disjunct."""
+    return GPCPlusQuery(
+        tuple(
+            itertools.chain.from_iterable(
+                (_c2rpq_rule(disjunct),) for disjunct in query.disjuncts
+            )
+        )
+    )

@@ -1,0 +1,190 @@
+"""Regex parsing, Thompson construction, and graph products."""
+
+import pytest
+
+from repro.direction import Direction
+from repro.errors import EvaluationLimitError, ParseError
+from repro.graph.builder import GraphBuilder
+from repro.graph.generators import chain_graph, cycle_graph
+from repro.graph.ids import NodeId as N
+from repro.automata.nfa import EdgeStep, NFABuilder, NodeTest
+from repro.automata.product import (
+    accepted_pairs,
+    min_accepting_lengths,
+    pairs_and_distances,
+)
+from repro.automata.regex import (
+    Concat,
+    Epsilon,
+    Option,
+    Plus,
+    Star,
+    Symbol,
+    Union,
+    parse_regex,
+    regex_size,
+    regex_to_nfa,
+)
+
+
+class TestRegexParser:
+    def test_symbol(self):
+        assert parse_regex("abc") == Symbol("abc")
+
+    def test_inverse_symbol(self):
+        assert parse_regex("a-") == Symbol("a", inverse=True)
+
+    def test_concat_by_juxtaposition(self):
+        assert parse_regex("a b") == Concat(Symbol("a"), Symbol("b"))
+        assert parse_regex("ab c") == Concat(Symbol("ab"), Symbol("c"))
+
+    def test_union(self):
+        assert parse_regex("a | b") == Union(Symbol("a"), Symbol("b"))
+
+    def test_postfix_operators(self):
+        assert parse_regex("a*") == Star(Symbol("a"))
+        assert parse_regex("a+") == Plus(Symbol("a"))
+        assert parse_regex("a?") == Option(Symbol("a"))
+
+    def test_precedence(self):
+        # union < concat < postfix
+        parsed = parse_regex("a b* | c")
+        assert isinstance(parsed, Union)
+        assert parsed.left == Concat(Symbol("a"), Star(Symbol("b")))
+
+    def test_parentheses_and_epsilon(self):
+        assert parse_regex("(a | b) c") == Concat(
+            Union(Symbol("a"), Symbol("b")), Symbol("c")
+        )
+        assert parse_regex("()") == Epsilon()
+
+    @pytest.mark.parametrize("text", ["", "(", "a |", "*", "a)("])
+    def test_errors(self, text):
+        with pytest.raises(ParseError):
+            parse_regex(text)
+
+    def test_regex_size(self):
+        assert regex_size(parse_regex("(a b-)* | c")) == 6
+
+
+class TestProductEvaluation:
+    def test_single_symbol_on_chain(self):
+        graph = chain_graph(3, edge_label="a")
+        pairs = accepted_pairs(graph, regex_to_nfa(parse_regex("a")))
+        assert pairs == frozenset(
+            {(N("n0"), N("n1")), (N("n1"), N("n2")), (N("n2"), N("n3"))}
+        )
+
+    def test_star_reaches_everything_on_cycle(self):
+        graph = cycle_graph(3, edge_label="a")
+        pairs = accepted_pairs(graph, regex_to_nfa(parse_regex("a*")))
+        assert len(pairs) == 9
+
+    def test_inverse_traverses_backward(self):
+        graph = chain_graph(2, edge_label="a")
+        pairs = accepted_pairs(graph, regex_to_nfa(parse_regex("a-")))
+        assert (N("n1"), N("n0")) in pairs
+        assert (N("n0"), N("n1")) not in pairs
+
+    def test_distances_are_minimal(self):
+        graph = cycle_graph(4, edge_label="a")
+        distances = pairs_and_distances(graph, regex_to_nfa(parse_regex("a+")))
+        assert distances[(N("n0"), N("n1"))] == 1
+        assert distances[(N("n0"), N("n3"))] == 3
+        # via the cycle, returning home costs 4
+        assert distances[(N("n0"), N("n0"))] == 4
+
+    def test_epsilon_accepts_at_zero(self):
+        graph = chain_graph(1)
+        best = min_accepting_lengths(graph, regex_to_nfa(Epsilon()), N("n0"))
+        assert best == {N("n0"): 0}
+
+    def test_option(self):
+        graph = chain_graph(2, edge_label="a")
+        pairs = accepted_pairs(graph, regex_to_nfa(parse_regex("a?")))
+        assert (N("n0"), N("n0")) in pairs
+        assert (N("n0"), N("n1")) in pairs
+        assert (N("n0"), N("n2")) not in pairs
+
+    def test_mixed_two_way_language(self):
+        # a b-: forward a then backward b.
+        graph = (
+            GraphBuilder()
+            .edge("u", "m", "a")
+            .edge("w", "m", "b")
+            .build()
+        )
+        pairs = accepted_pairs(graph, regex_to_nfa(parse_regex("a b-")))
+        assert pairs == frozenset({(N("u"), N("w"))})
+
+
+class TestNFABuilder:
+    def test_state_limit_enforced(self):
+        builder = NFABuilder(state_limit=3)
+        builder.new_state()
+        builder.new_state()
+        builder.new_state()
+        with pytest.raises(EvaluationLimitError):
+            builder.new_state()
+
+    def test_node_test_gates_zero_weight_move(self):
+        graph = (
+            GraphBuilder().node("a", "X").node("b").edge("a", "b", "e").build()
+        )
+        builder = NFABuilder()
+        s0, s1, s2 = builder.new_state(), builder.new_state(), builder.new_state()
+        builder.add_node_test(s0, NodeTest("X"), s1)
+        builder.add_edge_step(s1, EdgeStep(Direction.FORWARD, "e"), s2)
+        nfa = builder.build(s0, {s2})
+        assert min_accepting_lengths(graph, nfa, N("a")) == {N("b"): 1}
+        assert min_accepting_lengths(graph, nfa, N("b")) == {}
+
+    def test_epsilon_closure(self):
+        builder = NFABuilder()
+        s0, s1, s2 = builder.new_state(), builder.new_state(), builder.new_state()
+        builder.add_epsilon(s0, s1)
+        builder.add_epsilon(s1, s2)
+        nfa = builder.build(s0, {s2})
+        assert nfa.epsilon_closure(frozenset({s0})) == frozenset({s0, s1, s2})
+
+    def test_transition_iteration(self):
+        builder = NFABuilder()
+        s0, s1 = builder.new_state(), builder.new_state()
+        builder.add_epsilon(s0, s1)
+        builder.add_edge_step(s0, EdgeStep(Direction.FORWARD, None), s1)
+        nfa = builder.build(s0, {s1})
+        assert nfa.num_transitions == 2
+
+
+class TestGPCAbstraction:
+    def test_condition_dropped(self):
+        from repro.gpc.abstraction import compile_pattern_abstraction
+        from repro.gpc.parser import parse_pattern
+
+        graph = (
+            GraphBuilder().node("a", k=1).node("b", k=2).edge("a", "b", "e").build()
+        )
+        pattern = parse_pattern("[(x) -> (y)] << x.k = y.k >>")
+        nfa = compile_pattern_abstraction(pattern)
+        # The abstraction ignores the (unsatisfiable) condition.
+        assert (N("a"), N("b")) in accepted_pairs(graph, nfa)
+
+    def test_repetition_unrolled_exactly(self):
+        from repro.gpc.abstraction import compile_pattern_abstraction
+        from repro.gpc.parser import parse_pattern
+
+        graph = chain_graph(5, edge_label="e")
+        nfa = compile_pattern_abstraction(parse_pattern("->{2,3}"))
+        distances = pairs_and_distances(graph, nfa)
+        assert distances[(N("n0"), N("n2"))] == 2
+        assert distances[(N("n0"), N("n3"))] == 3
+        assert (N("n0"), N("n4")) not in distances
+
+    def test_huge_bounds_hit_state_limit(self):
+        from repro.gpc.abstraction import compile_pattern_abstraction
+        from repro.gpc.parser import parse_pattern
+
+        with pytest.raises(EvaluationLimitError):
+            compile_pattern_abstraction(
+                parse_pattern("->{100000,}"), state_limit=1000
+            )

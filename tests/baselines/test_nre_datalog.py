@@ -1,0 +1,241 @@
+"""NRE and Datalog/regular-query baseline evaluators."""
+
+import pytest
+
+from repro.errors import DatalogError
+from repro.graph.builder import GraphBuilder
+from repro.graph.generators import chain_graph, cycle_graph
+from repro.graph.ids import NodeId as N
+from repro.baselines.datalog import Clause, DatalogAtom, Program, evaluate_program
+from repro.baselines.nre import (
+    NREConcat,
+    NREEpsilon,
+    NRELabel,
+    NREStar,
+    NRESymbol,
+    NRETest,
+    NREUnion,
+    eval_nre,
+    nre_size,
+)
+from repro.baselines.regular_queries import (
+    RegularQuery,
+    atom,
+    clause,
+    eval_regular_query,
+    tatom,
+)
+
+
+@pytest.fixture
+def nre_graph():
+    return (
+        GraphBuilder()
+        .node("a", "A")
+        .node("b", "B")
+        .node("c", "C")
+        .edge("a", "b", "r")
+        .edge("b", "c", "s")
+        .edge("b", "b", "t")
+        .build()
+    )
+
+
+class TestNRE:
+    def test_epsilon_is_identity(self, nre_graph):
+        assert eval_nre(nre_graph, NREEpsilon()) == frozenset(
+            (n, n) for n in nre_graph.nodes
+        )
+
+    def test_symbol(self, nre_graph):
+        assert eval_nre(nre_graph, NRESymbol("r")) == frozenset(
+            {(N("a"), N("b"))}
+        )
+
+    def test_inverse_symbol(self, nre_graph):
+        assert eval_nre(nre_graph, NRESymbol("r", inverse=True)) == frozenset(
+            {(N("b"), N("a"))}
+        )
+
+    def test_label_test(self, nre_graph):
+        assert eval_nre(nre_graph, NRELabel("B")) == frozenset({(N("b"), N("b"))})
+
+    def test_nested_test_filters(self, nre_graph):
+        # r[s]: an r-edge whose target has an outgoing s-edge.
+        expr = NREConcat(NRESymbol("r"), NRETest(NRESymbol("s")))
+        assert eval_nre(nre_graph, expr) == frozenset({(N("a"), N("b"))})
+        # r[r]: target of r has no outgoing r.
+        expr2 = NREConcat(NRESymbol("r"), NRETest(NRESymbol("r")))
+        assert eval_nre(nre_graph, expr2) == frozenset()
+
+    def test_star_is_reflexive_transitive(self):
+        graph = chain_graph(3, edge_label="a")
+        rel = eval_nre(graph, NREStar(NRESymbol("a")))
+        assert (N("n0"), N("n3")) in rel
+        assert (N("n2"), N("n2")) in rel
+        assert (N("n3"), N("n0")) not in rel
+
+    def test_union(self, nre_graph):
+        rel = eval_nre(nre_graph, NREUnion(NRESymbol("r"), NRESymbol("s")))
+        assert rel == frozenset({(N("a"), N("b")), (N("b"), N("c"))})
+
+    def test_test_of_star_always_holds(self, nre_graph):
+        rel = eval_nre(nre_graph, NRETest(NREStar(NRESymbol("zz"))))
+        assert rel == frozenset((n, n) for n in nre_graph.nodes)
+
+    def test_size(self):
+        expr = NREConcat(NRESymbol("a"), NRETest(NREStar(NRESymbol("b"))))
+        assert nre_size(expr) == 5  # Concat, Symbol, Test, Star, Symbol
+
+
+class TestDatalogValidation:
+    def test_unsafe_clause_rejected(self):
+        with pytest.raises(DatalogError):
+            Clause(DatalogAtom("P", ("x", "z")), (DatalogAtom("a", ("x", "y")),))
+
+    def test_transitive_head_rejected(self):
+        with pytest.raises(DatalogError):
+            Clause(
+                DatalogAtom("P", ("x", "y"), transitive=True),
+                (DatalogAtom("a", ("x", "y")),),
+            )
+
+    def test_transitive_atom_must_be_binary(self):
+        with pytest.raises(DatalogError):
+            DatalogAtom("P", ("x", "y", "z"), transitive=True)
+
+    def test_program_needs_answer(self):
+        with pytest.raises(DatalogError):
+            Program(
+                (clause(atom("P", "x", "y"), atom("a", "x", "y")),),
+            )
+
+    def test_recursion_detected(self):
+        program = Program(
+            (
+                clause(atom("P", "x", "y"), atom("Q", "x", "y")),
+                clause(atom("Q", "x", "y"), atom("P", "x", "y")),
+                clause(atom("Ans", "x", "y"), atom("P", "x", "y")),
+            )
+        )
+        with pytest.raises(DatalogError):
+            program.check_nonrecursive()
+
+    def test_topological_order(self):
+        program = Program(
+            (
+                clause(atom("P", "x", "y"), atom("a", "x", "y")),
+                clause(atom("Q", "x", "y"), tatom("P", "x", "y")),
+                clause(atom("Ans", "x", "y"), atom("Q", "x", "y")),
+            )
+        )
+        order = program.check_nonrecursive()
+        assert order.index("P") < order.index("Q") < order.index("Ans")
+
+
+class TestDatalogEvaluation:
+    def test_edge_edb(self):
+        graph = chain_graph(2, edge_label="a")
+        program = Program((clause(atom("Ans", "x", "y"), atom("a", "x", "y")),))
+        rel = evaluate_program(graph, program)["Ans"]
+        assert rel == frozenset({(N("n0"), N("n1")), (N("n1"), N("n2"))})
+
+    def test_node_label_edb(self):
+        graph = GraphBuilder().node("a", "L").node("b").build()
+        program = Program((clause(atom("Ans", "x"), atom("L", "x")),))
+        assert evaluate_program(graph, program)["Ans"] == frozenset({(N("a"),)})
+
+    def test_transitive_closure_of_edb(self):
+        graph = chain_graph(3, edge_label="a")
+        program = Program((clause(atom("Ans", "x", "y"), tatom("a", "x", "y")),))
+        rel = evaluate_program(graph, program)["Ans"]
+        assert (N("n0"), N("n3")) in rel
+        assert (N("n0"), N("n0")) not in rel  # irreflexive on a chain
+
+    def test_transitive_closure_of_idb(self):
+        graph = chain_graph(4, edge_label="a")
+        program = Program(
+            (
+                clause(atom("Two", "x", "y"), atom("a", "x", "z"), atom("a", "z", "y")),
+                clause(atom("Ans", "x", "y"), tatom("Two", "x", "y")),
+            )
+        )
+        rel = evaluate_program(graph, program)["Ans"]
+        assert (N("n0"), N("n2")) in rel
+        assert (N("n0"), N("n4")) in rel
+        assert (N("n0"), N("n3")) not in rel  # odd distances unreachable
+
+    def test_join_across_atoms(self):
+        graph = (
+            GraphBuilder()
+            .edge("a", "b", "r")
+            .edge("b", "c", "s")
+            .build()
+        )
+        program = Program(
+            (
+                clause(
+                    atom("Ans", "x", "z"),
+                    atom("r", "x", "y"),
+                    atom("s", "y", "z"),
+                ),
+            )
+        )
+        assert evaluate_program(graph, program)["Ans"] == frozenset(
+            {(N("a"), N("c"))}
+        )
+
+    def test_union_via_multiple_clauses(self):
+        graph = (
+            GraphBuilder().edge("a", "b", "r").edge("c", "d", "s").build()
+        )
+        program = Program(
+            (
+                clause(atom("Ans", "x", "y"), atom("r", "x", "y")),
+                clause(atom("Ans", "x", "y"), atom("s", "x", "y")),
+            )
+        )
+        assert len(evaluate_program(graph, program)["Ans"]) == 2
+
+    def test_constant_like_repeated_variable(self):
+        graph = cycle_graph(2, edge_label="a")
+        program = Program(
+            (clause(atom("Ans", "x"), atom("a", "x", "y"), atom("a", "y", "x")),)
+        )
+        assert len(evaluate_program(graph, program)["Ans"]) == 2
+
+
+class TestRegularQueryValidation:
+    def test_nonbinary_user_predicate_rejected(self):
+        program = Program(
+            (
+                clause(atom("P", "x", "y", "z"), atom("a", "x", "y"), atom("a", "y", "z")),
+                clause(atom("Ans", "x"), atom("a", "x", "x")),
+            )
+        )
+        with pytest.raises(DatalogError):
+            RegularQuery(program)
+
+    def test_answer_arity_free(self):
+        program = Program(
+            (
+                clause(
+                    atom("Ans", "x", "y", "z"),
+                    atom("a", "x", "y"),
+                    atom("a", "y", "z"),
+                ),
+            )
+        )
+        query = RegularQuery(program)
+        assert query.arity == 3
+
+    def test_eval_regular_query(self):
+        graph = chain_graph(3, edge_label="a")
+        program = Program(
+            (
+                clause(atom("P", "x", "y"), atom("a", "x", "y")),
+                clause(atom("Ans", "x", "y"), tatom("P", "x", "y")),
+            )
+        )
+        rel = eval_regular_query(graph, RegularQuery(program))
+        assert (N("n0"), N("n3")) in rel

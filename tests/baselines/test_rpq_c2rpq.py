@@ -1,0 +1,121 @@
+"""RPQ / 2RPQ / (U)C2RPQ baseline evaluators."""
+
+import pytest
+
+from repro.errors import TranslationError
+from repro.graph.builder import GraphBuilder
+from repro.graph.generators import chain_graph, cycle_graph
+from repro.graph.ids import NodeId as N
+from repro.baselines.c2rpq import Atom, C2RPQ, UC2RPQ, eval_c2rpq, eval_uc2rpq
+from repro.baselines.rpq import eval_rpq, eval_rpq_regex, rpq_distances
+from repro.automata.regex import parse_regex
+
+
+@pytest.fixture
+def two_label_graph():
+    return (
+        GraphBuilder()
+        .edge("a", "b", "r")
+        .edge("b", "c", "s")
+        .edge("c", "a", "r")
+        .edge("b", "b", "s")
+        .build()
+    )
+
+
+class TestRPQ:
+    def test_single_label(self, two_label_graph):
+        assert eval_rpq(two_label_graph, "r") == frozenset(
+            {(N("a"), N("b")), (N("c"), N("a"))}
+        )
+
+    def test_concatenation(self, two_label_graph):
+        assert eval_rpq(two_label_graph, "r s") == frozenset(
+            {(N("a"), N("c")), (N("a"), N("b"))}
+        )
+
+    def test_union(self, two_label_graph):
+        rs = eval_rpq(two_label_graph, "r | s")
+        assert rs == eval_rpq(two_label_graph, "r") | eval_rpq(two_label_graph, "s")
+
+    def test_star_includes_identity(self, two_label_graph):
+        pairs = eval_rpq(two_label_graph, "r*")
+        for node in two_label_graph.nodes:
+            assert (node, node) in pairs
+
+    def test_plus_excludes_identity_unless_cyclic(self):
+        graph = chain_graph(3, edge_label="a")
+        pairs = eval_rpq(graph, "a+")
+        assert (N("n0"), N("n0")) not in pairs
+
+    def test_2rpq_inverse(self, two_label_graph):
+        pairs = eval_rpq(two_label_graph, "r-")
+        assert pairs == frozenset({(N("b"), N("a")), (N("a"), N("c"))})
+
+    def test_round_trip_word(self, two_label_graph):
+        # self-loop on b allows pumping s.
+        pairs = eval_rpq(two_label_graph, "s s s")
+        assert (N("b"), N("b")) in pairs
+
+    def test_distances(self):
+        graph = cycle_graph(5, edge_label="a")
+        distances = rpq_distances(graph, parse_regex("a+"))
+        assert distances[(N("n0"), N("n4"))] == 4
+
+    def test_regex_ast_input(self):
+        graph = chain_graph(1, edge_label="a")
+        assert eval_rpq_regex(graph, parse_regex("a")) == frozenset(
+            {(N("n0"), N("n1"))}
+        )
+
+
+class TestC2RPQ:
+    def test_single_atom(self, two_label_graph):
+        query = C2RPQ(("x", "y"), (Atom("x", "r", "y"),))
+        assert eval_c2rpq(two_label_graph, query) == eval_rpq(two_label_graph, "r")
+
+    def test_conjunction_joins(self, two_label_graph):
+        query = C2RPQ(
+            ("x", "z"), (Atom("x", "r", "y"), Atom("y", "s", "z"))
+        )
+        assert eval_c2rpq(two_label_graph, query) == frozenset(
+            {(N("a"), N("c")), (N("a"), N("b"))}
+        )
+
+    def test_projection(self, two_label_graph):
+        query = C2RPQ(("y",), (Atom("x", "r", "y"), Atom("y", "s", "z")))
+        assert eval_c2rpq(two_label_graph, query) == frozenset({(N("b"),)})
+
+    def test_same_variable_both_sides(self, two_label_graph):
+        query = C2RPQ(("x",), (Atom("x", "s+", "x"),))
+        assert eval_c2rpq(two_label_graph, query) == frozenset({(N("b"),)})
+
+    def test_unsatisfiable_conjunction(self, two_label_graph):
+        query = C2RPQ(
+            ("x",), (Atom("x", "s", "y"), Atom("y", "r s r", "x"))
+        )
+        assert eval_c2rpq(two_label_graph, query) == frozenset()
+
+    def test_head_variable_validation(self):
+        with pytest.raises(TranslationError):
+            C2RPQ(("zz",), (Atom("x", "r", "y"),))
+
+    def test_empty_atoms_rejected(self):
+        with pytest.raises(TranslationError):
+            C2RPQ(("x",), ())
+
+
+class TestUC2RPQ:
+    def test_union(self, two_label_graph):
+        q1 = C2RPQ(("x", "y"), (Atom("x", "r", "y"),))
+        q2 = C2RPQ(("x", "y"), (Atom("x", "s", "y"),))
+        union = UC2RPQ((q1, q2))
+        assert eval_uc2rpq(two_label_graph, union) == eval_c2rpq(
+            two_label_graph, q1
+        ) | eval_c2rpq(two_label_graph, q2)
+
+    def test_mismatched_arities_rejected(self):
+        q1 = C2RPQ(("x",), (Atom("x", "r", "y"),))
+        q2 = C2RPQ(("x", "y"), (Atom("x", "r", "y"),))
+        with pytest.raises(TranslationError):
+            UC2RPQ((q1, q2))

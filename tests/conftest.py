@@ -1,0 +1,86 @@
+"""Shared fixtures: the small graphs used across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.generators import (
+    chain_graph,
+    cycle_graph,
+    section7_counterexample,
+    theorem13_gadget,
+)
+from repro.graph.property_graph import PropertyGraph
+
+
+@pytest.fixture
+def empty_graph() -> PropertyGraph:
+    return PropertyGraph()
+
+
+@pytest.fixture
+def tiny_graph() -> PropertyGraph:
+    """Two Person nodes joined by a knows edge, plus properties."""
+    return (
+        GraphBuilder()
+        .node("a", "Person", name="Ann", age=30)
+        .node("b", "Person", name="Bob", age=40)
+        .edge("a", "b", "knows", key="e1", since=2015)
+        .build()
+    )
+
+
+@pytest.fixture
+def diamond_graph() -> PropertyGraph:
+    """A diamond: s -> m1 -> t and s -> m2 -> t, plus a direct s -> t."""
+    return (
+        GraphBuilder()
+        .node("s", "S", k=1)
+        .node("m1", "M", k=2)
+        .node("m2", "M", k=2)
+        .node("t", "T", k=1)
+        .edge("s", "m1", "e", key="e1")
+        .edge("m1", "t", "e", key="e2")
+        .edge("s", "m2", "e", key="e3")
+        .edge("m2", "t", "e", key="e4")
+        .edge("s", "t", "direct", key="e5")
+        .build()
+    )
+
+
+@pytest.fixture
+def mixed_graph() -> PropertyGraph:
+    """Directed and undirected edges, self-loops, multi-edges."""
+    builder = (
+        GraphBuilder()
+        .node("u", "N", k=1)
+        .node("v", "N", k=2)
+        .node("w", "M")
+        .edge("u", "v", "a", key="d1")
+        .edge("u", "v", "a", key="d2")  # parallel edge
+        .edge("u", "u", "loop", key="d3")  # directed self-loop
+        .undirected("u", "v", "b", key="u1")
+        .undirected("w", "w", "b", key="u2")  # undirected self-loop
+    )
+    return builder.build()
+
+
+@pytest.fixture
+def cycle4() -> PropertyGraph:
+    return cycle_graph(4)
+
+
+@pytest.fixture
+def chain5() -> PropertyGraph:
+    return chain_graph(5, value_key="v")
+
+
+@pytest.fixture
+def gadget13() -> PropertyGraph:
+    return theorem13_gadget()
+
+
+@pytest.fixture
+def graph_s7() -> PropertyGraph:
+    return section7_counterexample()

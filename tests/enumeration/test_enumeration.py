@@ -1,0 +1,178 @@
+"""Radix enumeration, Appendix C bounds, and the Theorem 12 enumerator."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.generators import chain_graph, cycle_graph, theorem13_gadget
+from repro.graph.ids import NodeId as N
+from repro.graph.paths import Path
+from repro.gpc import ast
+from repro.gpc.engine import Evaluator, evaluate
+from repro.gpc.parser import parse_pattern, parse_query
+from repro.enumeration.bounds import (
+    lemma16_length_bound,
+    lemma17_mu_bound,
+    mu_size,
+)
+from repro.enumeration.enumerator import enumerate_answers
+from repro.enumeration.radix import iter_paths_radix
+
+
+class TestRadixEnumeration:
+    def test_lengths_non_decreasing(self, cycle4):
+        lengths = [len(p) for p in iter_paths_radix(cycle4, 3)]
+        assert lengths == sorted(lengths)
+
+    def test_level_zero_is_all_nodes(self, cycle4):
+        level0 = [p for p in iter_paths_radix(cycle4, 0)]
+        assert {p.src for p in level0} == cycle4.nodes
+        assert all(p.is_edgeless for p in level0)
+
+    def test_no_duplicates(self, cycle4):
+        paths = list(iter_paths_radix(cycle4, 3))
+        assert len(paths) == len(set(paths))
+
+    def test_walk_counts_on_chain(self):
+        graph = chain_graph(2)
+        # length-1 walks: each edge both directions = 4
+        level1 = [p for p in iter_paths_radix(graph, 1) if len(p) == 1]
+        assert len(level1) == 4
+
+    def test_start_restriction(self, cycle4):
+        paths = list(iter_paths_radix(cycle4, 2, start=N("n0")))
+        assert all(p.src == N("n0") for p in paths)
+
+    def test_unknown_start_is_empty(self, cycle4):
+        assert not list(iter_paths_radix(cycle4, 2, start=N("zz")))
+
+    def test_undirected_and_backward_steps_included(self, mixed_graph):
+        level1 = [p for p in iter_paths_radix(mixed_graph, 1) if len(p) == 1]
+        sources = {p.elements[1] for p in level1}
+        # directed d1 appears (both directions), undirected u1 too.
+        assert len(sources) >= 4
+
+
+class TestLemma16Bounds:
+    def test_simple_bound(self, cycle4):
+        pattern = parse_pattern("->{0,}")
+        bound = lemma16_length_bound(cycle4, ast.Restrictor.SIMPLE, pattern)
+        answers = evaluate(parse_query("SIMPLE ->{0,}"), cycle4)
+        assert max(len(a.path) for a in answers) <= bound == 4
+
+    def test_trail_bound(self, cycle4):
+        pattern = parse_pattern("->{0,}")
+        bound = lemma16_length_bound(cycle4, ast.Restrictor.TRAIL, pattern)
+        answers = evaluate(parse_query("TRAIL ->{0,}"), cycle4)
+        assert max(len(a.path) for a in answers) <= bound == 4
+
+    def test_shortest_bound(self, cycle4):
+        pattern = parse_pattern("->{0,}")
+        bound = lemma16_length_bound(cycle4, ast.Restrictor.SHORTEST, pattern)
+        answers = evaluate(parse_query("SHORTEST ->{0,}"), cycle4)
+        assert max(len(a.path) for a in answers) <= bound
+
+
+class TestLemma17Bound:
+    @pytest.mark.parametrize(
+        "query_text",
+        [
+            "TRAIL (x) -[e]-> (y)",
+            "TRAIL -[e]->{1,}",
+            "TRAIL [[-[e]->]{1,2}]{1,2}",
+            "SIMPLE [(x) -[e]->] + [<- (y)]",
+        ],
+    )
+    def test_mu_sizes_within_bound(self, cycle4, query_text):
+        query = parse_query(query_text)
+        answers = evaluate(query, cycle4)
+        assert answers
+        for answer in answers:
+            bound = lemma17_mu_bound(answer.path, query.pattern)
+            assert mu_size(answer.assignment) <= bound
+
+    def test_mu_size_measures_groups(self):
+        graph = chain_graph(2)
+        answers = evaluate(parse_query("TRAIL -[e]->{2,2}"), graph)
+        ((answer),) = answers
+        assert mu_size(answer.assignment) > 0
+
+
+class TestEnumerator:
+    def test_matches_engine_on_trail(self, cycle4):
+        query = parse_query("TRAIL (x) ->{1,} (y)")
+        engine_answers = evaluate(query, cycle4)
+        enumerated, stats = enumerate_answers(cycle4, query)
+        assert frozenset(enumerated) == engine_answers
+        assert stats.answers_emitted == len(engine_answers)
+
+    def test_matches_engine_on_simple(self, diamond_graph):
+        query = parse_query("SIMPLE (x:S) ->{1,} (y:T)")
+        engine_answers = evaluate(query, diamond_graph)
+        enumerated, _ = enumerate_answers(diamond_graph, query)
+        assert frozenset(enumerated) == engine_answers
+
+    def test_matches_engine_on_shortest(self, diamond_graph):
+        query = parse_query("SHORTEST (x:S) ->{1,} (y:T)")
+        engine_answers = evaluate(query, diamond_graph)
+        enumerated, _ = enumerate_answers(diamond_graph, query, max_length=6)
+        assert frozenset(enumerated) == engine_answers
+
+    def test_radix_order_of_emission(self, cycle4):
+        query = parse_query("TRAIL ->{1,}")
+        enumerated, _ = enumerate_answers(cycle4, query)
+        lengths = [len(a.path) for a in enumerated]
+        assert lengths == sorted(lengths)
+
+    def test_named_path_bound(self, tiny_graph):
+        query = parse_query("p = TRAIL (x) -> (y)")
+        enumerated, _ = enumerate_answers(tiny_graph, query)
+        assert all(a["p"] == a.path for a in enumerated)
+
+    def test_working_set_stays_small_on_trail(self, cycle4):
+        # Trail/simple enumeration needs no candidate storage at all.
+        _, stats = enumerate_answers(cycle4, parse_query("TRAIL ->{1,}"))
+        assert stats.peak_working_set == 0
+
+    def test_shortest_working_set_bounded_by_pairs(self):
+        graph = theorem13_gadget()
+        query = parse_query("SHORTEST () ->{2,2} ()")
+        answers, stats = enumerate_answers(graph, query, max_length=2)
+        # The gadget alternates strictly between u and v, so length-2
+        # walks return home: pairs (u,u) and (v,v), 2^2 = 4 witnesses
+        # each. The working set holds one entry per endpoint pair.
+        assert stats.peak_working_set <= 2
+        assert stats.answers_emitted == len(answers) == 8
+
+    def test_length_bound_recorded(self, cycle4):
+        _, stats = enumerate_answers(cycle4, parse_query("SIMPLE ->{0,}"))
+        assert stats.length_bound == 4
+
+
+class TestSpanMatcherDifferential:
+    """The span matcher is an independent implementation of the
+    semantics; it must agree with the engine match-for-match."""
+
+    @pytest.mark.parametrize(
+        "pattern_text",
+        [
+            "(x) -[e]-> (y)",
+            "[->] + [<-]",
+            "-[e]->{1,3}",
+            "(x) ->{0,} (y)",
+            "[(x) -> (y)] << x.v = y.v >>",
+            "[[-[e]->]{1,2}]{1,2}",
+            "[(x) ->] + [<- (y)]",
+        ],
+    )
+    def test_agreement_per_path(self, pattern_text):
+        from repro.enumeration.span_matcher import match_on_path
+
+        graph = chain_graph(3, value_key="v")
+        pattern = parse_pattern(pattern_text)
+        engine_matches = Evaluator(graph).eval_pattern(pattern, max_length=4)
+        by_path = {}
+        for path, mu in engine_matches:
+            by_path.setdefault(path, set()).add(mu)
+        for path in iter_paths_radix(graph, 4):
+            expected = frozenset(by_path.get(path, set()))
+            assert match_on_path(pattern, path, graph) == expected, path

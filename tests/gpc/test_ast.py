@@ -1,0 +1,152 @@
+"""AST construction, validation, and structural queries."""
+
+import pytest
+
+from repro.errors import GPCError
+from repro.gpc import ast
+from repro.gpc.conditions_ast import PropertyEqualsConst, PropertyEqualsProperty
+
+
+class TestDescriptors:
+    def test_empty_descriptor(self):
+        d = ast.Descriptor()
+        assert d.is_empty
+        assert str(d) == ""
+
+    def test_full_descriptor(self):
+        d = ast.Descriptor("x", "A")
+        assert str(d) == "x:A"
+
+    def test_empty_string_variable_rejected(self):
+        with pytest.raises(GPCError):
+            ast.Descriptor(variable="")
+
+    def test_empty_string_label_rejected(self):
+        with pytest.raises(GPCError):
+            ast.Descriptor(label="")
+
+
+class TestConstructors:
+    def test_node_helpers(self):
+        assert ast.node().descriptor.is_empty
+        assert ast.node("x").variable == "x"
+        assert ast.node(label="A").label == "A"
+        assert ast.node("x", "A") == ast.NodePattern(ast.Descriptor("x", "A"))
+
+    def test_edge_helpers(self):
+        assert ast.forward().direction is ast.Direction.FORWARD
+        assert ast.backward("e").variable == "e"
+        assert ast.undirected(label="b").label == "b"
+
+    def test_concat_left_associates(self):
+        a, b, c = ast.node("a"), ast.node("b"), ast.node("c")
+        assert ast.concat(a, b, c) == ast.Concat(ast.Concat(a, b), c)
+
+    def test_union_left_associates(self):
+        a, b, c = ast.node("a"), ast.node("b"), ast.node("c")
+        assert ast.union(a, b, c) == ast.Union(ast.Union(a, b), c)
+
+    def test_empty_concat_rejected(self):
+        with pytest.raises(GPCError):
+            ast.concat()
+        with pytest.raises(GPCError):
+            ast.union()
+
+
+class TestRepeat:
+    def test_bounds_validated(self):
+        with pytest.raises(GPCError):
+            ast.Repeat(ast.forward(), -1, 2)
+        with pytest.raises(GPCError):
+            ast.Repeat(ast.forward(), 3, 2)
+
+    def test_unbounded(self):
+        r = ast.Repeat(ast.forward(), 0, None)
+        assert r.is_unbounded
+
+    def test_exact_bounds(self):
+        r = ast.Repeat(ast.forward(), 2, 2)
+        assert not r.is_unbounded
+
+
+class TestRestrictor:
+    def test_five_legal_forms(self):
+        assert str(ast.Restrictor.SIMPLE) == "simple"
+        assert str(ast.Restrictor.TRAIL) == "trail"
+        assert str(ast.Restrictor.SHORTEST) == "shortest"
+        assert str(ast.Restrictor.SHORTEST_SIMPLE) == "shortest simple"
+        assert str(ast.Restrictor.SHORTEST_TRAIL) == "shortest trail"
+
+    def test_empty_restrictor_rejected(self):
+        with pytest.raises(GPCError):
+            ast.Restrictor()
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(GPCError):
+            ast.Restrictor(mode="weird")
+
+
+class TestVariables:
+    def test_atomic(self):
+        assert ast.variables(ast.node("x")) == frozenset({"x"})
+        assert ast.variables(ast.node()) == frozenset()
+        assert ast.variables(ast.forward("e")) == frozenset({"e"})
+
+    def test_composites(self):
+        pattern = ast.concat(
+            ast.node("x"), ast.forward("e"), ast.node("y")
+        )
+        assert ast.variables(pattern) == frozenset({"x", "e", "y"})
+
+    def test_condition_variables_included(self):
+        pattern = ast.Conditioned(
+            ast.node("x"), PropertyEqualsProperty("x", "a", "y", "b")
+        )
+        assert ast.variables(pattern) == frozenset({"x", "y"})
+
+    def test_query_name_included(self):
+        query = ast.PatternQuery(ast.Restrictor.TRAIL, ast.node("x"), name="p")
+        assert ast.variables(query) == frozenset({"x", "p"})
+
+    def test_join(self):
+        q1 = ast.PatternQuery(ast.Restrictor.TRAIL, ast.node("x"))
+        q2 = ast.PatternQuery(ast.Restrictor.SIMPLE, ast.node("y"))
+        assert ast.variables(ast.Join(q1, q2)) == frozenset({"x", "y"})
+
+
+class TestSubpatternsAndSize:
+    def test_iter_subpatterns_counts(self):
+        pattern = ast.Union(
+            ast.Concat(ast.node(), ast.forward()),
+            ast.Repeat(ast.node(), 0, 1),
+        )
+        subs = list(ast.iter_subpatterns(pattern))
+        # Union, Concat, two leaf nodes, one edge, Repeat, Repeat body.
+        assert len(subs) == 6
+        assert pattern in subs
+
+    def test_pattern_size_counts_bound_bits(self):
+        small = ast.Repeat(ast.forward(), 1, 2)
+        large = ast.Repeat(ast.forward(), 1, 2**20)
+        assert ast.pattern_size(large) > ast.pattern_size(small)
+
+    def test_pattern_size_monotone_in_structure(self):
+        atom = ast.node()
+        assert ast.pattern_size(ast.Concat(atom, atom)) > ast.pattern_size(atom)
+
+    def test_condition_str_forms(self):
+        c = PropertyEqualsConst("x", "a", 5)
+        assert "x.a" in str(c)
+
+
+class TestHashability:
+    def test_patterns_are_hashable_and_comparable(self):
+        a = ast.concat(ast.node("x"), ast.forward(), ast.node("y"))
+        b = ast.concat(ast.node("x"), ast.forward(), ast.node("y"))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_different_patterns_differ(self):
+        assert ast.node("x") != ast.node("y")
+        assert ast.forward() != ast.backward()

@@ -1,0 +1,207 @@
+"""The collect operator: equation (3), Figure 3 grouping, all three
+approaches, and the incremental accumulator."""
+
+import pytest
+
+from repro.errors import CollectError
+from repro.graph.ids import DirectedEdgeId as E, NodeId as N
+from repro.graph.paths import Path
+from repro.gpc.assignments import Assignment
+from repro.gpc.collect import (
+    CollectAccumulator,
+    CollectMode,
+    collect,
+    collect_grouping,
+    collect_simple,
+    empty_group_assignment,
+    refactorize,
+)
+from repro.gpc.values import GroupValue, Nothing
+
+
+def edge_path(a, e, b):
+    return Path.of(N(a), E(e), N(b))
+
+
+def node_path(a):
+    return Path.node(N(a))
+
+
+class TestRefactorize:
+    def test_all_positive(self):
+        assert refactorize([1, 2, 1]) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_figure3_shape(self):
+        # Figure 3: p1 p2 [p3 p4 p5] p6 p7 p8 [p9 p10] with edgeless
+        # factors p3..p5, p7, p9..p10 grouped.
+        lengths = [1, 1, 0, 0, 0, 1, 0, 1, 0, 0]
+        assert refactorize(lengths) == [
+            (0, 1),
+            (1, 2),
+            (2, 5),
+            (5, 6),
+            (6, 7),
+            (7, 8),
+            (8, 10),
+        ]
+
+    def test_leading_and_trailing_edgeless(self):
+        assert refactorize([0, 1, 0]) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_all_edgeless_single_group(self):
+        assert refactorize([0, 0, 0]) == [(0, 3)]
+
+    def test_empty(self):
+        assert refactorize([]) == []
+
+
+class TestCollectSimple:
+    def test_equation3(self):
+        factors = [
+            (edge_path("a", "e1", "b"), Assignment({"x": E("e1")})),
+            (edge_path("b", "e2", "c"), Assignment({"x": E("e2")})),
+        ]
+        mu = collect_simple(factors, ["x"])
+        assert mu["x"] == GroupValue(
+            (
+                (edge_path("a", "e1", "b"), E("e1")),
+                (edge_path("b", "e2", "c"), E("e2")),
+            )
+        )
+
+    def test_multiple_variables(self):
+        factors = [
+            (
+                edge_path("a", "e1", "b"),
+                Assignment({"x": E("e1"), "y": N("a")}),
+            ),
+        ]
+        mu = collect_simple(factors, ["x", "y"])
+        assert len(mu["x"]) == 1
+        assert mu["y"].values == (N("a"),)
+
+    def test_empty_domain(self):
+        factors = [(edge_path("a", "e1", "b"), Assignment({}))]
+        assert collect_simple(factors, []) == Assignment({})
+
+
+class TestCollectGrouping:
+    def test_no_edgeless_matches_equation3(self):
+        factors = [
+            (edge_path("a", "e1", "b"), Assignment({"x": E("e1")})),
+            (edge_path("b", "e2", "c"), Assignment({"x": E("e2")})),
+        ]
+        assert collect_grouping(factors, ["x"]) == collect_simple(factors, ["x"])
+
+    def test_edgeless_run_unified(self):
+        factors = [
+            (node_path("a"), Assignment({"x": N("a")})),
+            (node_path("a"), Assignment({"x": N("a")})),
+            (edge_path("a", "e1", "b"), Assignment({"x": E("e1")})),
+        ]
+        mu = collect_grouping(factors, ["x"])
+        assert mu is not None
+        assert mu["x"].entries == (
+            (node_path("a"), N("a")),
+            (edge_path("a", "e1", "b"), E("e1")),
+        )
+
+    def test_unification_failure_undefined(self):
+        factors = [
+            (node_path("a"), Assignment({"x": N("a")})),
+            (node_path("a"), Assignment({"x": Nothing})),
+        ]
+        assert collect_grouping(factors, ["x"]) is None
+
+    def test_separated_edgeless_not_grouped(self):
+        factors = [
+            (node_path("a"), Assignment({"x": N("a")})),
+            (edge_path("a", "e1", "a"), Assignment({"x": E("e1")})),
+            (node_path("a"), Assignment({"x": N("a")})),
+        ]
+        mu = collect_grouping(factors, ["x"])
+        assert mu is not None
+        assert len(mu["x"]) == 3
+
+
+class TestCollectModes:
+    def _edgeless_factors(self):
+        return [(node_path("a"), Assignment({"x": N("a")}))]
+
+    def test_syntactic_mode_raises_on_edgeless(self):
+        with pytest.raises(CollectError):
+            collect(self._edgeless_factors(), ["x"], CollectMode.SYNTACTIC)
+
+    def test_runtime_mode_undefined_on_edgeless(self):
+        assert collect(self._edgeless_factors(), ["x"], CollectMode.RUNTIME) is None
+
+    def test_grouping_mode_defined_on_edgeless(self):
+        mu = collect(self._edgeless_factors(), ["x"], CollectMode.GROUPING)
+        assert mu is not None
+
+    def test_all_modes_agree_without_edgeless(self):
+        factors = [
+            (edge_path("a", "e1", "b"), Assignment({"x": E("e1")})),
+        ]
+        results = {
+            mode: collect(factors, ["x"], mode)
+            for mode in CollectMode
+        }
+        assert len(set(results.values())) == 1
+
+    def test_empty_factors_rejected(self):
+        with pytest.raises(CollectError):
+            collect([], ["x"])
+
+
+class TestEmptyGroupAssignment:
+    def test_zero_power_binding(self):
+        mu = empty_group_assignment(["x", "y"])
+        assert mu["x"] == GroupValue()
+        assert mu["y"] == GroupValue()
+
+    def test_empty_domain(self):
+        assert empty_group_assignment([]) == Assignment({})
+
+
+class TestAccumulator:
+    def test_matches_batch_grouping(self):
+        factor_lists = [
+            [
+                (edge_path("a", "e1", "b"), Assignment({"x": E("e1")})),
+                (node_path("b"), Assignment({"x": N("b")})),
+                (node_path("b"), Assignment({"x": N("b")})),
+                (edge_path("b", "e2", "c"), Assignment({"x": E("e2")})),
+            ],
+            [
+                (node_path("a"), Assignment({"x": N("a")})),
+                (edge_path("a", "e1", "b"), Assignment({"x": E("e1")})),
+            ],
+        ]
+        for factors in factor_lists:
+            acc = CollectAccumulator(mode=CollectMode.GROUPING)
+            for path, mu in factors:
+                acc = acc.extend(path, mu)
+                assert acc is not None
+            assert acc.finalize(["x"]) == collect_grouping(factors, ["x"])
+
+    def test_detects_unification_failure(self):
+        acc = CollectAccumulator(mode=CollectMode.GROUPING)
+        acc = acc.extend(node_path("a"), Assignment({"x": N("a")}))
+        assert acc is not None
+        assert acc.extend(node_path("a"), Assignment({"x": Nothing})) is None
+
+    def test_runtime_mode_drops_edgeless(self):
+        acc = CollectAccumulator(mode=CollectMode.RUNTIME)
+        assert acc.extend(node_path("a"), Assignment({})) is None
+
+    def test_syntactic_mode_raises(self):
+        acc = CollectAccumulator(mode=CollectMode.SYNTACTIC)
+        with pytest.raises(CollectError):
+            acc.extend(node_path("a"), Assignment({}))
+
+    def test_state_hashable_for_dedup(self):
+        a1 = CollectAccumulator().extend(node_path("a"), Assignment({}))
+        a2 = CollectAccumulator().extend(node_path("a"), Assignment({}))
+        assert a1 == a2
+        assert len({a1, a2}) == 1

@@ -1,0 +1,87 @@
+"""GPC+ — projection rules and top-level union (Section 6)."""
+
+import pytest
+
+from repro.errors import GPCTypeError
+from repro.graph.builder import GraphBuilder
+from repro.graph.ids import NodeId as N
+from repro.gpc.gpc_plus import GPCPlusQuery, Rule
+from repro.gpc.parser import parse_query
+
+
+@pytest.fixture
+def graph():
+    return (
+        GraphBuilder()
+        .node("a", "A")
+        .node("b", "B")
+        .node("c", "C")
+        .edge("a", "b", "r")
+        .edge("b", "c", "r")
+        .build()
+    )
+
+
+class TestRuleValidation:
+    def test_head_must_be_bound(self):
+        with pytest.raises(GPCTypeError):
+            Rule(("zz",), parse_query("TRAIL (x)"))
+
+    def test_arity_must_agree(self):
+        r1 = Rule(("x",), parse_query("TRAIL (x)"))
+        r2 = Rule(("x", "y"), parse_query("TRAIL (x) -> (y)"))
+        with pytest.raises(GPCTypeError):
+            GPCPlusQuery((r1, r2))
+
+    def test_empty_rules_rejected(self):
+        with pytest.raises(GPCTypeError):
+            GPCPlusQuery(())
+
+    def test_arity_property(self):
+        q = GPCPlusQuery((Rule(("x", "y"), parse_query("TRAIL (x) -> (y)")),))
+        assert q.arity == 2
+
+
+class TestEvaluation:
+    def test_projection(self, graph):
+        q = GPCPlusQuery(
+            (Rule(("x", "y"), parse_query("SHORTEST (x) ->{1,} (y)")),)
+        )
+        result = q.evaluate(graph)
+        assert (N("a"), N("c")) in result
+        assert (N("a"), N("b")) in result
+        assert (N("b"), N("a")) not in result
+
+    def test_union_of_rules(self, graph):
+        q = GPCPlusQuery(
+            (
+                Rule(("x",), parse_query("TRAIL (x:A)")),
+                Rule(("x",), parse_query("TRAIL (x:C)")),
+            )
+        )
+        assert q.evaluate(graph) == frozenset({(N("a"),), (N("c"),)})
+
+    def test_projection_dedups(self, graph):
+        # Two distinct witnessing paths project to the same tuple.
+        q = GPCPlusQuery(
+            (Rule(("x",), parse_query("SHORTEST (x) ->{0,} ()")),)
+        )
+        result = q.evaluate(graph)
+        assert len(result) == 3
+
+    def test_repeated_head_variable(self, graph):
+        q = GPCPlusQuery(
+            (Rule(("x", "x"), parse_query("TRAIL (x:A)")),)
+        )
+        assert q.evaluate(graph) == frozenset({(N("a"), N("a"))})
+
+    def test_join_rule(self, graph):
+        q = GPCPlusQuery(
+            (
+                Rule(
+                    ("x", "z"),
+                    parse_query("TRAIL (x) -[:r]-> (y), TRAIL (y) -[:r]-> (z)"),
+                ),
+            )
+        )
+        assert q.evaluate(graph) == frozenset({(N("a"), N("c"))})

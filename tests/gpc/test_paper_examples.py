@@ -1,0 +1,180 @@
+"""The worked examples of Section 3, end to end.
+
+Each test builds the situation the paper describes and checks the
+behaviour the prose claims.
+"""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.ids import DirectedEdgeId as E, NodeId as N
+from repro.gpc.engine import Evaluator, evaluate
+from repro.gpc.parser import parse_pattern, parse_query
+from repro.gpc.values import GroupValue, Nothing
+
+
+class TestTriangleImplicitJoin:
+    """(x1:A) -y1-> (x2:B) <-y2- (x3:C) -y3-> (x1): a path from an
+    A-node back to itself via B and C, with an implicit join on x1."""
+
+    @pytest.fixture
+    def graph(self):
+        return (
+            GraphBuilder()
+            .node("a", "A")
+            .node("b", "B")
+            .node("c", "C")
+            .edge("a", "b", key="y1")
+            .edge("c", "b", key="y2")
+            .edge("c", "a", key="y3")
+            .build()
+        )
+
+    def test_matches_cycle(self, graph):
+        pattern = parse_pattern(
+            "(x1:A) -[y1]-> (x2:B) <-[y2]- (x3:C) -[y3]-> (x1)"
+        )
+        matches = Evaluator(graph).eval_pattern(pattern)
+        assert len(matches) == 1
+        ((path, mu),) = matches
+        assert path.src == path.tgt == N("a")
+        assert mu["x1"] == N("a")
+        assert len(path) == 3
+
+    def test_join_enforced(self, graph):
+        # Redirect y3 to b: no match, the path cannot return to x1.
+        broken = (
+            GraphBuilder()
+            .node("a", "A")
+            .node("b", "B")
+            .node("c", "C")
+            .edge("a", "b", key="y1")
+            .edge("c", "b", key="y2")
+            .edge("c", "b", key="y3")
+            .build()
+        )
+        pattern = parse_pattern(
+            "(x1:A) -[y1]-> (x2:B) <-[y2]- (x3:C) -[y3]-> (x1)"
+        )
+        assert not Evaluator(broken).eval_pattern(pattern)
+
+
+class TestOptionalPattern:
+    """(x:A) -> (z:B) [<- (u:C) + ()]: binds u when the B-node has an
+    incoming C-edge, and Nothing otherwise."""
+
+    def _pattern(self):
+        return parse_pattern("(x:A) -> (z:B) [[<- (u:C)] + [()]]")
+
+    def test_u_bound_when_c_edge_exists(self):
+        graph = (
+            GraphBuilder()
+            .node("a", "A")
+            .node("b", "B")
+            .node("c", "C")
+            .edge("a", "b")
+            .edge("c", "b")
+            .build()
+        )
+        matches = Evaluator(graph).eval_pattern(self._pattern())
+        values = {mu["u"] for _, mu in matches}
+        assert values == {N("c"), Nothing}
+
+    def test_u_nothing_when_no_c_edge(self):
+        graph = (
+            GraphBuilder()
+            .node("a", "A")
+            .node("b", "B")
+            .edge("a", "b")
+            .build()
+        )
+        matches = Evaluator(graph).eval_pattern(self._pattern())
+        assert len(matches) == 1
+        ((_, mu),) = matches
+        assert mu["u"] == Nothing
+        assert mu["x"] == N("a")
+
+
+class TestGroupVariableExample:
+    """(x:A) -y->{1,} (z:B): y binds the list of edges on the path."""
+
+    def test_y_binds_edge_list(self, chain5):
+        graph = (
+            GraphBuilder()
+            .node("a", "A")
+            .node("m1")
+            .node("b", "B")
+            .edge("a", "m1", key="e1")
+            .edge("m1", "b", key="e2")
+            .build()
+        )
+        matches = Evaluator(graph).eval_pattern(
+            parse_pattern("(x:A) -[y]->{1,} (z:B)")
+        )
+        full = [m for m in matches if len(m[0]) == 2]
+        assert len(full) == 1
+        (_, mu) = full[0]
+        assert isinstance(mu["y"], GroupValue)
+        assert mu["y"].values == (E("e1"), E("e2"))
+
+
+class TestConditionedPathExample:
+    """[(x:A) -y->{1,} (z:B)] << x.a = z.a >>."""
+
+    def test_endpoint_condition(self):
+        graph = (
+            GraphBuilder()
+            .node("a1", "A", a=1)
+            .node("a2", "A", a=2)
+            .node("b1", "B", a=1)
+            .edge("a1", "b1")
+            .edge("a2", "b1")
+            .build()
+        )
+        matches = Evaluator(graph).eval_pattern(
+            parse_pattern("[(x:A) -[y]->{1,} (z:B)] << x.a = z.a >>")
+        )
+        assert {mu["x"] for _, mu in matches} == {N("a1")}
+
+
+class TestTrailQueryExample:
+    """u = trail [(x:A) -y->{1,} (z:B)]: finitely many trails even on
+    loops."""
+
+    def test_finite_on_loop(self):
+        graph = (
+            GraphBuilder()
+            .node("a", "A")
+            .node("m")
+            .node("b", "B")
+            .edge("a", "m")
+            .edge("m", "m")  # loop that could be pumped forever
+            .edge("m", "b")
+            .build()
+        )
+        answers = evaluate(
+            parse_query("u = TRAIL (x:A) -[y]->{1,} (z:B)"), graph
+        )
+        assert 0 < len(answers) < 10
+        for answer in answers:
+            assert answer["u"] == answer.path
+
+
+class TestNecessityOfTypeRules:
+    """Section 3's ill-typed examples are rejected."""
+
+    def test_node_edge_variable_clash(self):
+        from repro.errors import GPCTypeError
+        from repro.gpc.typing import infer_schema
+
+        with pytest.raises(GPCTypeError):
+            infer_schema(parse_pattern("(x) -[x]-> ()"))
+
+    def test_group_variable_in_condition(self):
+        from repro.errors import GPCTypeError
+        from repro.gpc.typing import infer_schema
+
+        with pytest.raises(GPCTypeError):
+            infer_schema(
+                parse_pattern("[(x:A) -[y]->{1,} (z:B)] << x.a = y.a >>")
+            )

@@ -1,0 +1,251 @@
+"""Concrete syntax: the lexer and recursive-descent parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.gpc import ast
+from repro.gpc.conditions_ast import (
+    And,
+    Not,
+    Or,
+    PropertyEqualsConst,
+    PropertyEqualsProperty,
+)
+from repro.gpc.parser import parse_condition, parse_pattern, parse_query, tokenize
+
+
+class TestNodePatterns:
+    def test_anonymous(self):
+        assert parse_pattern("()") == ast.node()
+
+    def test_variable_only(self):
+        assert parse_pattern("(x)") == ast.node("x")
+
+    def test_label_only(self):
+        assert parse_pattern("(:Person)") == ast.node(label="Person")
+
+    def test_both(self):
+        assert parse_pattern("(x:Person)") == ast.node("x", "Person")
+
+    def test_whitespace_tolerated(self):
+        assert parse_pattern("(  x : Person )") == ast.node("x", "Person")
+
+
+class TestEdgePatterns:
+    def test_bare_arrows(self):
+        assert parse_pattern("->") == ast.forward()
+        assert parse_pattern("<-") == ast.backward()
+        assert parse_pattern("~") == ast.undirected()
+
+    def test_bracketed_forward(self):
+        assert parse_pattern("-[e:knows]->") == ast.forward("e", "knows")
+        assert parse_pattern("-[e]->") == ast.forward("e")
+        assert parse_pattern("-[:knows]->") == ast.forward(label="knows")
+        assert parse_pattern("-[]->") == ast.forward()
+
+    def test_bracketed_backward(self):
+        assert parse_pattern("<-[e:knows]-") == ast.backward("e", "knows")
+
+    def test_bracketed_undirected(self):
+        assert parse_pattern("~[e:knows]~") == ast.undirected("e", "knows")
+
+
+class TestOperators:
+    def test_concatenation(self):
+        assert parse_pattern("(x) -> (y)") == ast.concat(
+            ast.node("x"), ast.forward(), ast.node("y")
+        )
+
+    def test_union_lowest_precedence(self):
+        parsed = parse_pattern("(x) -> (y) + (z)")
+        assert isinstance(parsed, ast.Union)
+        assert parsed.right == ast.node("z")
+
+    def test_union_left_associates(self):
+        parsed = parse_pattern("(a) + (b) + (c)")
+        assert parsed == ast.Union(
+            ast.Union(ast.node("a"), ast.node("b")), ast.node("c")
+        )
+
+    def test_brackets_group(self):
+        parsed = parse_pattern("[(a) + (b)] (c)")
+        assert isinstance(parsed, ast.Concat)
+        assert isinstance(parsed.left, ast.Union)
+
+    def test_paper_precedence_example(self):
+        # pi pi'<theta> + pi'' == [pi [pi'<theta>]] + pi''
+        parsed = parse_pattern("(a) (b) << b.k = 1 >> + (c)")
+        assert isinstance(parsed, ast.Union)
+        concat = parsed.left
+        assert isinstance(concat, ast.Concat)
+        assert isinstance(concat.right, ast.Conditioned)
+
+
+class TestRepetition:
+    def test_star(self):
+        assert parse_pattern("->*") == ast.Repeat(ast.forward(), 0, None)
+
+    def test_range(self):
+        assert parse_pattern("->{2,5}") == ast.Repeat(ast.forward(), 2, 5)
+
+    def test_range_dotdot(self):
+        assert parse_pattern("->{2..5}") == ast.Repeat(ast.forward(), 2, 5)
+
+    def test_exact(self):
+        assert parse_pattern("->{3}") == ast.Repeat(ast.forward(), 3, 3)
+
+    def test_lower_only(self):
+        assert parse_pattern("->{2,}") == ast.Repeat(ast.forward(), 2, None)
+
+    def test_upper_only(self):
+        assert parse_pattern("->{,4}") == ast.Repeat(ast.forward(), 0, 4)
+
+    def test_nested_repetition(self):
+        parsed = parse_pattern("[->{1,2}]{3,4}")
+        assert parsed == ast.Repeat(ast.Repeat(ast.forward(), 1, 2), 3, 4)
+
+    def test_postfix_chains(self):
+        parsed = parse_pattern("(x)*{1,2}")
+        assert parsed == ast.Repeat(ast.Repeat(ast.node("x"), 0, None), 1, 2)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(Exception):
+            parse_pattern("->{5,2}")
+
+
+class TestConditions:
+    def test_const_comparison(self):
+        parsed = parse_pattern("(x) << x.age = 42 >>")
+        assert parsed == ast.Conditioned(
+            ast.node("x"), PropertyEqualsConst("x", "age", 42)
+        )
+
+    def test_string_constant(self):
+        parsed = parse_condition("x.name = 'Ann'")
+        assert parsed == PropertyEqualsConst("x", "name", "Ann")
+
+    def test_double_quoted_string(self):
+        assert parse_condition('x.name = "Bo"') == PropertyEqualsConst(
+            "x", "name", "Bo"
+        )
+
+    def test_escaped_quote(self):
+        assert parse_condition(r"x.name = 'O\'Hara'") == PropertyEqualsConst(
+            "x", "name", "O'Hara"
+        )
+
+    def test_float_and_negative(self):
+        assert parse_condition("x.v = 1.5") == PropertyEqualsConst("x", "v", 1.5)
+        assert parse_condition("x.v = -3") == PropertyEqualsConst("x", "v", -3)
+
+    def test_booleans(self):
+        assert parse_condition("x.f = TRUE") == PropertyEqualsConst("x", "f", True)
+        assert parse_condition("x.f = false") == PropertyEqualsConst("x", "f", False)
+
+    def test_property_comparison(self):
+        assert parse_condition("x.a = y.b") == PropertyEqualsProperty(
+            "x", "a", "y", "b"
+        )
+
+    def test_boolean_structure(self):
+        parsed = parse_condition("x.a = 1 AND x.b = 2 OR NOT x.c = 3")
+        # AND binds tighter than OR.
+        assert isinstance(parsed, Or)
+        assert isinstance(parsed.left, And)
+        assert isinstance(parsed.right, Not)
+
+    def test_parentheses(self):
+        parsed = parse_condition("x.a = 1 AND (x.b = 2 OR x.c = 3)")
+        assert isinstance(parsed, And)
+        assert isinstance(parsed.right, Or)
+
+    def test_keywords_case_insensitive(self):
+        parsed = parse_condition("x.a = 1 and x.b = 2")
+        assert isinstance(parsed, And)
+
+
+class TestQueries:
+    def test_restrictor_required(self):
+        with pytest.raises(ParseError):
+            parse_query("(x) -> (y)")
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("SIMPLE (x)", ast.Restrictor.SIMPLE),
+            ("TRAIL (x)", ast.Restrictor.TRAIL),
+            ("SHORTEST (x)", ast.Restrictor.SHORTEST),
+            ("SHORTEST SIMPLE (x)", ast.Restrictor.SHORTEST_SIMPLE),
+            ("shortest trail (x)", ast.Restrictor.SHORTEST_TRAIL),
+        ],
+    )
+    def test_restrictors(self, text, expected):
+        query = parse_query(text)
+        assert isinstance(query, ast.PatternQuery)
+        assert query.restrictor == expected
+
+    def test_named_query(self):
+        query = parse_query("p = TRAIL (x) -> (y)")
+        assert query.name == "p"
+
+    def test_join(self):
+        query = parse_query("TRAIL (x) -> (y), SIMPLE (y) -> (z)")
+        assert isinstance(query, ast.Join)
+        assert isinstance(query.left, ast.PatternQuery)
+        assert isinstance(query.right, ast.PatternQuery)
+
+    def test_three_way_join_left_associates(self):
+        query = parse_query("TRAIL (x), TRAIL (y), TRAIL (z)")
+        assert isinstance(query, ast.Join)
+        assert isinstance(query.left, ast.Join)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "(",
+            "(x",
+            "(x:)",
+            "(:)",
+            "->{",
+            "->{a}",
+            "(x) <<",
+            "(x) << x.a >>",
+            "(x) << x = 1 >>",
+            "(x))",
+            "[(x)",
+            "(x) @ (y)",
+            "-[x:]->",
+        ],
+    )
+    def test_rejected(self, text):
+        with pytest.raises(ParseError):
+            parse_pattern(text)
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as exc:
+            parse_pattern("(x) @")
+        assert exc.value.position is not None
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("TRAIL (x) extra_tokens =")
+
+
+class TestTokenizer:
+    def test_edge_tokens_disambiguated(self):
+        kinds = [t.kind.value for t in tokenize("-[x]-> <-[y]- ~[z]~")]
+        assert "-[" in kinds and "]->" in kinds
+        assert "<-[" in kinds and "]-" in kinds
+        assert "~[" in kinds and "]~" in kinds
+
+    def test_condition_brackets_vs_arrows(self):
+        kinds = [t.kind.value for t in tokenize("-> << >> <-")]
+        assert kinds[:4] == ["->", "<<", ">>", "<-"]
+
+    def test_negative_number_vs_edge(self):
+        tokens = tokenize("x.a = -5")
+        assert tokens[-2].kind.value == "number"
+        assert tokens[-2].text == "-5"

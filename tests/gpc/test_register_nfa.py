@@ -1,0 +1,136 @@
+"""The register-NFA shortest engine: exact pair lengths and witness
+enumeration."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.generators import chain_graph, cycle_graph, theorem13_gadget
+from repro.graph.ids import NodeId as N
+from repro.gpc.parser import parse_pattern
+from repro.gpc.register_nfa import (
+    UnsupportedPattern,
+    compile_register_nfa,
+    enumerate_exact_length_walks,
+    shortest_pair_lengths,
+)
+
+
+class TestPairLengths:
+    def test_chain_distances(self):
+        graph = chain_graph(4)
+        nfa = compile_register_nfa(parse_pattern("->{1,}"))
+        best = shortest_pair_lengths(graph, nfa, N("n0"))
+        assert best == {
+            N("n1"): 1,
+            N("n2"): 2,
+            N("n3"): 3,
+            N("n4"): 4,
+        }
+
+    def test_star_includes_zero(self):
+        graph = chain_graph(2)
+        nfa = compile_register_nfa(parse_pattern("->{0,}"))
+        best = shortest_pair_lengths(graph, nfa, N("n0"))
+        assert best[N("n0")] == 0
+
+    def test_label_constraints_respected(self):
+        graph = (
+            GraphBuilder()
+            .edge("a", "b", "x")
+            .edge("b", "c", "y")
+            .build()
+        )
+        nfa = compile_register_nfa(parse_pattern("-[:x]-> -[:y]->"))
+        best = shortest_pair_lengths(graph, nfa, N("a"))
+        assert best == {N("c"): 2}
+
+    def test_node_label_test(self):
+        graph = (
+            GraphBuilder()
+            .node("a", "A")
+            .node("b", "B")
+            .node("c", "A")
+            .edge("a", "b")
+            .edge("b", "c")
+            .build()
+        )
+        nfa = compile_register_nfa(parse_pattern("(:A) ->{1,} (:A)"))
+        best = shortest_pair_lengths(graph, nfa, N("a"))
+        assert best == {N("c"): 2}
+        assert shortest_pair_lengths(graph, nfa, N("b")) == {}
+
+    def test_variable_join_enforced(self):
+        # (z) -> () -> (z): must return to the starting node.
+        graph = cycle_graph(3)
+        nfa = compile_register_nfa(parse_pattern("(z) -> () -> (z)"))
+        assert shortest_pair_lengths(graph, nfa, N("n0")) == {}
+        two_cycle = cycle_graph(2)
+        assert shortest_pair_lengths(two_cycle, nfa, N("n0")) == {N("n0"): 2}
+
+    def test_edge_variable_join(self):
+        # -[e]-> <-[e]-: traverse the same edge out and back.
+        graph = (
+            GraphBuilder().edge("a", "b", key="e1").edge("a", "b", key="e2").build()
+        )
+        nfa = compile_register_nfa(parse_pattern("-[e]-> <-[e]-"))
+        best = shortest_pair_lengths(graph, nfa, N("a"))
+        assert best == {N("a"): 2}
+
+    def test_registers_reset_between_iterations(self):
+        # [(z) -> (z)]{2,2} would need two self-loops; with the reset,
+        # [(z) ->]{2,2} allows different z per iteration.
+        graph = chain_graph(2)
+        nfa = compile_register_nfa(parse_pattern("[(z) ->]{2,2}"))
+        best = shortest_pair_lengths(graph, nfa, N("n0"))
+        assert best == {N("n2"): 2}
+
+    def test_condition_checked(self):
+        graph = (
+            GraphBuilder()
+            .node("a", k=1)
+            .node("b", k=2)
+            .node("c", k=1)
+            .edge("a", "b")
+            .edge("b", "c")
+            .build()
+        )
+        nfa = compile_register_nfa(
+            parse_pattern("[(x) ->{1,} (y)] << x.k = y.k >>")
+        )
+        best = shortest_pair_lengths(graph, nfa, N("a"))
+        assert best == {N("c"): 2}
+
+    def test_unsupported_extension_raises(self):
+        from repro.extensions.arithmetic import ArithConditioned, Count, TermConst
+
+        pattern = ArithConditioned(
+            parse_pattern("-[e]->{1,}"), Count("e"), TermConst(2)
+        )
+        with pytest.raises(UnsupportedPattern):
+            compile_register_nfa(pattern)
+
+
+class TestWitnessEnumeration:
+    def test_chain_witness(self):
+        graph = chain_graph(3)
+        nfa = compile_register_nfa(parse_pattern("->{1,}"))
+        walks = enumerate_exact_length_walks(graph, nfa, N("n0"), N("n2"), 2)
+        assert len(walks) == 1
+        assert walks[0].src == N("n0") and walks[0].tgt == N("n2")
+
+    def test_gadget_all_parallel_choices(self):
+        graph = theorem13_gadget()
+        nfa = compile_register_nfa(parse_pattern("->{3,3}"))
+        walks = enumerate_exact_length_walks(graph, nfa, N("u"), N("v"), 3)
+        assert len(walks) == 8  # 2 parallel edges at each of 3 steps
+
+    def test_wrong_length_gives_nothing(self):
+        graph = chain_graph(3)
+        nfa = compile_register_nfa(parse_pattern("->{1,}"))
+        assert not enumerate_exact_length_walks(graph, nfa, N("n0"), N("n2"), 1)
+
+    def test_direction_pruning(self):
+        graph = chain_graph(3)
+        nfa = compile_register_nfa(parse_pattern("<-{1,}"))
+        walks = enumerate_exact_length_walks(graph, nfa, N("n2"), N("n0"), 2)
+        assert len(walks) == 1

@@ -1,0 +1,221 @@
+"""Restrictors, query evaluation, joins, and Theorem 10 finiteness."""
+
+import pytest
+
+from repro.errors import GPCTypeError
+from repro.graph.builder import GraphBuilder
+from repro.graph.generators import cycle_graph, theorem13_gadget
+from repro.graph.ids import DirectedEdgeId as E, NodeId as N
+from repro.graph.paths import Path, is_simple, is_trail
+from repro.gpc import ast
+from repro.gpc.engine import EngineConfig, Evaluator, evaluate
+from repro.gpc.parser import parse_query
+
+
+class TestTrail:
+    def test_no_repeated_edges(self, cycle4):
+        answers = evaluate(parse_query("TRAIL ->{1,}"), cycle4)
+        assert answers
+        for answer in answers:
+            assert is_trail(answer.path)
+
+    def test_trail_allows_node_revisits(self):
+        # Figure-eight: two loops sharing a node; a trail can visit the
+        # shared node twice.
+        g = (
+            GraphBuilder()
+            .edge("c", "a1", "e")
+            .edge("a1", "c", "e")
+            .edge("c", "b1", "e")
+            .edge("b1", "c", "e")
+            .build()
+        )
+        answers = evaluate(parse_query("TRAIL (x) ->{4,4} (x)"), g)
+        assert any(not is_simple(a.path) for a in answers)
+
+    def test_edge_count_bound(self, cycle4):
+        answers = evaluate(parse_query("TRAIL ->{1,}"), cycle4)
+        assert max(len(a.path) for a in answers) <= cycle4.num_edges
+
+
+class TestSimple:
+    def test_no_repeated_nodes(self, cycle4):
+        answers = evaluate(parse_query("SIMPLE ->{1,}"), cycle4)
+        for answer in answers:
+            assert is_simple(answer.path)
+
+    def test_simple_strictly_fewer_than_trail_on_cycles(self, cycle4):
+        trails = evaluate(parse_query("TRAIL ->{1,}"), cycle4)
+        simples = evaluate(parse_query("SIMPLE ->{1,}"), cycle4)
+        assert {a.path for a in simples} < {a.path for a in trails}
+
+    def test_cycle_is_not_simple(self, cycle4):
+        answers = evaluate(parse_query("SIMPLE (x) ->{1,} (x)"), cycle4)
+        assert not answers
+
+
+class TestShortest:
+    def test_keeps_min_per_endpoint_pair(self, diamond_graph):
+        answers = evaluate(parse_query("SHORTEST (:S) ->{1,} (:T)"), diamond_graph)
+        # s -> t: direct edge (length 1) beats the 2-hop detours.
+        s_to_t = [a for a in answers if a.path.src == N("s") and a.path.tgt == N("t")]
+        assert len(s_to_t) == 1
+        assert len(s_to_t[0].path) == 1
+
+    def test_all_minimal_witnesses_kept(self, diamond_graph):
+        answers = evaluate(parse_query("SHORTEST (:S) -[:e]->{1,} (:T)"), diamond_graph)
+        # without the direct edge label, both 2-hop paths are minimal
+        s_to_t = [a for a in answers if a.path.tgt == N("t") and a.path.src == N("s")]
+        assert len(s_to_t) == 2
+        assert all(len(a.path) == 2 for a in s_to_t)
+
+    def test_shortest_with_condition_skips_shorter_nonmatching(self):
+        g = (
+            GraphBuilder()
+            .node("s", "S", k=1)
+            .node("m", "M", k=9)
+            .node("t", "T", k=1)
+            .edge("s", "t", "e", key="direct")
+            .edge("s", "m", "e", key="h1")
+            .edge("m", "t", "e", key="h2")
+            .node("u", "U")
+            .build()
+        )
+        # Require an intermediate node with k=9: the direct edge does
+        # not qualify; shortest must be the 2-hop path.
+        answers = evaluate(
+            parse_query("SHORTEST [(x:S) -> (m) -> (y:T)] << m.k = 9 >>"), g
+        )
+        assert len(answers) == 1
+        assert len(next(iter(answers)).path) == 2
+
+    def test_shortest_trail_and_shortest_simple(self, cycle4):
+        st = evaluate(parse_query("SHORTEST TRAIL ->{1,}"), cycle4)
+        ss = evaluate(parse_query("SHORTEST SIMPLE ->{1,}"), cycle4)
+        for answers in (st, ss):
+            by_pair = {}
+            for a in answers:
+                key = (a.path.src, a.path.tgt)
+                by_pair.setdefault(key, set()).add(len(a.path))
+            assert all(len(lengths) == 1 for lengths in by_pair.values())
+
+    def test_shortest_includes_edgeless_for_zero_star(self, cycle4):
+        answers = evaluate(parse_query("SHORTEST ->{0,}"), cycle4)
+        # (u, u) pairs are witnessed by the length-0 path.
+        self_pairs = [a for a in answers if a.path.src == a.path.tgt]
+        assert all(a.path.is_edgeless for a in self_pairs)
+        assert len(self_pairs) == 4
+
+    def test_theorem13_gadget_exponential_witnesses(self, gadget13):
+        answers = evaluate(parse_query("p = SHORTEST () ->{3,3} ()"), gadget13)
+        # per (start, end) pair there are 2^3 = 8 parallel label choices
+        by_pair = {}
+        for a in answers:
+            by_pair.setdefault((a.path.src, a.path.tgt), []).append(a)
+        assert all(len(v) == 8 for v in by_pair.values())
+
+
+class TestTheorem10Finiteness:
+    """Every query returns a finite answer set, even on cyclic graphs
+    where the unrestricted pattern denotation is infinite."""
+
+    @pytest.mark.parametrize(
+        "query_text",
+        [
+            "TRAIL ->{0,}",
+            "SIMPLE ->{0,}",
+            "SHORTEST ->{0,}",
+            "SHORTEST TRAIL ->{1,}",
+            "SHORTEST SIMPLE ->{1,}",
+        ],
+    )
+    def test_finite_on_cycles(self, query_text):
+        for size in (1, 2, 5):
+            graph = cycle_graph(size)
+            answers = evaluate(parse_query(query_text), graph)
+            assert isinstance(answers, frozenset)
+            assert len(answers) < 10_000
+
+    def test_self_loop_graph(self):
+        graph = cycle_graph(1)  # a single node with a self-loop
+        answers = evaluate(parse_query("TRAIL ->{1,}"), graph)
+        assert len(answers) == 1  # the loop can be used once
+
+
+class TestNamedQueries:
+    def test_name_binds_whole_path(self, tiny_graph):
+        answers = evaluate(parse_query("p = TRAIL (x) -[e]-> (y)"), tiny_graph)
+        ((answer),) = answers
+        assert answer["p"] == answer.path
+        assert isinstance(answer["p"], Path)
+
+
+class TestJoins:
+    def test_join_shares_node_variable(self, diamond_graph):
+        answers = evaluate(
+            parse_query("TRAIL (x:S) -> (y:M), TRAIL (y:M) -> (z:T)"),
+            diamond_graph,
+        )
+        assert len(answers) == 2
+        for answer in answers:
+            assert len(answer.paths) == 2
+            assert answer.paths[0].tgt == answer.paths[1].src == answer["y"]
+
+    def test_join_without_shared_variables_is_cartesian(self, tiny_graph):
+        answers = evaluate(parse_query("TRAIL (x), TRAIL (y)"), tiny_graph)
+        assert len(answers) == 4
+
+    def test_conflicting_join_empty(self, diamond_graph):
+        answers = evaluate(
+            parse_query("TRAIL (y:S) -> (:M), TRAIL (y:T) -> ()"), diamond_graph
+        )
+        assert not answers
+
+    def test_join_path_tuples_concatenate(self, tiny_graph):
+        answers = evaluate(
+            parse_query("TRAIL (x) -> (y), TRAIL (y) <- (x), TRAIL (x)"),
+            tiny_graph,
+        )
+        for answer in answers:
+            assert len(answer.paths) == 3
+
+
+class TestIllTypedQueriesRejected:
+    @pytest.mark.parametrize(
+        "query_text",
+        [
+            "TRAIL (x) -[x]-> ()",
+            "TRAIL -[e]->{1,2} -[e]->",
+            "x = TRAIL (x)",
+            "TRAIL [(x) -[y]->{1,} (z)] << x.a = y.a >>",
+        ],
+    )
+    def test_rejected(self, tiny_graph, query_text):
+        with pytest.raises(GPCTypeError):
+            evaluate(parse_query(query_text), tiny_graph)
+
+
+class TestProposition9:
+    """Answers conform to the schema and their paths are graph paths."""
+
+    @pytest.mark.parametrize(
+        "query_text",
+        [
+            "TRAIL (x) -[e]-> (y)",
+            "p = SHORTEST (x) ->{0,} (y)",
+            "TRAIL [(x) ->] + [<- (y)]",
+            "SIMPLE -[e]->{1,3}",
+        ],
+    )
+    def test_conformance(self, diamond_graph, query_text):
+        from repro.graph.paths import path_in_graph
+        from repro.gpc.typing import infer_schema
+
+        query = parse_query(query_text)
+        schema = infer_schema(query)
+        answers = evaluate(query, diamond_graph)
+        assert answers
+        for answer in answers:
+            assert answer.assignment.conforms_to(schema)
+            for path in answer.paths:
+                assert path_in_graph(path, diamond_graph)

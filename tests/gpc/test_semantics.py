@@ -1,0 +1,254 @@
+"""The Section 5 semantics: atomic patterns through repetition.
+
+All tests use the bounded evaluator directly (`eval_pattern`) or the
+full engine, asserting exact answer sets on hand-checkable graphs.
+"""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.ids import DirectedEdgeId as E, NodeId as N, UndirectedEdgeId as U
+from repro.graph.paths import Path
+from repro.gpc import ast
+from repro.gpc.assignments import Assignment
+from repro.gpc.engine import EngineConfig, Evaluator
+from repro.gpc.collect import CollectMode
+from repro.gpc.parser import parse_pattern
+from repro.gpc.values import GroupValue, Nothing
+
+
+def paths_of(matches):
+    return {m[0] for m in matches}
+
+
+class TestNodePatterns:
+    def test_anonymous_matches_every_node(self, tiny_graph):
+        matches = Evaluator(tiny_graph).eval_pattern(parse_pattern("()"))
+        assert paths_of(matches) == {Path.node(N("a")), Path.node(N("b"))}
+        assert all(m[1] == Assignment({}) for m in matches)
+
+    def test_variable_binds_node(self, tiny_graph):
+        matches = Evaluator(tiny_graph).eval_pattern(parse_pattern("(x)"))
+        assert (Path.node(N("a")), Assignment({"x": N("a")})) in matches
+
+    def test_label_filters(self, diamond_graph):
+        matches = Evaluator(diamond_graph).eval_pattern(parse_pattern("(:M)"))
+        assert paths_of(matches) == {Path.node(N("m1")), Path.node(N("m2"))}
+
+    def test_unknown_label_matches_nothing(self, tiny_graph):
+        assert not Evaluator(tiny_graph).eval_pattern(parse_pattern("(:Nope)"))
+
+
+class TestEdgePatterns:
+    def test_forward(self, tiny_graph):
+        matches = Evaluator(tiny_graph).eval_pattern(parse_pattern("-[e]->"))
+        assert matches == frozenset(
+            {(Path.of(N("a"), E("e1"), N("b")), Assignment({"e": E("e1")}))}
+        )
+
+    def test_backward_reverses_path(self, tiny_graph):
+        matches = Evaluator(tiny_graph).eval_pattern(parse_pattern("<-[e]-"))
+        assert paths_of(matches) == {Path.of(N("b"), E("e1"), N("a"))}
+
+    def test_label_filters_edges(self, diamond_graph):
+        matches = Evaluator(diamond_graph).eval_pattern(parse_pattern("-[:direct]->"))
+        assert paths_of(matches) == {Path.of(N("s"), E("e5"), N("t"))}
+
+    def test_undirected_yields_both_orders(self, mixed_graph):
+        matches = Evaluator(mixed_graph).eval_pattern(parse_pattern("~[x:b]~"))
+        assert (Path.of(N("u"), U("u1"), N("v")), Assignment({"x": U("u1")})) in matches
+        assert (Path.of(N("v"), U("u1"), N("u")), Assignment({"x": U("u1")})) in matches
+
+    def test_undirected_self_loop_single_path(self, mixed_graph):
+        matches = Evaluator(mixed_graph).eval_pattern(parse_pattern("~"))
+        loops = [p for p in paths_of(matches) if p.src == p.tgt]
+        assert Path.of(N("w"), U("u2"), N("w")) in loops
+
+    def test_directed_self_loop_matches_both_directions(self, mixed_graph):
+        fwd = Evaluator(mixed_graph).eval_pattern(parse_pattern("-[:loop]->"))
+        bwd = Evaluator(mixed_graph).eval_pattern(parse_pattern("<-[:loop]-"))
+        assert paths_of(fwd) == paths_of(bwd) == {Path.of(N("u"), E("d3"), N("u"))}
+
+    def test_undirected_pattern_ignores_directed_edges(self, tiny_graph):
+        assert not Evaluator(tiny_graph).eval_pattern(parse_pattern("~"))
+
+    def test_zero_length_bound_gives_nothing(self, tiny_graph):
+        assert not Evaluator(tiny_graph).eval_pattern(parse_pattern("->"), max_length=0)
+
+
+class TestConcatenation:
+    def test_two_hops(self, diamond_graph):
+        matches = Evaluator(diamond_graph).eval_pattern(
+            parse_pattern("(x:S) -> () -> (y:T)")
+        )
+        assert paths_of(matches) == {
+            Path.of(N("s"), E("e1"), N("m1"), E("e2"), N("t")),
+            Path.of(N("s"), E("e3"), N("m2"), E("e4"), N("t")),
+        }
+
+    def test_implicit_join_on_shared_variable(self, diamond_graph):
+        # (x) -> (y) <- (x): both edges from the same source.
+        matches = Evaluator(diamond_graph).eval_pattern(
+            parse_pattern("(x) -> (y) <- (x)")
+        )
+        for path, mu in matches:
+            assert path.src == path.tgt == mu["x"]
+
+    def test_node_pattern_acts_as_filter(self, diamond_graph):
+        with_filter = Evaluator(diamond_graph).eval_pattern(
+            parse_pattern("-> (:M)")
+        )
+        assert paths_of(with_filter) == {
+            Path.of(N("s"), E("e1"), N("m1")),
+            Path.of(N("s"), E("e3"), N("m2")),
+        }
+
+    def test_assignments_merge(self, tiny_graph):
+        matches = Evaluator(tiny_graph).eval_pattern(
+            parse_pattern("(x) -[e]-> (y)")
+        )
+        ((path, mu),) = matches
+        assert mu == Assignment({"x": N("a"), "e": E("e1"), "y": N("b")})
+
+
+class TestUnion:
+    def test_union_of_directions(self, tiny_graph):
+        matches = Evaluator(tiny_graph).eval_pattern(parse_pattern("[->] + [<-]"))
+        assert paths_of(matches) == {
+            Path.of(N("a"), E("e1"), N("b")),
+            Path.of(N("b"), E("e1"), N("a")),
+        }
+
+    def test_one_sided_variable_padded_with_nothing(self, tiny_graph):
+        matches = Evaluator(tiny_graph).eval_pattern(
+            parse_pattern("[(x) ->] + [<-]")
+        )
+        padded = [mu for _, mu in matches if mu["x"] == Nothing]
+        bound = [mu for _, mu in matches if mu["x"] != Nothing]
+        assert padded and bound
+
+    def test_overlapping_answers_dedup(self, tiny_graph):
+        matches = Evaluator(tiny_graph).eval_pattern(parse_pattern("[->] + [->]"))
+        assert len(matches) == 1
+
+
+class TestConditioned:
+    def test_filters_by_property(self, diamond_graph):
+        matches = Evaluator(diamond_graph).eval_pattern(
+            parse_pattern("[(x:S) -> () -> (y:T)] << x.k = y.k >>")
+        )
+        assert len(matches) == 2  # both 2-hop paths; k matches (1 = 1)
+
+    def test_condition_can_empty_answers(self, diamond_graph):
+        matches = Evaluator(diamond_graph).eval_pattern(
+            parse_pattern("[(x:S) -> (y:M)] << x.k = y.k >>")
+        )
+        assert not matches  # S has k=1, M has k=2
+
+    def test_condition_against_constant(self, diamond_graph):
+        matches = Evaluator(diamond_graph).eval_pattern(
+            parse_pattern("(x:M) << x.k = 2 >>")
+        )
+        assert len(matches) == 2
+
+
+class TestRepetition:
+    def test_exact_power(self, chain5):
+        matches = Evaluator(chain5).eval_pattern(parse_pattern("->{2}"))
+        assert all(len(p) == 2 for p in paths_of(matches))
+        assert len(matches) == 4  # chain of 5 edges has 4 two-hop windows
+
+    def test_range(self, chain5):
+        matches = Evaluator(chain5).eval_pattern(parse_pattern("->{2,3}"))
+        assert {len(p) for p in paths_of(matches)} == {2, 3}
+
+    def test_power_zero_matches_every_node_with_empty_groups(self, chain5):
+        matches = Evaluator(chain5).eval_pattern(parse_pattern("-[e]->{0,1}"))
+        zero = [(p, mu) for p, mu in matches if p.is_edgeless]
+        assert len(zero) == 6
+        for _, mu in zero:
+            assert mu["e"] == GroupValue()
+
+    def test_group_variable_collects_edges_in_order(self, chain5):
+        matches = Evaluator(chain5).eval_pattern(
+            parse_pattern("(s) -[e]->{2,2} (t)")
+        )
+        for path, mu in matches:
+            assert mu["e"].values == path.edges
+
+    def test_kleene_star_on_cycle_is_bounded_by_max_length(self, cycle4):
+        matches = Evaluator(cycle4).eval_pattern(parse_pattern("->*"), max_length=6)
+        lengths = {len(p) for p in paths_of(matches)}
+        assert lengths == set(range(7))
+
+    def test_nested_repetition_nests_groups(self, chain5):
+        matches = Evaluator(chain5).eval_pattern(
+            parse_pattern("[-[e]->{1,1}]{2,2}")
+        )
+        for _, mu in matches:
+            outer = mu["e"]
+            assert isinstance(outer, GroupValue) and len(outer) == 2
+            for _, inner in outer:
+                assert isinstance(inner, GroupValue) and len(inner) == 1
+
+    def test_unbounded_upper_with_lower(self, cycle4):
+        matches = Evaluator(cycle4).eval_pattern(parse_pattern("->{3,}"), max_length=5)
+        assert {len(p) for p in paths_of(matches)} == {3, 4, 5}
+
+    def test_zero_zero_is_just_nodes(self, chain5):
+        matches = Evaluator(chain5).eval_pattern(parse_pattern("->{0,0}"))
+        assert all(p.is_edgeless for p in paths_of(matches))
+        assert len(matches) == 6
+
+
+class TestEdgelessRepetition:
+    """Repetition over bodies that may match edgeless paths — where
+    the three collect approaches differ."""
+
+    def test_grouping_mode_terminates_and_groups(self, tiny_graph):
+        matches = Evaluator(tiny_graph).eval_pattern(parse_pattern("(x){1,}"))
+        # Each node yields one answer: runs of (x) at the same node
+        # unify into a single group entry.
+        assert len(matches) == 2
+        for path, mu in matches:
+            assert path.is_edgeless
+            assert len(mu["x"]) == 1
+
+    def test_runtime_mode_drops_edgeless_powers(self, tiny_graph):
+        config = EngineConfig(collect_mode=CollectMode.RUNTIME)
+        matches = Evaluator(tiny_graph, config).eval_pattern(
+            parse_pattern("(x){1,}")
+        )
+        assert not matches  # paper: pi may match while pi{1,1} has none
+
+    def test_runtime_mode_keeps_power_zero(self, tiny_graph):
+        config = EngineConfig(collect_mode=CollectMode.RUNTIME)
+        matches = Evaluator(tiny_graph, config).eval_pattern(
+            parse_pattern("(x){0,}")
+        )
+        assert len(matches) == 2
+        assert all(mu["x"] == GroupValue() for _, mu in matches)
+
+    def test_syntactic_mode_rejects_pattern(self, tiny_graph):
+        from repro.errors import CollectError
+
+        config = EngineConfig(collect_mode=CollectMode.SYNTACTIC)
+        with pytest.raises(CollectError):
+            Evaluator(tiny_graph, config).eval_pattern(parse_pattern("(x){1,}"))
+
+    def test_mixed_edgeless_and_edges(self, tiny_graph):
+        # body: node or edge; grouping merges consecutive node-matches.
+        matches = Evaluator(tiny_graph).eval_pattern(
+            parse_pattern("[[()] + [->]]{1,}"), max_length=1
+        )
+        assert matches
+        for path, mu in matches:
+            assert len(path) <= 1
+
+    def test_grouping_agrees_with_runtime_on_positive_bodies(self, diamond_graph):
+        pattern = parse_pattern("-[e]->{1,2}")
+        grouping = Evaluator(diamond_graph).eval_pattern(pattern)
+        runtime = Evaluator(
+            diamond_graph, EngineConfig(collect_mode=CollectMode.RUNTIME)
+        ).eval_pattern(pattern)
+        assert grouping == runtime

@@ -1,0 +1,325 @@
+"""The Figure 2 typing rules, Proposition 2, and Proposition 4."""
+
+import pytest
+
+from repro.errors import (
+    GPCTypeError,
+    IllegalJoinError,
+    TypeMismatchError,
+    UnboundVariableError,
+)
+from repro.gpc import ast
+from repro.gpc.conditions_ast import (
+    And,
+    Not,
+    Or,
+    PropertyEqualsConst,
+    PropertyEqualsProperty,
+)
+from repro.gpc.parser import parse_pattern, parse_query
+from repro.gpc.typing import (
+    check_condition,
+    concat_schemas,
+    infer_schema,
+    is_well_typed,
+    join_schemas,
+    union_schemas,
+)
+from repro.gpc.types import (
+    EDGE,
+    GroupType,
+    MaybeType,
+    NODE,
+    PATH,
+    maybe_wrap,
+)
+
+
+class TestAtomicRules:
+    def test_node_variable_types_node(self):
+        assert infer_schema(ast.node("x")) == {"x": NODE}
+
+    def test_labeled_node_same(self):
+        assert infer_schema(ast.node("x", "A")) == {"x": NODE}
+
+    def test_edge_variable_types_edge(self):
+        assert infer_schema(ast.forward("e")) == {"e": EDGE}
+        assert infer_schema(ast.backward("e", "a")) == {"e": EDGE}
+        assert infer_schema(ast.undirected("e")) == {"e": EDGE}
+
+    def test_anonymous_patterns_bind_nothing(self):
+        assert infer_schema(ast.node()) == {}
+        assert infer_schema(ast.forward()) == {}
+
+
+class TestPathNamingRule:
+    def test_name_types_path(self):
+        query = parse_query("p = TRAIL (x) -> (y)")
+        schema = infer_schema(query)
+        assert schema["p"] == PATH
+        assert schema["x"] == NODE
+
+    def test_name_must_not_occur_in_pattern(self):
+        query = ast.PatternQuery(ast.Restrictor.TRAIL, ast.node("x"), name="x")
+        with pytest.raises(TypeMismatchError):
+            infer_schema(query)
+
+    def test_restrictor_preserves_schema(self):
+        pattern = parse_pattern("(x) -[e]-> (y)")
+        query = ast.PatternQuery(ast.Restrictor.SHORTEST, pattern)
+        assert infer_schema(query) == infer_schema(pattern)
+
+
+class TestRepetitionRule:
+    def test_group_wrapping(self):
+        pattern = parse_pattern("[-[e]-> (y)]{1,3}")
+        schema = infer_schema(pattern)
+        assert schema == {"e": GroupType(EDGE), "y": GroupType(NODE)}
+
+    def test_nested_groups(self):
+        pattern = parse_pattern("[[-[e]->]{1,2}]{1,2}")
+        assert infer_schema(pattern) == {"e": GroupType(GroupType(EDGE))}
+
+    def test_group_of_maybe(self):
+        pattern = parse_pattern("[[(x) ->] + [->]]{1,2}")
+        assert infer_schema(pattern) == {"x": GroupType(MaybeType(NODE))}
+
+
+class TestUnionRules:
+    def test_same_type_passes_through(self):
+        pattern = parse_pattern("[(x) ->] + [(x) <-]")
+        assert infer_schema(pattern) == {"x": NODE}
+
+    def test_one_sided_variable_becomes_maybe(self):
+        pattern = parse_pattern("[(x) -> (z)] + [-> (z)]")
+        schema = infer_schema(pattern)
+        assert schema["x"] == MaybeType(NODE)
+        assert schema["z"] == NODE
+
+    def test_maybe_absorbs(self):
+        # x is Maybe on the left (nested union), plain on the right.
+        left = parse_pattern("[(x) ->] + [->]")
+        pattern = ast.Union(left, ast.node("x"))
+        assert infer_schema(pattern)["x"] == MaybeType(NODE)
+
+    def test_no_double_maybe(self):
+        # One-sided Maybe stays Maybe (tau? of Maybe is Maybe) — Prop 4.
+        inner = parse_pattern("[(x) ->] + [->]")  # x: Maybe(Node)
+        pattern = ast.Union(inner, ast.forward())
+        assert infer_schema(pattern)["x"] == MaybeType(NODE)
+
+    def test_conflicting_types_rejected(self):
+        pattern = ast.Union(ast.node("x"), ast.forward("x"))
+        with pytest.raises(TypeMismatchError):
+            infer_schema(pattern)
+
+    def test_group_vs_plain_rejected(self):
+        pattern = ast.Union(
+            ast.Repeat(ast.forward("e"), 1, 2), ast.forward("e")
+        )
+        with pytest.raises(TypeMismatchError):
+            infer_schema(pattern)
+
+
+class TestConcatenationRules:
+    def test_shared_node_variable_joins(self):
+        pattern = parse_pattern("(x) -> (y) <- (x)")
+        assert infer_schema(pattern)["x"] == NODE
+
+    def test_shared_edge_variable_joins(self):
+        pattern = ast.Concat(ast.forward("e"), ast.backward("e"))
+        assert infer_schema(pattern)["e"] == EDGE
+
+    def test_node_edge_clash_rejected(self):
+        # The paper's example: (x) -[x]-> () is not well-typed.
+        pattern = parse_pattern("(x) -[x]-> ()")
+        with pytest.raises(TypeMismatchError):
+            infer_schema(pattern)
+
+    def test_shared_group_variable_rejected(self):
+        pattern = ast.Concat(
+            ast.Repeat(ast.forward("e"), 1, 2),
+            ast.Repeat(ast.forward("e"), 1, 2),
+        )
+        with pytest.raises(IllegalJoinError):
+            infer_schema(pattern)
+
+    def test_shared_maybe_variable_rejected(self):
+        maybe_side = parse_pattern("[(x) ->] + [->]")
+        pattern = ast.Concat(maybe_side, maybe_side)
+        with pytest.raises(IllegalJoinError):
+            infer_schema(pattern)
+
+    def test_disjoint_variables_merge(self):
+        pattern = parse_pattern("(x) -[e]-> (y)")
+        assert set(infer_schema(pattern)) == {"x", "e", "y"}
+
+
+class TestConditionRules:
+    def test_condition_over_singletons_ok(self):
+        pattern = parse_pattern("[(x) -[e]-> (y)] << x.a = y.b AND e.c = 1 >>")
+        assert is_well_typed(pattern)
+
+    def test_unbound_variable_rejected(self):
+        pattern = ast.Conditioned(
+            ast.node("x"), PropertyEqualsProperty("x", "a", "zz", "b")
+        )
+        with pytest.raises(UnboundVariableError):
+            infer_schema(pattern)
+
+    def test_group_variable_in_condition_rejected(self):
+        # The paper's example: conditioning x.a = y.a over a group y.
+        pattern = ast.Conditioned(
+            parse_pattern("(x:A) -[y]->{1,} (z:B)"),
+            PropertyEqualsProperty("x", "a", "y", "a"),
+        )
+        with pytest.raises(GPCTypeError):
+            infer_schema(pattern)
+
+    def test_maybe_variable_in_condition_rejected(self):
+        maybe_pattern = parse_pattern("[(x) ->] + [->]")
+        pattern = ast.Conditioned(
+            maybe_pattern, PropertyEqualsConst("x", "a", 1)
+        )
+        with pytest.raises(GPCTypeError):
+            infer_schema(pattern)
+
+    def test_boolean_connectives_propagate(self):
+        schema = {"x": NODE}
+        condition = And(
+            Or(
+                PropertyEqualsConst("x", "a", 1),
+                Not(PropertyEqualsConst("x", "b", 2)),
+            ),
+            PropertyEqualsConst("x", "c", 3),
+        )
+        check_condition(schema, condition)  # should not raise
+
+    def test_conditioning_preserves_schema(self):
+        pattern = parse_pattern("(x) -[e]-> (y)")
+        conditioned = ast.Conditioned(pattern, PropertyEqualsConst("x", "a", 1))
+        assert infer_schema(conditioned) == infer_schema(pattern)
+
+
+class TestJoinRules:
+    def test_shared_singleton_ok(self):
+        query = parse_query("TRAIL (x) -> (y), SIMPLE (y) -> (z)")
+        schema = infer_schema(query)
+        assert schema["y"] == NODE
+
+    def test_shared_path_name_rejected(self):
+        query = parse_query("p = TRAIL (x), p = TRAIL (y)")
+        with pytest.raises(IllegalJoinError):
+            infer_schema(query)
+
+    def test_shared_group_rejected(self):
+        query = parse_query("TRAIL -[e]->{1,2}, TRAIL -[e]->{1,2}")
+        with pytest.raises(IllegalJoinError):
+            infer_schema(query)
+
+    def test_type_clash_across_join_rejected(self):
+        query = parse_query("TRAIL (x), TRAIL -[x]->")
+        with pytest.raises(TypeMismatchError):
+            infer_schema(query)
+
+
+class TestProposition2:
+    """Unique typing: every variable gets exactly one type."""
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "(x) -> (y)",
+            "[(x) ->] + [(x) <-]",
+            "[-[e]-> (y)]{1,3}",
+            "[(x) -> (z)] + [-> (z)]",
+            "[(x) -[e]-> (y)] << x.a = y.b >>",
+        ],
+    )
+    def test_schema_covers_exactly_pattern_variables(self, text):
+        pattern = parse_pattern(text)
+        schema = infer_schema(pattern)
+        assert set(schema) == set(ast.variables(pattern))
+
+    def test_schema_deterministic(self):
+        pattern = parse_pattern("[(x) -> (z)] + [-> (z)]")
+        assert infer_schema(pattern) == infer_schema(pattern)
+
+
+class TestProposition4:
+    """Associativity/commutativity wrt the type system; no Maybe(Maybe)."""
+
+    def _schemas_equal(self, p1, p2):
+        try:
+            s1 = infer_schema(p1)
+        except GPCTypeError:
+            s1 = None
+        try:
+            s2 = infer_schema(p2)
+        except GPCTypeError:
+            s2 = None
+        return s1 == s2
+
+    def test_union_commutative(self):
+        cases = [
+            (ast.node("x"), ast.forward("e")),
+            (parse_pattern("[(x) ->] + [->]"), ast.node("x")),
+            (ast.node("x"), ast.node()),
+        ]
+        for a, b in cases:
+            assert self._schemas_equal(ast.Union(a, b), ast.Union(b, a))
+
+    def test_union_associative(self):
+        a = ast.node("x")
+        b = parse_pattern("(x) ->")
+        c = ast.forward("e")
+        assert self._schemas_equal(
+            ast.Union(ast.Union(a, b), c), ast.Union(a, ast.Union(b, c))
+        )
+
+    def test_concat_commutative_wrt_types(self):
+        a = parse_pattern("(x) ->")
+        b = parse_pattern("(y) <-")
+        assert self._schemas_equal(ast.Concat(a, b), ast.Concat(b, a))
+
+    def test_concat_associative_wrt_types(self):
+        a, b, c = ast.node("x"), ast.forward("e"), ast.node("y")
+        assert self._schemas_equal(
+            ast.Concat(ast.Concat(a, b), c), ast.Concat(a, ast.Concat(b, c))
+        )
+
+    def test_no_maybe_maybe_derivable(self):
+        # Deliberately try to force Maybe(Maybe(tau)).
+        inner = ast.Union(ast.node("x"), ast.forward())  # x: Maybe(Node)
+        outer = ast.Union(inner, ast.forward())  # x still Maybe(Node)
+        schema = infer_schema(outer)
+        assert schema["x"] == MaybeType(NODE)
+        assert not isinstance(schema["x"].inner, MaybeType)
+
+    def test_maybe_wrap_idempotent(self):
+        assert maybe_wrap(maybe_wrap(NODE)) == MaybeType(NODE)
+
+
+class TestSchemaCombinators:
+    """Remark 6: sch is compositional through pure combinators."""
+
+    def test_union_combinator_matches_inference(self):
+        left = parse_pattern("(x) -> (y)")
+        right = parse_pattern("(y) <- (z)")
+        assert union_schemas(
+            infer_schema(left), infer_schema(right)
+        ) == infer_schema(ast.Union(left, right))
+
+    def test_concat_combinator_matches_inference(self):
+        left = parse_pattern("(x) ->")
+        right = parse_pattern("(x) <-")
+        assert concat_schemas(
+            infer_schema(left), infer_schema(right)
+        ) == infer_schema(ast.Concat(left, right))
+
+    def test_join_combinator_matches_inference(self):
+        q1 = parse_query("TRAIL (x) -> (y)")
+        q2 = parse_query("SIMPLE (y) <- (z)")
+        assert join_schemas(
+            infer_schema(q1), infer_schema(q2)
+        ) == infer_schema(ast.Join(q1, q2))

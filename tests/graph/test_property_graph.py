@@ -1,0 +1,167 @@
+"""The property-graph data model (Section 2)."""
+
+import pytest
+
+from repro.errors import DuplicateIdError, GraphError, UnknownIdError
+from repro.graph.ids import DirectedEdgeId, NodeId, UndirectedEdgeId
+from repro.graph.property_graph import PropertyGraph
+
+
+@pytest.fixture
+def graph() -> PropertyGraph:
+    g = PropertyGraph()
+    g.add_node("u", labels={"A", "B"}, properties={"k": 1})
+    g.add_node("v", labels={"A"})
+    g.add_node("w")
+    g.add_edge("d1", NodeId("u"), NodeId("v"), labels={"a"}, properties={"w": 2})
+    g.add_undirected_edge("u1", NodeId("v"), NodeId("w"), labels={"b"})
+    return g
+
+
+class TestConstruction:
+    def test_counts(self, graph):
+        assert graph.num_nodes == 3
+        assert graph.num_directed_edges == 1
+        assert graph.num_undirected_edges == 1
+        assert graph.num_edges == 2
+        assert len(graph) == 3
+
+    def test_duplicate_node_rejected(self, graph):
+        with pytest.raises(DuplicateIdError):
+            graph.add_node("u")
+
+    def test_duplicate_directed_edge_rejected(self, graph):
+        with pytest.raises(DuplicateIdError):
+            graph.add_edge("d1", NodeId("u"), NodeId("v"))
+
+    def test_duplicate_undirected_edge_rejected(self, graph):
+        with pytest.raises(DuplicateIdError):
+            graph.add_undirected_edge("u1", NodeId("u"), NodeId("v"))
+
+    def test_edge_to_unknown_node_rejected(self, graph):
+        with pytest.raises(UnknownIdError):
+            graph.add_edge("d2", NodeId("u"), NodeId("zz"))
+
+    def test_parallel_edges_allowed(self, graph):
+        graph.add_edge("d2", NodeId("u"), NodeId("v"), labels={"a"})
+        assert graph.num_directed_edges == 2
+
+    def test_directed_self_loop_allowed(self, graph):
+        edge = graph.add_edge("loop", NodeId("u"), NodeId("u"))
+        assert graph.source(edge) == graph.target(edge) == NodeId("u")
+
+    def test_undirected_self_loop_has_singleton_endpoints(self, graph):
+        edge = graph.add_undirected_edge("uloop", NodeId("w"), NodeId("w"))
+        assert graph.endpoints(edge) == frozenset({NodeId("w")})
+
+    def test_mutable_property_value_rejected(self, graph):
+        with pytest.raises(GraphError):
+            graph.set_property(NodeId("u"), "bad", [1, 2])
+
+    def test_non_string_property_key_rejected(self):
+        g = PropertyGraph()
+        with pytest.raises(GraphError):
+            g.add_node("n", properties={1: "x"})
+
+
+class TestAccessors:
+    def test_labels(self, graph):
+        assert graph.labels(NodeId("u")) == frozenset({"A", "B"})
+        assert graph.labels(NodeId("w")) == frozenset()
+        assert graph.labels(DirectedEdgeId("d1")) == frozenset({"a"})
+
+    def test_labels_unknown_element(self, graph):
+        with pytest.raises(UnknownIdError):
+            graph.labels(NodeId("zz"))
+
+    def test_source_target(self, graph):
+        assert graph.source(DirectedEdgeId("d1")) == NodeId("u")
+        assert graph.target(DirectedEdgeId("d1")) == NodeId("v")
+
+    def test_endpoints(self, graph):
+        assert graph.endpoints(UndirectedEdgeId("u1")) == frozenset(
+            {NodeId("v"), NodeId("w")}
+        )
+
+    def test_property_partiality(self, graph):
+        assert graph.get_property(NodeId("u"), "k") == 1
+        assert graph.get_property(NodeId("u"), "missing") is None
+        assert graph.get_property(NodeId("v"), "k") is None
+        assert graph.has_property(NodeId("u"), "k")
+        assert not graph.has_property(NodeId("v"), "k")
+
+    def test_remove_property(self, graph):
+        graph.remove_property(NodeId("u"), "k")
+        assert graph.get_property(NodeId("u"), "k") is None
+        with pytest.raises(UnknownIdError):
+            graph.remove_property(NodeId("u"), "k")
+
+    def test_properties_snapshot_is_read_only_copy(self, graph):
+        snapshot = dict(graph.properties(NodeId("u")))
+        snapshot["k"] = 999
+        assert graph.get_property(NodeId("u"), "k") == 1
+
+
+class TestLabelIndexes:
+    def test_nodes_with_label(self, graph):
+        assert graph.nodes_with_label("A") == frozenset({NodeId("u"), NodeId("v")})
+        assert graph.nodes_with_label("Z") == frozenset()
+
+    def test_edges_with_label(self, graph):
+        assert graph.directed_edges_with_label("a") == frozenset(
+            {DirectedEdgeId("d1")}
+        )
+        assert graph.undirected_edges_with_label("b") == frozenset(
+            {UndirectedEdgeId("u1")}
+        )
+
+    def test_all_labels(self, graph):
+        assert graph.all_labels() == frozenset({"A", "B", "a", "b"})
+
+    def test_all_property_keys(self, graph):
+        assert graph.all_property_keys() == frozenset({"k", "w"})
+
+
+class TestAdjacency:
+    def test_out_in_edges(self, graph):
+        assert graph.out_edges(NodeId("u")) == frozenset({DirectedEdgeId("d1")})
+        assert graph.in_edges(NodeId("v")) == frozenset({DirectedEdgeId("d1")})
+        assert graph.out_edges(NodeId("v")) == frozenset()
+
+    def test_undirected_at(self, graph):
+        assert graph.undirected_edges_at(NodeId("v")) == frozenset(
+            {UndirectedEdgeId("u1")}
+        )
+
+    def test_degree(self, graph):
+        assert graph.degree(NodeId("u")) == 1
+        assert graph.degree(NodeId("v")) == 2  # in-edge + undirected
+
+    def test_neighbours(self, graph):
+        assert graph.neighbours(NodeId("v")) == frozenset(
+            {NodeId("u"), NodeId("w")}
+        )
+
+    def test_other_endpoint(self, graph):
+        assert graph.other_endpoint(UndirectedEdgeId("u1"), NodeId("v")) == NodeId("w")
+        with pytest.raises(GraphError):
+            graph.other_endpoint(UndirectedEdgeId("u1"), NodeId("u"))
+
+    def test_other_endpoint_self_loop(self, graph):
+        edge = graph.add_undirected_edge("uloop", NodeId("w"), NodeId("w"))
+        assert graph.other_endpoint(edge, NodeId("w")) == NodeId("w")
+
+
+class TestEqualityAndCopy:
+    def test_copy_is_equal_but_independent(self, graph):
+        clone = graph.copy()
+        assert clone == graph
+        clone.add_node("extra")
+        assert clone != graph
+        assert not graph.has_node(NodeId("extra"))
+
+    def test_contains(self, graph):
+        assert NodeId("u") in graph
+        assert DirectedEdgeId("d1") in graph
+        assert NodeId("zz") not in graph
+        assert "not-an-id" not in graph

@@ -1,0 +1,52 @@
+"""JSON serialization round-trips."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import generators as G
+from repro.graph.property_graph import PropertyGraph
+from repro.graph.serialization import dumps, graph_from_dict, graph_to_dict, loads
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [
+            lambda: PropertyGraph(),
+            lambda: G.chain_graph(3, value_key="v"),
+            lambda: G.random_multigraph(6, 8, 3, seed=5),
+            lambda: G.theorem13_gadget(),
+            lambda: G.social_network(num_people=6, seed=2),
+        ],
+    )
+    def test_round_trip_equality(self, graph_factory):
+        graph = graph_factory()
+        assert loads(dumps(graph)) == graph
+
+    def test_round_trip_preserves_self_loops(self, mixed_graph):
+        assert loads(dumps(mixed_graph)) == mixed_graph
+
+    def test_dict_round_trip(self, tiny_graph):
+        assert graph_from_dict(graph_to_dict(tiny_graph)) == tiny_graph
+
+    def test_output_is_deterministic(self, diamond_graph):
+        assert dumps(diamond_graph) == dumps(diamond_graph)
+
+    def test_numeric_id_keys_survive(self):
+        g = PropertyGraph()
+        a = g.add_node(1)
+        b = g.add_node(2)
+        g.add_edge(10, a, b)
+        assert loads(dumps(g)) == g
+
+
+class TestErrors:
+    def test_unknown_format_rejected(self):
+        with pytest.raises(GraphError):
+            graph_from_dict({"format": "something-else"})
+
+    def test_unserializable_key_rejected(self):
+        g = PropertyGraph()
+        g.add_node((1, 2))
+        with pytest.raises(GraphError):
+            dumps(g)

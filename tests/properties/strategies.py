@@ -1,0 +1,139 @@
+"""Hypothesis strategies for GPC expressions and small graphs."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.gpc import ast
+from repro.gpc.conditions_ast import (
+    And,
+    Not,
+    Or,
+    PropertyEqualsConst,
+    PropertyEqualsProperty,
+)
+from repro.gpc.typing import infer_schema
+from repro.errors import GPCTypeError
+from repro.graph.generators import random_multigraph
+
+VARIABLES = ["x", "y", "z", "u", "v"]
+LABELS = ["A", "B", "a", "b"]
+KEYS = ["k", "m"]
+
+variables = st.sampled_from(VARIABLES)
+labels = st.sampled_from(LABELS)
+opt_variables = st.none() | variables
+opt_labels = st.none() | labels
+
+
+@st.composite
+def node_patterns(draw):
+    return ast.node(draw(opt_variables), draw(opt_labels))
+
+
+@st.composite
+def edge_patterns(draw):
+    direction = draw(st.sampled_from(list(ast.Direction)))
+    return ast.edge(direction, draw(opt_variables), draw(opt_labels))
+
+
+def conditions_for(schema_vars: list[str]):
+    """Conditions over the given variables (assumed singleton-typed)."""
+    if not schema_vars:
+        return st.nothing()
+    var = st.sampled_from(schema_vars)
+    key = st.sampled_from(KEYS)
+    consts = st.integers(min_value=0, max_value=3) | st.sampled_from(["s", "t"])
+    atoms = st.builds(PropertyEqualsConst, var, key, consts) | st.builds(
+        PropertyEqualsProperty, var, key, var, key
+    )
+    return st.recursive(
+        atoms,
+        lambda inner: st.builds(And, inner, inner)
+        | st.builds(Or, inner, inner)
+        | st.builds(Not, inner),
+        max_leaves=4,
+    )
+
+
+@st.composite
+def patterns(draw, max_depth: int = 3):
+    """Arbitrary (possibly ill-typed) patterns covering every
+    production of Figure 1."""
+    if max_depth == 0:
+        return draw(node_patterns() | edge_patterns())
+    branch = draw(st.integers(min_value=0, max_value=5))
+    if branch == 0:
+        return draw(node_patterns() | edge_patterns())
+    if branch == 1:
+        return ast.Union(
+            draw(patterns(max_depth=max_depth - 1)),
+            draw(patterns(max_depth=max_depth - 1)),
+        )
+    if branch == 2:
+        return ast.Concat(
+            draw(patterns(max_depth=max_depth - 1)),
+            draw(patterns(max_depth=max_depth - 1)),
+        )
+    if branch == 3:
+        lower = draw(st.integers(min_value=0, max_value=2))
+        upper = draw(st.none() | st.integers(min_value=lower, max_value=3))
+        return ast.Repeat(draw(patterns(max_depth=max_depth - 1)), lower, upper)
+    inner = draw(patterns(max_depth=max_depth - 1))
+    try:
+        schema = infer_schema(inner)
+    except GPCTypeError:
+        return inner
+    from repro.gpc.types import is_singleton
+
+    singleton_vars = [v for v, t in schema.items() if is_singleton(t)]
+    if not singleton_vars:
+        return inner
+    condition = draw(conditions_for(singleton_vars))
+    return ast.Conditioned(inner, condition)
+
+
+@st.composite
+def well_typed_patterns(draw, max_depth: int = 3):
+    """Patterns filtered to the well-typed ones."""
+    from hypothesis import assume
+
+    pattern = draw(patterns(max_depth=max_depth))
+    try:
+        infer_schema(pattern)
+    except GPCTypeError:
+        assume(False)
+    return pattern
+
+
+@st.composite
+def restrictors(draw):
+    return draw(
+        st.sampled_from(
+            [
+                ast.Restrictor.SIMPLE,
+                ast.Restrictor.TRAIL,
+                ast.Restrictor.SHORTEST,
+                ast.Restrictor.SHORTEST_SIMPLE,
+                ast.Restrictor.SHORTEST_TRAIL,
+            ]
+        )
+    )
+
+
+@st.composite
+def small_graphs(draw):
+    nodes = draw(st.integers(min_value=1, max_value=5))
+    directed = draw(st.integers(min_value=0, max_value=7))
+    undirected = draw(st.integers(min_value=0, max_value=2))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return random_multigraph(
+        nodes,
+        directed,
+        undirected,
+        node_labels=("A", "B"),
+        edge_labels=("a", "b"),
+        property_keys=("k", "m"),
+        value_range=3,
+        seed=seed,
+    )

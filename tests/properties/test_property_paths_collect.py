@@ -1,0 +1,153 @@
+"""Property-based tests for the path algebra and collect."""
+
+import sys
+from pathlib import Path as _P
+
+sys.path.insert(0, str(_P(__file__).parent))
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.graph.ids import DirectedEdgeId as E, NodeId as N
+from repro.graph.paths import Path, is_simple, is_trail
+from repro.gpc.assignments import Assignment
+from repro.gpc.collect import (
+    CollectAccumulator,
+    CollectMode,
+    collect_grouping,
+    collect_simple,
+    refactorize,
+)
+
+
+@st.composite
+def paths(draw, min_length=0, max_length=5):
+    length = draw(st.integers(min_value=min_length, max_value=max_length))
+    node_names = draw(
+        st.lists(
+            st.sampled_from("abcd"), min_size=length + 1, max_size=length + 1
+        )
+    )
+    elements = [N(node_names[0])]
+    for i in range(length):
+        elements.append(E(f"e{draw(st.integers(0, 6))}"))
+        elements.append(N(node_names[i + 1]))
+    return Path(elements)
+
+
+@settings(max_examples=150, deadline=None)
+@given(paths(), paths(), paths())
+def test_concat_associative(a, b, c):
+    assume(a.tgt == b.src and b.tgt == c.src)
+    assert a.concat(b).concat(c) == a.concat(b.concat(c))
+
+
+@settings(max_examples=150, deadline=None)
+@given(paths())
+def test_edgeless_units(p):
+    assert Path.node(p.src).concat(p) == p
+    assert p.concat(Path.node(p.tgt)) == p
+
+
+@settings(max_examples=150, deadline=None)
+@given(paths())
+def test_length_and_size_consistent(p):
+    assert p.size == 2 * len(p) + 1
+    assert len(p.nodes) == len(p) + 1
+    assert len(p.edges) == len(p)
+
+
+@settings(max_examples=150, deadline=None)
+@given(paths())
+def test_reverse_involutive(p):
+    assert p.reversed().reversed() == p
+    assert p.reversed().src == p.tgt
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 500))
+def test_simple_implies_trail_on_graph_walks(seed):
+    # A simple walk never repeats nodes, hence never repeats edges —
+    # *in a graph*, where an edge id determines its endpoints. (On
+    # synthetic sequences reusing an edge id with fresh endpoints the
+    # implication fails, which is why this property quantifies over
+    # genuine graph walks.)
+    from repro.enumeration.radix import iter_paths_radix
+    from repro.graph.generators import random_multigraph
+
+    graph = random_multigraph(4, 6, 1, seed=seed)
+    for path in iter_paths_radix(graph, 3):
+        if is_simple(path):
+            assert is_trail(path)
+
+
+@settings(max_examples=150, deadline=None)
+@given(paths(), st.integers(0, 5), st.integers(0, 5))
+def test_subpath_concat_recovers(p, i, j):
+    n = len(p)
+    i, j = min(i, n), min(j, n)
+    assume(i <= j)
+    left = p.subpath(0, i)
+    middle = p.subpath(i, j)
+    right = p.subpath(j, n)
+    assert left.concat(middle).concat(right) == p
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.integers(0, 3), max_size=10))
+def test_refactorize_partitions(lengths):
+    ranges = refactorize(lengths)
+    # Ranges tile [0, len) exactly.
+    covered = [i for start, stop in ranges for i in range(start, stop)]
+    assert covered == list(range(len(lengths)))
+    for start, stop in ranges:
+        if stop - start > 1:
+            assert all(lengths[i] == 0 for i in range(start, stop))
+    # Maximality: adjacent ranges are never both edgeless runs.
+    for (s1, e1), (s2, e2) in zip(ranges, ranges[1:]):
+        first_edgeless = all(lengths[i] == 0 for i in range(s1, e1))
+        second_edgeless = all(lengths[i] == 0 for i in range(s2, e2))
+        assert not (first_edgeless and second_edgeless)
+
+
+@st.composite
+def factor_sequences(draw):
+    """Concatenating (path, assignment) factors with a shared variable."""
+    count = draw(st.integers(1, 5))
+    factors = []
+    current = N(draw(st.sampled_from("ab")))
+    for i in range(count):
+        edgeless = draw(st.booleans())
+        if edgeless:
+            path = Path.node(current)
+            value = current
+        else:
+            nxt = N(draw(st.sampled_from("ab")))
+            path = Path.of(current, E(f"e{i}"), nxt)
+            value = path.edges[0]
+            current = nxt
+        factors.append((path, Assignment({"x": value})))
+    return factors
+
+
+@settings(max_examples=200, deadline=None)
+@given(factor_sequences())
+def test_accumulator_equals_batch_collect(factors):
+    acc = CollectAccumulator(mode=CollectMode.GROUPING)
+    for path, mu in factors:
+        acc = acc.extend(path, mu)
+        if acc is None:
+            break
+    batch = collect_grouping(factors, ["x"])
+    if acc is None:
+        assert batch is None
+    else:
+        assert acc.finalize(["x"]) == batch
+
+
+@settings(max_examples=200, deadline=None)
+@given(factor_sequences())
+def test_grouping_equals_simple_without_edgeless(factors):
+    if any(path.is_edgeless for path, _ in factors):
+        return
+    assert collect_grouping(factors, ["x"]) == collect_simple(factors, ["x"])

@@ -1,0 +1,142 @@
+"""Property-based tests of the semantics (Proposition 9 and friends)."""
+
+import sys
+from pathlib import Path as _P
+
+sys.path.insert(0, str(_P(__file__).parent))
+
+from hypothesis import given, settings
+
+from strategies import small_graphs, well_typed_patterns
+
+from repro.graph.paths import is_simple, is_trail, path_in_graph
+from repro.gpc import ast
+from repro.gpc.engine import EngineConfig, Evaluator, evaluate
+from repro.gpc.collect import CollectMode
+from repro.gpc.typing import infer_schema
+
+_BOUND = 3
+
+
+@settings(max_examples=80, deadline=None)
+@given(small_graphs(), well_typed_patterns(max_depth=2))
+def test_proposition9_conformance(graph, pattern):
+    """Every (p, mu) has p a path in G and mu conforming to sch(pi)."""
+    schema = infer_schema(pattern)
+    matches = Evaluator(graph).eval_pattern(pattern, max_length=_BOUND)
+    for path, mu in matches:
+        assert path_in_graph(path, graph)
+        assert mu.conforms_to(schema)
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_graphs(), well_typed_patterns(max_depth=2))
+def test_bounded_eval_monotone_in_bound(graph, pattern):
+    """eval(pi, L) grows monotonically with L."""
+    evaluator = Evaluator(graph)
+    small = evaluator.eval_pattern(pattern, max_length=1)
+    large = evaluator.eval_pattern(pattern, max_length=_BOUND)
+    assert small <= large
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_graphs(), well_typed_patterns(max_depth=1), well_typed_patterns(max_depth=1))
+def test_union_answers_commutative(graph, left, right):
+    from repro.errors import GPCTypeError
+
+    evaluator = Evaluator(graph)
+    try:
+        a = evaluator.eval_pattern(ast.Union(left, right), max_length=2)
+        b = evaluator.eval_pattern(ast.Union(right, left), max_length=2)
+    except GPCTypeError:
+        return
+    assert a == b
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_graphs(), well_typed_patterns(max_depth=2))
+def test_trail_simple_answers_are_subsets(graph, pattern):
+    """simple answers are trails; both filter the bounded denotation."""
+    try:
+        trail_answers = evaluate(
+            ast.PatternQuery(ast.Restrictor.TRAIL, pattern), graph
+        )
+        simple_answers = evaluate(
+            ast.PatternQuery(ast.Restrictor.SIMPLE, pattern), graph
+        )
+    except Exception:
+        # Engine resource guards may fire on adversarial repetitions.
+        return
+    for answer in trail_answers:
+        assert is_trail(answer.path)
+    for answer in simple_answers:
+        assert is_simple(answer.path)
+        # every simple path (len >= 1) is a trail; edgeless trivially.
+        assert is_trail(answer.path)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_graphs(), well_typed_patterns(max_depth=2))
+def test_shortest_minimality(graph, pattern):
+    """No two shortest answers with equal endpoints have different
+    lengths, and no shorter match exists in the bounded denotation."""
+    from repro.errors import GPCError
+
+    try:
+        answers = evaluate(
+            ast.PatternQuery(ast.Restrictor.SHORTEST, pattern), graph
+        )
+    except GPCError:
+        return
+    minima = {}
+    for answer in answers:
+        key = (answer.path.src, answer.path.tgt)
+        minima.setdefault(key, set()).add(len(answer.path))
+    assert all(len(lengths) == 1 for lengths in minima.values())
+    # Cross-check against the bounded denotation at a small horizon.
+    matches = Evaluator(graph).eval_pattern(pattern, max_length=2)
+    for path, _ in matches:
+        key = (path.src, path.tgt)
+        if key in minima:
+            assert min(minima[key]) <= len(path)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_graphs(), well_typed_patterns(max_depth=2))
+def test_collect_modes_agree_on_positive_bodies(graph, pattern):
+    """When no repetition body can match edgeless paths, all three
+    collect approaches give identical answers."""
+    from repro.gpc.minlength import may_match_edgeless
+
+    for sub in ast.iter_subpatterns(pattern):
+        if isinstance(sub, ast.Repeat) and may_match_edgeless(sub.pattern):
+            return  # approaches legitimately differ
+    results = []
+    for mode in CollectMode:
+        evaluator = Evaluator(graph, EngineConfig(collect_mode=mode))
+        results.append(evaluator.eval_pattern(pattern, max_length=_BOUND))
+    assert results[0] == results[1] == results[2]
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_graphs(), well_typed_patterns(max_depth=2))
+def test_span_matcher_agrees_with_engine(graph, pattern):
+    """Differential: the Lemma 19 span matcher reproduces the engine's
+    per-path assignment sets."""
+    from repro.enumeration.span_matcher import match_on_path
+
+    matches = Evaluator(graph).eval_pattern(pattern, max_length=2)
+    by_path = {}
+    for path, mu in matches:
+        by_path.setdefault(path, set()).add(mu)
+    for path, mus in by_path.items():
+        assert match_on_path(pattern, path, graph) == frozenset(mus)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_graphs())
+def test_engine_results_deterministic(graph):
+    from repro.gpc.parser import parse_query
+
+    query = parse_query("TRAIL (x) ->{1,2} (y)")
+    assert evaluate(query, graph) == evaluate(query, graph)

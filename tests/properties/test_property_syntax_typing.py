@@ -1,0 +1,133 @@
+"""Property-based tests: syntax round-trips and typing invariants."""
+
+import sys
+from pathlib import Path as _P
+
+sys.path.insert(0, str(_P(__file__).parent))
+
+from hypothesis import given, settings
+
+from strategies import patterns, restrictors, well_typed_patterns
+
+from repro.errors import GPCTypeError
+from repro.gpc import ast
+from repro.gpc.parser import parse_pattern, parse_query
+from repro.gpc.pretty import pretty
+from repro.gpc.types import MaybeType, is_singleton
+from repro.gpc.typing import infer_schema, is_well_typed
+
+
+@settings(max_examples=200, deadline=None)
+@given(patterns())
+def test_pretty_parse_round_trip(pattern):
+    """parse(pretty(p)) == p for every generated pattern."""
+    assert parse_pattern(pretty(pattern)) == pattern
+
+
+@settings(max_examples=100, deadline=None)
+@given(patterns(), restrictors())
+def test_query_round_trip(pattern, restrictor):
+    query = ast.PatternQuery(restrictor, pattern, name="qq")
+    assert parse_query(pretty(query)) == query
+
+
+@settings(max_examples=200, deadline=None)
+@given(patterns())
+def test_schema_domain_is_exactly_variables(pattern):
+    """Proposition 2: well-typed expressions type exactly their
+    variables (and uniquely: infer_schema is a function)."""
+    try:
+        schema = infer_schema(pattern)
+    except GPCTypeError:
+        return
+    assert set(schema) == set(ast.variables(pattern))
+
+
+@settings(max_examples=200, deadline=None)
+@given(patterns())
+def test_no_maybe_maybe(pattern):
+    """Proposition 4: Maybe(Maybe(tau)) is never derived."""
+    try:
+        schema = infer_schema(pattern)
+    except GPCTypeError:
+        return
+
+    def check(tau):
+        if isinstance(tau, MaybeType):
+            assert not isinstance(tau.inner, MaybeType)
+            check(tau.inner)
+        elif hasattr(tau, "inner"):
+            check(tau.inner)
+
+    for tau in schema.values():
+        check(tau)
+
+
+@settings(max_examples=150, deadline=None)
+@given(patterns(), patterns())
+def test_union_commutative_wrt_types(left, right):
+    """Proposition 4: union is commutative with respect to typing."""
+
+    def schema_of(pattern):
+        try:
+            return infer_schema(pattern)
+        except GPCTypeError:
+            return None
+
+    assert schema_of(ast.Union(left, right)) == schema_of(ast.Union(right, left))
+
+
+@settings(max_examples=150, deadline=None)
+@given(patterns(), patterns(), patterns())
+def test_union_associative_wrt_types(a, b, c):
+    def schema_of(pattern):
+        try:
+            return infer_schema(pattern)
+        except GPCTypeError:
+            return None
+
+    assert schema_of(ast.Union(ast.Union(a, b), c)) == schema_of(
+        ast.Union(a, ast.Union(b, c))
+    )
+
+
+@settings(max_examples=150, deadline=None)
+@given(patterns(), patterns())
+def test_concat_commutative_wrt_types(left, right):
+    def schema_of(pattern):
+        try:
+            return infer_schema(pattern)
+        except GPCTypeError:
+            return None
+
+    assert schema_of(ast.Concat(left, right)) == schema_of(
+        ast.Concat(right, left)
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(well_typed_patterns())
+def test_repetition_wraps_every_type_in_group(pattern):
+    from repro.gpc.types import GroupType
+
+    schema = infer_schema(ast.Repeat(pattern, 0, 2))
+    inner = infer_schema(pattern)
+    assert schema == {v: GroupType(t) for v, t in inner.items()}
+
+
+@settings(max_examples=100, deadline=None)
+@given(well_typed_patterns())
+def test_pattern_size_positive(pattern):
+    assert ast.pattern_size(pattern) >= 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(patterns())
+def test_min_length_le_max_length(pattern):
+    from repro.gpc.minlength import max_path_length, min_path_length
+
+    low = min_path_length(pattern)
+    high = max_path_length(pattern)
+    assert low >= 0
+    if high is not None:
+        assert low <= high

@@ -1,0 +1,24 @@
+"""Every example script runs to completion (the quickstart promise)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+    assert "Traceback" not in out
+
+
+def test_examples_exist():
+    # The deliverable requires at least three runnable examples.
+    assert len(EXAMPLES) >= 3
