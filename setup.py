@@ -10,7 +10,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     description=(
         "Reference implementation of GPC, the graph pattern calculus "
         "underlying GQL and SQL/PGQ (PODS 2023)"

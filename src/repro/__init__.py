@@ -15,7 +15,9 @@ Reproduction of "GPC: A Pattern Calculus for Property Graphs"
   bounds (Theorems 12-13);
 - :mod:`repro.extensions` — Section 7 extensions (arithmetic
   conditions, the Proposition 14 gadget, mixed restrictors, label
-  expressions, bag semantics).
+  expressions, bag semantics);
+- :mod:`repro.service` — the query-service runtime (prepared queries,
+  versioned snapshots, plan/result caching, concurrent batches).
 
 Quickstart
 ----------
@@ -32,12 +34,13 @@ Quickstart
 
 from repro.direction import Direction
 from repro.errors import GPCError
-from repro.graph import GraphBuilder, Path, PropertyGraph
+from repro.graph import GraphBuilder, GraphSnapshot, Path, PropertyGraph
 from repro.gpc import (
     CollectMode,
     EngineConfig,
     Evaluator,
     GPCPlusQuery,
+    QueryPlan,
     Restrictor,
     Rule,
     evaluate,
@@ -45,18 +48,21 @@ from repro.gpc import (
     parse_query,
     pretty,
 )
+from repro.service import GraphService, PreparedQuery, ServiceStats
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Direction",
     "GPCError",
     "GraphBuilder",
     "PropertyGraph",
+    "GraphSnapshot",
     "Path",
     "CollectMode",
     "EngineConfig",
     "Evaluator",
+    "QueryPlan",
     "GPCPlusQuery",
     "Rule",
     "Restrictor",
@@ -64,4 +70,7 @@ __all__ = [
     "parse_pattern",
     "parse_query",
     "pretty",
+    "GraphService",
+    "PreparedQuery",
+    "ServiceStats",
 ]

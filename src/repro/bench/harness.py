@@ -5,15 +5,47 @@ printed table (the analogue of the paper's "figures"); pytest-benchmark
 supplies the timing machinery, and :class:`Table` renders the measured
 series so the run log doubles as the experiment report captured in
 ``EXPERIMENTS.md``.
+
+For machine-readable tracking across PRs, set the environment variable
+``REPRO_BENCH_JSON`` to a directory: every :meth:`Table.show` then also
+writes ``BENCH_<slug>.json`` there (series as a list of row dicts),
+so CI can archive the perf trajectory without scraping stdout.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import re
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Sequence
 
-__all__ = ["Table", "time_call"]
+__all__ = ["Table", "time_call", "emit_json"]
+
+#: Directory for machine-readable benchmark results ("" disables).
+JSON_ENV_VAR = "REPRO_BENCH_JSON"
+
+
+def _slug(title: str) -> str:
+    return re.sub(r"[^A-Za-z0-9]+", "_", title).strip("_").lower()
+
+
+def emit_json(name: str, payload: Any) -> Path | None:
+    """Write ``BENCH_<name>.json`` into ``$REPRO_BENCH_JSON``.
+
+    No-op (returns ``None``) when the variable is unset or empty, so
+    interactive runs stay file-free.
+    """
+    target_dir = os.environ.get(JSON_ENV_VAR, "")
+    if not target_dir:
+        return None
+    directory = Path(target_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{_slug(name)}.json"
+    path.write_text(json.dumps(payload, indent=2, default=str) + "\n")
+    return path
 
 
 @dataclass
@@ -47,8 +79,18 @@ class Table:
                 lines.append("  ".join("-" * width for width in widths))
         return "\n".join(lines)
 
+    def as_dict(self) -> dict[str, Any]:
+        """A JSON-serialisable form: title plus one dict per row."""
+        return {
+            "title": self.title,
+            "rows": [
+                dict(zip(self.headers, row)) for row in self.rows
+            ],
+        }
+
     def show(self) -> None:
         print("\n" + self.render())
+        emit_json(self.title, self.as_dict())
 
 
 def _fmt(value: Any) -> str:

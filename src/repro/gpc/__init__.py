@@ -42,7 +42,13 @@ from repro.gpc.conditions_ast import (
     PropertyEqualsConst,
     PropertyEqualsProperty,
 )
-from repro.gpc.engine import CollectMode, EngineConfig, Evaluator, evaluate
+from repro.gpc.engine import (
+    CollectMode,
+    EngineConfig,
+    Evaluator,
+    QueryPlan,
+    evaluate,
+)
 from repro.gpc.explain import explain, explain_pattern, explain_query
 from repro.gpc.gpc_plus import GPCPlusQuery, Rule
 from repro.gpc.parser import parse_pattern, parse_query
@@ -99,6 +105,7 @@ __all__ = [
     # Engine
     "Evaluator",
     "EngineConfig",
+    "QueryPlan",
     "CollectMode",
     "evaluate",
     "explain",

@@ -27,6 +27,7 @@ from repro.errors import EvaluationLimitError, RestrictorError
 from repro.graph.ids import NodeId
 from repro.graph.paths import is_simple, is_trail
 from repro.graph.property_graph import PropertyGraph
+from repro.graph.snapshot import GraphSnapshot
 from repro.gpc import ast
 from repro.gpc.answers import Answer
 from repro.gpc.assignments import Assignment
@@ -35,7 +36,9 @@ from repro.gpc.minlength import max_path_length, validate_approach1
 from repro.gpc.semantics import BoundedEvaluator, Match, _Limits
 from repro.gpc.typing import infer_schema
 from repro.gpc.abstraction import compile_pattern_abstraction
+from repro.automata.nfa import NFA
 from repro.gpc.register_nfa import (
+    RegisterNFA,
     UnsupportedPattern,
     compile_register_nfa,
     enumerate_exact_length_walks,
@@ -43,7 +46,7 @@ from repro.gpc.register_nfa import (
 )
 from repro.automata.product import pairs_and_distances
 
-__all__ = ["EngineConfig", "Evaluator", "evaluate", "CollectMode"]
+__all__ = ["EngineConfig", "Evaluator", "QueryPlan", "evaluate", "CollectMode"]
 
 
 @dataclass(frozen=True)
@@ -81,27 +84,127 @@ class EngineConfig:
 DEFAULT_CONFIG = EngineConfig()
 
 
-class Evaluator:
-    """Evaluates GPC queries over a fixed property graph."""
+class QueryPlan:
+    """Graph-independent compiled artifacts for queries.
 
-    def __init__(self, graph: PropertyGraph, config: EngineConfig | None = None):
-        self.graph = graph
+    A plan memoises everything about a query that does *not* depend on
+    the graph: schema inference (type checking), register-NFA
+    compilation for ``shortest`` evaluation, and the condition-free
+    regular abstraction used by the deepening fallback. Plans are the
+    reuse unit of prepared queries (:mod:`repro.service`): compile
+    once, execute against any graph or graph version.
+
+    Compilation is lazy (first use memoises) unless :meth:`precompile`
+    is called; after precompilation the plan is effectively read-only
+    and safe to share across threads.
+    """
+
+    def __init__(self, config: EngineConfig | None = None):
         self.config = config or DEFAULT_CONFIG
+        #: ``None`` records that the register compiler rejected the
+        #: pattern, so the fallback is chosen without recompiling.
+        self._register_nfas: dict[ast.Pattern, RegisterNFA | None] = {}
+        self._abstractions: dict[ast.Pattern, NFA] = {}
+        self._typechecked: set[ast.Expression] = set()
+
+    def ensure_typechecked(self, expression: ast.Expression) -> None:
+        """Run ``infer_schema`` once per expression (raises on error)."""
+        if expression not in self._typechecked:
+            infer_schema(expression)
+            self._typechecked.add(expression)
+
+    def register_nfa(self, pattern: ast.Pattern) -> RegisterNFA | None:
+        """The pattern's register NFA, or ``None`` if unsupported."""
+        if pattern not in self._register_nfas:
+            try:
+                rnfa = compile_register_nfa(
+                    pattern, state_limit=self.config.automaton_state_limit
+                )
+            except UnsupportedPattern:
+                rnfa = None
+            self._register_nfas[pattern] = rnfa
+        return self._register_nfas[pattern]
+
+    def abstraction(self, pattern: ast.Pattern) -> NFA:
+        """The pattern's condition-free regular abstraction."""
+        if pattern not in self._abstractions:
+            self._abstractions[pattern] = compile_pattern_abstraction(
+                pattern, state_limit=self.config.automaton_state_limit
+            )
+        return self._abstractions[pattern]
+
+    def precompile(self, query: ast.Query) -> None:
+        """Typecheck and compile every automaton the query can need."""
+        self.ensure_typechecked(query)
+        for pattern_query in self._pattern_queries(query):
+            restrictor = pattern_query.restrictor
+            if restrictor.shortest and restrictor.mode is None:
+                if self.register_nfa(pattern_query.pattern) is None:
+                    # Fallback path: the abstraction is only consulted
+                    # when the pattern's length is syntactically
+                    # unbounded, but compiling it is cheap and keeps
+                    # execution compile-free.
+                    if max_path_length(pattern_query.pattern) is None:
+                        self.abstraction(pattern_query.pattern)
+
+    @staticmethod
+    def _pattern_queries(query: ast.Query):
+        stack = [query]
+        while stack:
+            current = stack.pop()
+            if isinstance(current, ast.PatternQuery):
+                yield current
+            elif isinstance(current, ast.Join):
+                stack.extend((current.left, current.right))
+
+
+class Evaluator:
+    """Evaluates GPC queries over a fixed property graph.
+
+    The evaluator works against an immutable :class:`GraphSnapshot` of
+    the graph taken at construction time (memoised per version by
+    :meth:`PropertyGraph.snapshot`), so its hot paths read pre-built
+    tuple indexes instead of re-freezing adjacency sets. Mutations made
+    to the graph after construction are not observed — build a new
+    evaluator (or use :class:`repro.service.GraphService`, which does
+    so automatically).
+    """
+
+    def __init__(
+        self,
+        graph: PropertyGraph | GraphSnapshot,
+        config: EngineConfig | None = None,
+        plan: QueryPlan | None = None,
+    ):
+        self.graph = graph
+        if config is None:
+            config = plan.config if plan is not None else DEFAULT_CONFIG
+        self.config = config
+        self.plan = plan if plan is not None else QueryPlan(config)
+        self._view = graph.snapshot() if hasattr(graph, "snapshot") else graph
         limits = _Limits(
             max_intermediate_results=self.config.max_intermediate_results,
             max_power_iterations=self.config.max_power_iterations,
         )
         self._bounded = BoundedEvaluator(
-            graph, collect_mode=self.config.collect_mode, limits=limits
+            self._view, collect_mode=self.config.collect_mode, limits=limits
         )
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
 
-    def evaluate(self, query: ast.Query) -> frozenset[Answer]:
-        """Compute ``[[Q]]_G`` — always finite (Theorem 10)."""
-        infer_schema(query)  # reject ill-typed queries upfront
+    def evaluate(
+        self, query: ast.Query, *, typecheck: bool = True
+    ) -> frozenset[Answer]:
+        """Compute ``[[Q]]_G`` — always finite (Theorem 10).
+
+        ``typecheck=False`` skips the upfront schema inference; only
+        pass it for queries already checked (e.g. by a prepared query's
+        plan).
+        """
+        if typecheck:
+            self.plan.ensure_typechecked(query)
         return self._eval_query(query)
 
     def eval_pattern(
@@ -114,12 +217,12 @@ class Evaluator:
         When neither is given, the trail bound ``|E|`` is used (every
         longer path repeats an edge).
         """
-        infer_schema(pattern)
+        self.plan.ensure_typechecked(pattern)
         self._validate_collect(pattern)
         if max_length is None:
             max_length = self.config.max_pattern_length
         if max_length is None:
-            max_length = self.graph.num_edges
+            max_length = self._view.num_edges
         return self._bounded.evaluate(pattern, max_length)
 
     # ------------------------------------------------------------------
@@ -156,12 +259,12 @@ class Evaluator:
     ) -> frozenset[Match]:
         self._validate_collect(pattern)
         if restrictor.mode == "trail":
-            bound = self.graph.num_edges
+            bound = self._view.num_edges
             matches = frozenset(
                 m for m in self._bounded.evaluate(pattern, bound) if is_trail(m[0])
             )
         elif restrictor.mode == "simple":
-            bound = self.graph.num_nodes
+            bound = self._view.num_nodes
             matches = frozenset(
                 m for m in self._bounded.evaluate(pattern, bound) if is_simple(m[0])
             )
@@ -187,18 +290,15 @@ class Evaluator:
         without register compilation fall back to bounded iterative
         deepening.
         """
-        try:
-            rnfa = compile_register_nfa(
-                pattern, state_limit=self.config.automaton_state_limit
-            )
-        except UnsupportedPattern:
+        rnfa = self.plan.register_nfa(pattern)
+        if rnfa is None:
             return self._eval_shortest_fallback(pattern)
         from repro.enumeration.span_matcher import match_on_path
 
         limit = self.config.shortest_deepening_limit
         answers: set[Match] = set()
-        for start in sorted(self.graph.nodes):
-            best = shortest_pair_lengths(self.graph, rnfa, start)
+        for start in sorted(self._view.nodes):
+            best = shortest_pair_lengths(self._view, rnfa, start)
             for end in sorted(best):
                 length = best[end]
                 # The register search can under-estimate in one corner:
@@ -208,10 +308,10 @@ class Evaluator:
                 while True:
                     found = False
                     for witness in enumerate_exact_length_walks(
-                        self.graph, rnfa, start, end, length
+                        self._view, rnfa, start, end, length
                     ):
                         for mu in match_on_path(
-                            pattern, witness, self.graph,
+                            pattern, witness, self._view,
                             self.config.collect_mode,
                         ):
                             answers.add((witness, mu))
@@ -237,10 +337,8 @@ class Evaluator:
             # Bounded pattern: evaluate exactly and minimise.
             return _keep_shortest(self._bounded.evaluate(pattern, syntactic_max))
         # Unbounded: iterative deepening guided by the regular abstraction.
-        nfa = compile_pattern_abstraction(
-            pattern, state_limit=self.config.automaton_state_limit
-        )
-        candidates = pairs_and_distances(self.graph, nfa)
+        nfa = self.plan.abstraction(pattern)
+        candidates = pairs_and_distances(self._view, nfa)
         if not candidates:
             return frozenset()
         limit = self.config.shortest_deepening_limit

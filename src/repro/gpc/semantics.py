@@ -26,9 +26,12 @@ capturing the grouped bindings so far. Termination for ``m = infinity``:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from repro.errors import EvaluationLimitError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.graph.snapshot import GraphSnapshot
 from repro.graph.ids import NodeId
 from repro.graph.paths import Path
 from repro.graph.property_graph import PropertyGraph
@@ -59,11 +62,15 @@ class BoundedEvaluator:
 
     Results are memoized per ``(pattern, L)``; the evaluator is
     deliberately tied to one graph so the memo never goes stale.
+    ``graph`` may be a mutable :class:`PropertyGraph` or (preferably,
+    for hot paths) an immutable
+    :class:`~repro.graph.snapshot.GraphSnapshot`, whose pre-built
+    tuple indexes this evaluator consults directly.
     """
 
     def __init__(
         self,
-        graph: PropertyGraph,
+        graph: "PropertyGraph | GraphSnapshot",
         collect_mode: CollectMode = CollectMode.GROUPING,
         limits: _Limits | None = None,
     ):
@@ -145,23 +152,37 @@ class BoundedEvaluator:
             )
             out.append((Path.of(a, edge, b), mu))
 
+        # The label indexes do the filtering (a dict lookup on
+        # snapshots), so the loops below stay test-free.
         if pattern.direction is ast.Direction.FORWARD:
-            for edge in graph.directed_edges:
-                if label is None or label in graph.labels(edge):
-                    emit(graph.source(edge), edge, graph.target(edge))
+            edges = (
+                graph.directed_edges
+                if label is None
+                else graph.directed_edges_with_label(label)
+            )
+            for edge in edges:
+                emit(graph.source(edge), edge, graph.target(edge))
         elif pattern.direction is ast.Direction.BACKWARD:
-            for edge in graph.directed_edges:
-                if label is None or label in graph.labels(edge):
-                    emit(graph.target(edge), edge, graph.source(edge))
+            edges = (
+                graph.directed_edges
+                if label is None
+                else graph.directed_edges_with_label(label)
+            )
+            for edge in edges:
+                emit(graph.target(edge), edge, graph.source(edge))
         else:
-            for edge in graph.undirected_edges:
-                if label is None or label in graph.labels(edge):
-                    ends = sorted(graph.endpoints(edge))
-                    if len(ends) == 1:
-                        emit(ends[0], edge, ends[0])
-                    else:
-                        emit(ends[0], edge, ends[1])
-                        emit(ends[1], edge, ends[0])
+            uedges = (
+                graph.undirected_edges
+                if label is None
+                else graph.undirected_edges_with_label(label)
+            )
+            for edge in uedges:
+                ends = sorted(graph.endpoints(edge))
+                if len(ends) == 1:
+                    emit(ends[0], edge, ends[0])
+                else:
+                    emit(ends[0], edge, ends[1])
+                    emit(ends[1], edge, ends[0])
         return frozenset(out)
 
     # -- composite patterns ----------------------------------------------

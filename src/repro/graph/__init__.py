@@ -6,6 +6,8 @@ This package implements the data model the calculus is defined over:
   undirected-edge identifiers;
 - :mod:`repro.graph.property_graph` — the property graph
   ``G = <N, Ed, Eu, lambda, endpoints, src, tgt, delta>``;
+- :mod:`repro.graph.snapshot` — immutable per-version adjacency views
+  consumed by the engine and the query-service runtime;
 - :mod:`repro.graph.builder` — a fluent construction API;
 - :mod:`repro.graph.paths` — paths (walks), concatenation, and the
   trail/simple predicates used by restrictors;
@@ -17,6 +19,7 @@ This package implements the data model the calculus is defined over:
 
 from repro.graph.ids import EdgeId, NodeId, UndirectedEdgeId, DirectedEdgeId
 from repro.graph.property_graph import PropertyGraph
+from repro.graph.snapshot import GraphSnapshot
 from repro.graph.builder import GraphBuilder
 from repro.graph.paths import Path, concat_paths, is_simple, is_trail
 
@@ -26,6 +29,7 @@ __all__ = [
     "DirectedEdgeId",
     "UndirectedEdgeId",
     "PropertyGraph",
+    "GraphSnapshot",
     "GraphBuilder",
     "Path",
     "concat_paths",

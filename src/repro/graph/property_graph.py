@@ -20,7 +20,10 @@ at mutation time so that evaluation code can rely on them.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Iterator, Mapping
+from typing import TYPE_CHECKING, Hashable, Iterable, Iterator, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.graph.snapshot import GraphSnapshot
 
 from repro.errors import DuplicateIdError, GraphError, UnknownIdError
 from repro.graph.ids import (
@@ -39,10 +42,22 @@ Constant = Hashable
 
 
 def _check_constant(value: object) -> None:
-    if isinstance(value, (list, dict, set)):
+    if value is None:
+        # ``None`` encodes "delta undefined" in get_property; storing
+        # it would create a key that has_property reports as absent.
+        raise GraphError(
+            "None is not an admissible constant; use remove_property "
+            "to make a property undefined"
+        )
+    if isinstance(value, (list, dict, set, bytearray)):
         raise GraphError(
             f"property values must be immutable constants, got {type(value).__name__}"
         )
+    if isinstance(value, tuple):
+        # Tuples are hashable only when their items are; a mutable value
+        # smuggled inside (e.g. ("a", [1])) would break hashing downstream.
+        for item in value:
+            _check_constant(item)
 
 
 class PropertyGraph:
@@ -75,6 +90,43 @@ class PropertyGraph:
         self._out: dict[NodeId, set[DirectedEdgeId]] = {}
         self._in: dict[NodeId, set[DirectedEdgeId]] = {}
         self._undirected_at: dict[NodeId, set[UndirectedEdgeId]] = {}
+        # Monotonic mutation counter; drives snapshot memoisation and
+        # cache invalidation in the service layer.
+        self._version = 0
+        self._snapshot_cache: "GraphSnapshot | None" = None
+
+    # ------------------------------------------------------------------
+    # Versioning and snapshots
+    # ------------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonically increasing counter, bumped by every mutation.
+
+        Two reads of an equal version are guaranteed to observe the
+        same graph; the query-service layer keys its result caches on
+        it and :meth:`snapshot` memoises per version.
+        """
+        return self._version
+
+    def _bump(self) -> None:
+        self._version += 1
+        self._snapshot_cache = None
+
+    def snapshot(self) -> "GraphSnapshot":
+        """An immutable, fully indexed view of the current version.
+
+        The snapshot is memoised: repeated calls between mutations
+        return the same object, so evaluators share one set of
+        materialised indexes until the graph changes.
+        """
+        cached = self._snapshot_cache
+        if cached is None or cached.version != self._version:
+            from repro.graph.snapshot import GraphSnapshot
+
+            cached = GraphSnapshot(self)
+            self._snapshot_cache = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Mutation
@@ -99,6 +151,7 @@ class PropertyGraph:
         self._undirected_at[node] = set()
         if properties:
             self._set_properties(node, properties)
+        self._bump()
         return node
 
     def add_edge(
@@ -122,6 +175,7 @@ class PropertyGraph:
         self._in[target].add(edge)
         if properties:
             self._set_properties(edge, properties)
+        self._bump()
         return edge
 
     def add_undirected_edge(
@@ -148,6 +202,7 @@ class PropertyGraph:
         self._undirected_at[endpoint_b].add(edge)
         if properties:
             self._set_properties(edge, properties)
+        self._bump()
         return edge
 
     def set_property(self, element: GraphElementId, key: str, value: Constant) -> None:
@@ -155,6 +210,7 @@ class PropertyGraph:
         self._require_element(element)
         _check_constant(value)
         self._properties.setdefault(element, {})[key] = value
+        self._bump()
 
     def remove_property(self, element: GraphElementId, key: str) -> None:
         """Make ``delta(element, key)`` undefined again."""
@@ -165,6 +221,60 @@ class PropertyGraph:
         del props[key]
         if not props:
             del self._properties[element]
+        self._bump()
+
+    def remove_edge(self, edge: DirectedEdgeId) -> None:
+        """Remove a directed edge, its properties, and its adjacency
+        entries."""
+        if edge not in self._dedge_labels:
+            raise UnknownIdError(f"unknown directed edge {edge!r}")
+        self._out[self._src[edge]].discard(edge)
+        self._in[self._tgt[edge]].discard(edge)
+        del self._dedge_labels[edge]
+        del self._src[edge]
+        del self._tgt[edge]
+        self._properties.pop(edge, None)
+        self._bump()
+
+    def remove_undirected_edge(self, edge: UndirectedEdgeId) -> None:
+        """Remove an undirected edge, its properties, and its adjacency
+        entries."""
+        if edge not in self._uedge_labels:
+            raise UnknownIdError(f"unknown undirected edge {edge!r}")
+        for endpoint in self._endpoints[edge]:
+            self._undirected_at[endpoint].discard(edge)
+        del self._uedge_labels[edge]
+        del self._endpoints[edge]
+        self._properties.pop(edge, None)
+        self._bump()
+
+    def remove_node(self, node: NodeId) -> None:
+        """Remove a node together with every incident edge (cascade).
+
+        All adjacency and property indexes are kept consistent; the
+        version counter is bumped exactly once for the whole cascade.
+        """
+        self._require_node(node)
+        for edge in tuple(self._out[node]) + tuple(self._in[node]):
+            if edge in self._dedge_labels:  # self-loops appear in both
+                self._out[self._src[edge]].discard(edge)
+                self._in[self._tgt[edge]].discard(edge)
+                del self._dedge_labels[edge]
+                del self._src[edge]
+                del self._tgt[edge]
+                self._properties.pop(edge, None)
+        for edge in tuple(self._undirected_at[node]):
+            for endpoint in self._endpoints[edge]:
+                self._undirected_at[endpoint].discard(edge)
+            del self._uedge_labels[edge]
+            del self._endpoints[edge]
+            self._properties.pop(edge, None)
+        del self._node_labels[node]
+        del self._out[node]
+        del self._in[node]
+        del self._undirected_at[node]
+        self._properties.pop(node, None)
+        self._bump()
 
     def _set_properties(
         self, element: GraphElementId, properties: Mapping[str, Constant]

@@ -1,0 +1,298 @@
+"""Immutable, index-heavy snapshots of a property graph.
+
+:class:`GraphSnapshot` is a frozen view of a :class:`~repro.graph.property_graph.PropertyGraph`
+taken at a specific :attr:`~GraphSnapshot.version`. It exposes the same
+read API the evaluation engine consults (``labels``, ``source``,
+``target``, ``endpoints``, ``get_property``, adjacency accessors,
+label indexes) but backs every accessor with data materialised once at
+construction time:
+
+- adjacency (``out_edges`` / ``in_edges`` / ``undirected_edges_at``)
+  returns pre-built sorted **tuples** instead of re-freezing the
+  mutable ``set`` indexes on every call;
+- the carrier sets (``nodes``, ``directed_edges``,
+  ``undirected_edges``) are pre-sorted tuples, so the engine's
+  deterministic iteration order comes for free;
+- label→elements indexes are inverted once, turning the engine's
+  per-call label scans into dictionary lookups.
+
+Snapshots are the unit of sharing in the query-service runtime
+(:mod:`repro.service`): they are safe to read from many threads
+concurrently and are memoised per graph version by
+:meth:`PropertyGraph.snapshot`, so repeated evaluations against an
+unchanged graph never rebuild the indexes.
+
+Accessors mirror :class:`PropertyGraph` semantically but return tuples
+where the mutable graph returns frozensets; the engine only iterates,
+sorts and counts these collections, so the two are interchangeable.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Mapping
+
+from repro.errors import GraphError, UnknownIdError
+from repro.graph.ids import (
+    DirectedEdgeId,
+    EdgeId,
+    GraphElementId,
+    NodeId,
+    UndirectedEdgeId,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.graph.property_graph import Constant, PropertyGraph
+
+__all__ = ["GraphSnapshot"]
+
+_EMPTY: tuple = ()
+
+
+def _invert_labels(table: Mapping) -> dict[str, tuple]:
+    by_label: dict[str, list] = {}
+    for element, labels in table.items():
+        for label in labels:
+            by_label.setdefault(label, []).append(element)
+    return {label: tuple(sorted(members)) for label, members in by_label.items()}
+
+
+class GraphSnapshot:
+    """A read-only, fully indexed copy of one graph version.
+
+    Construct via :meth:`PropertyGraph.snapshot` (memoised per version)
+    rather than directly; direct construction always re-copies.
+    """
+
+    __slots__ = (
+        "version",
+        "_node_labels",
+        "_dedge_labels",
+        "_uedge_labels",
+        "_src",
+        "_tgt",
+        "_endpoints",
+        "_properties",
+        "_out",
+        "_in",
+        "_undirected_at",
+        "_nodes",
+        "_dedges",
+        "_uedges",
+        "_nodes_by_label",
+        "_dedges_by_label",
+        "_uedges_by_label",
+    )
+
+    def __init__(self, graph: "PropertyGraph") -> None:
+        self.version = graph.version
+        self._node_labels = dict(graph._node_labels)
+        self._dedge_labels = dict(graph._dedge_labels)
+        self._uedge_labels = dict(graph._uedge_labels)
+        self._src = dict(graph._src)
+        self._tgt = dict(graph._tgt)
+        self._endpoints = dict(graph._endpoints)
+        self._properties = {
+            element: dict(props) for element, props in graph._properties.items()
+        }
+        self._out = {n: tuple(sorted(s)) for n, s in graph._out.items()}
+        self._in = {n: tuple(sorted(s)) for n, s in graph._in.items()}
+        self._undirected_at = {
+            n: tuple(sorted(s)) for n, s in graph._undirected_at.items()
+        }
+        self._nodes = tuple(sorted(self._node_labels))
+        self._dedges = tuple(sorted(self._dedge_labels))
+        self._uedges = tuple(sorted(self._uedge_labels))
+        self._nodes_by_label = _invert_labels(self._node_labels)
+        self._dedges_by_label = _invert_labels(self._dedge_labels)
+        self._uedges_by_label = _invert_labels(self._uedge_labels)
+
+    # ------------------------------------------------------------------
+    # Formal accessors (same contracts as PropertyGraph)
+    # ------------------------------------------------------------------
+
+    def labels(self, element: GraphElementId) -> frozenset[str]:
+        for table in (self._node_labels, self._dedge_labels, self._uedge_labels):
+            if element in table:
+                return table[element]
+        raise UnknownIdError(f"unknown element {element!r}")
+
+    def source(self, edge: DirectedEdgeId) -> NodeId:
+        try:
+            return self._src[edge]
+        except KeyError:
+            raise UnknownIdError(f"unknown directed edge {edge!r}") from None
+
+    def target(self, edge: DirectedEdgeId) -> NodeId:
+        try:
+            return self._tgt[edge]
+        except KeyError:
+            raise UnknownIdError(f"unknown directed edge {edge!r}") from None
+
+    def endpoints(self, edge: UndirectedEdgeId) -> frozenset[NodeId]:
+        try:
+            return self._endpoints[edge]
+        except KeyError:
+            raise UnknownIdError(f"unknown undirected edge {edge!r}") from None
+
+    def get_property(self, element: GraphElementId, key: str) -> "Constant | None":
+        props = self._properties.get(element)
+        if props is not None:
+            return props.get(key)
+        if not self.has_element(element):
+            raise UnknownIdError(f"unknown element {element!r}")
+        return None
+
+    def has_property(self, element: GraphElementId, key: str) -> bool:
+        return self.get_property(element, key) is not None
+
+    def properties(self, element: GraphElementId) -> Mapping[str, "Constant"]:
+        if not self.has_element(element):
+            raise UnknownIdError(f"unknown element {element!r}")
+        return dict(self._properties.get(element, {}))
+
+    # ------------------------------------------------------------------
+    # Carrier sets and counting
+    # ------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> tuple[NodeId, ...]:
+        """The node set ``N`` as a sorted tuple."""
+        return self._nodes
+
+    @property
+    def directed_edges(self) -> tuple[DirectedEdgeId, ...]:
+        return self._dedges
+
+    @property
+    def undirected_edges(self) -> tuple[UndirectedEdgeId, ...]:
+        return self._uedges
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_directed_edges(self) -> int:
+        return len(self._dedges)
+
+    @property
+    def num_undirected_edges(self) -> int:
+        return len(self._uedges)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._dedges) + len(self._uedges)
+
+    def iter_nodes(self) -> Iterator[NodeId]:
+        return iter(self._nodes)
+
+    def iter_directed_edges(self) -> Iterator[DirectedEdgeId]:
+        return iter(self._dedges)
+
+    def iter_undirected_edges(self) -> Iterator[UndirectedEdgeId]:
+        return iter(self._uedges)
+
+    # ------------------------------------------------------------------
+    # Label indexes (O(1) lookups, unlike the mutable graph's scans)
+    # ------------------------------------------------------------------
+
+    def nodes_with_label(self, label: str) -> tuple[NodeId, ...]:
+        return self._nodes_by_label.get(label, _EMPTY)
+
+    def directed_edges_with_label(self, label: str) -> tuple[DirectedEdgeId, ...]:
+        return self._dedges_by_label.get(label, _EMPTY)
+
+    def undirected_edges_with_label(
+        self, label: str
+    ) -> tuple[UndirectedEdgeId, ...]:
+        return self._uedges_by_label.get(label, _EMPTY)
+
+    def all_labels(self) -> frozenset[str]:
+        return frozenset(self._nodes_by_label) | frozenset(
+            self._dedges_by_label
+        ) | frozenset(self._uedges_by_label)
+
+    # ------------------------------------------------------------------
+    # Adjacency
+    # ------------------------------------------------------------------
+
+    def out_edges(self, node: NodeId) -> tuple[DirectedEdgeId, ...]:
+        try:
+            return self._out[node]
+        except KeyError:
+            raise UnknownIdError(f"unknown node {node!r}") from None
+
+    def in_edges(self, node: NodeId) -> tuple[DirectedEdgeId, ...]:
+        try:
+            return self._in[node]
+        except KeyError:
+            raise UnknownIdError(f"unknown node {node!r}") from None
+
+    def undirected_edges_at(self, node: NodeId) -> tuple[UndirectedEdgeId, ...]:
+        try:
+            return self._undirected_at[node]
+        except KeyError:
+            raise UnknownIdError(f"unknown node {node!r}") from None
+
+    def degree(self, node: NodeId) -> int:
+        return (
+            len(self.out_edges(node))
+            + len(self._in[node])
+            + len(self._undirected_at[node])
+        )
+
+    def neighbours(self, node: NodeId) -> frozenset[NodeId]:
+        out: set[NodeId] = set()
+        for edge in self.out_edges(node):
+            out.add(self._tgt[edge])
+        for edge in self._in[node]:
+            out.add(self._src[edge])
+        for edge in self._undirected_at[node]:
+            out.add(self.other_endpoint(edge, node))
+        return frozenset(out)
+
+    def other_endpoint(self, edge: UndirectedEdgeId, node: NodeId) -> NodeId:
+        ends = self.endpoints(edge)
+        if node not in ends:
+            raise GraphError(f"{node!r} is not an endpoint of {edge!r}")
+        if len(ends) == 1:
+            return node
+        (other,) = ends - {node}
+        return other
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def has_node(self, node: NodeId) -> bool:
+        return node in self._node_labels
+
+    def has_edge(self, edge: EdgeId) -> bool:
+        return edge in self._dedge_labels or edge in self._uedge_labels
+
+    def has_element(self, element: GraphElementId) -> bool:
+        return (
+            element in self._node_labels
+            or element in self._dedge_labels
+            or element in self._uedge_labels
+        )
+
+    def snapshot(self) -> "GraphSnapshot":
+        """A snapshot of a snapshot is itself (already immutable)."""
+        return self
+
+    def __contains__(self, element: object) -> bool:
+        try:
+            return self.has_element(element)  # type: ignore[arg-type]
+        except Exception:
+            return False
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphSnapshot(version={self.version}, nodes={self.num_nodes}, "
+            f"directed_edges={self.num_directed_edges}, "
+            f"undirected_edges={self.num_undirected_edges})"
+        )

@@ -1,0 +1,35 @@
+"""The query-service runtime: serving-layer reuse on top of the engine.
+
+The paper's evaluator (:mod:`repro.gpc.engine`) is a one-shot
+computation: parse, typecheck, compile, evaluate, discard. This
+package adds the serving layer a production deployment needs —
+prepared statements, versioned snapshots, plan/result caching, batch
+concurrency and metrics:
+
+- :mod:`repro.service.service` — the :class:`GraphService` façade;
+- :mod:`repro.service.prepared` — :class:`PreparedQuery` (compile
+  once, execute against any graph version);
+- :mod:`repro.service.cache` — the thread-safe LRU used for plans and
+  results;
+- :mod:`repro.service.stats` — :class:`ServiceStats` (hit rates,
+  latency percentiles).
+
+Cache correctness hinges on :attr:`PropertyGraph.version`: every
+mutation bumps it, result keys embed it, and
+:meth:`PropertyGraph.snapshot` memoises per version — so cached state
+is never served across a mutation.
+"""
+
+from repro.service.cache import LRUCache
+from repro.service.prepared import PreparedQuery
+from repro.service.service import GraphService
+from repro.service.stats import CacheStats, LatencyRecorder, ServiceStats
+
+__all__ = [
+    "GraphService",
+    "PreparedQuery",
+    "LRUCache",
+    "CacheStats",
+    "LatencyRecorder",
+    "ServiceStats",
+]

@@ -1,0 +1,87 @@
+"""A small thread-safe LRU cache used for plans and results.
+
+Keys must be hashable; the service layer keys plan entries by
+``(query, config)`` and result entries by ``(query, config,
+graph_version)``, so a graph mutation (version bump) makes every stale
+result key simply miss, and the LRU policy eventually evicts the dead
+entries without any explicit invalidation walk.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Hashable, TypeVar
+
+from repro.service.stats import CacheStats
+
+__all__ = ["LRUCache"]
+
+V = TypeVar("V")
+
+_MISSING = object()
+
+
+class LRUCache:
+    """Least-recently-used mapping with hit/miss/eviction accounting."""
+
+    def __init__(self, capacity: int, stats: CacheStats | None = None):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.stats = stats if stats is not None else CacheStats()
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: Hashable, default: V = None) -> V:  # type: ignore[assignment]
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self.stats.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value  # type: ignore[return-value]
+
+    def put(self, key: Hashable, value: object) -> None:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def get_or_create(self, key: Hashable, factory: Callable[[], V]) -> V:
+        """Return the cached value, creating and caching it on miss.
+
+        The factory runs outside the lock (it may be expensive, e.g. a
+        query compilation); concurrent misses on the same key may both
+        run it, and the last writer wins — acceptable because cached
+        values are idempotently recomputable.
+        """
+        value = self.get(key, _MISSING)
+        if value is not _MISSING:
+            return value  # type: ignore[return-value]
+        created = factory()
+        self.put(key, created)
+        return created
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __repr__(self) -> str:
+        return (
+            f"LRUCache(capacity={self.capacity}, size={len(self)}, "
+            f"hits={self.stats.hits}, misses={self.stats.misses}, "
+            f"evictions={self.stats.evictions})"
+        )

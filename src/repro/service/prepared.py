@@ -1,0 +1,65 @@
+"""Prepared queries: parse / typecheck / compile once, execute many.
+
+A :class:`PreparedQuery` is the GPC analogue of a prepared statement.
+Construction does all graph-independent work exactly once:
+
+- parsing (when given concrete syntax),
+- schema inference / type checking (Section 4),
+- register-NFA and regular-abstraction compilation for ``shortest``
+  evaluation (both memoised in a :class:`~repro.gpc.engine.QueryPlan`).
+
+:meth:`PreparedQuery.execute` then runs the compiled plan against any
+graph — or any *version* of a graph — paying only the evaluation cost.
+After construction the plan is read-only, so one prepared query can be
+executed from many threads concurrently (each execution builds its own
+:class:`~repro.gpc.engine.Evaluator` over an immutable snapshot).
+"""
+
+from __future__ import annotations
+
+from repro.gpc import ast
+from repro.gpc.answers import Answer
+from repro.gpc.engine import EngineConfig, Evaluator, QueryPlan
+from repro.gpc.parser import parse_query
+from repro.graph.property_graph import PropertyGraph
+from repro.graph.snapshot import GraphSnapshot
+
+__all__ = ["PreparedQuery"]
+
+
+class PreparedQuery:
+    """A parsed, typechecked, compiled — and re-executable — query."""
+
+    __slots__ = ("text", "query", "config", "plan")
+
+    def __init__(
+        self,
+        query: str | ast.Query,
+        config: EngineConfig | None = None,
+    ):
+        if isinstance(query, str):
+            self.text: str | None = query
+            self.query = parse_query(query)
+        else:
+            self.text = None
+            self.query = query
+        self.plan = QueryPlan(config)
+        self.config = self.plan.config
+        # Typechecks and compiles every automaton the query can need;
+        # raises the same errors one-shot evaluation would.
+        self.plan.precompile(self.query)
+
+    def execute(
+        self, graph: PropertyGraph | GraphSnapshot
+    ) -> frozenset[Answer]:
+        """Evaluate against ``graph`` reusing the compiled plan.
+
+        Equivalent to ``Evaluator(graph, config).evaluate(query)`` —
+        same answers, none of the per-call compilation.
+        """
+        evaluator = Evaluator(graph, self.config, plan=self.plan)
+        return evaluator.evaluate(self.query, typecheck=False)
+
+    def __repr__(self) -> str:
+        shown = self.text if self.text is not None else self.query
+        return f"PreparedQuery({shown!r})"

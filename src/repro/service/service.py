@@ -1,0 +1,296 @@
+"""The :class:`GraphService` façade — a query-serving runtime.
+
+``GraphService`` owns one :class:`~repro.graph.property_graph.PropertyGraph`
+and serves queries against it with every layer of reuse the engine
+supports:
+
+- **prepared queries** (plan cache): parsing, type checking and
+  automaton compilation happen once per distinct ``(query, config)``;
+- **versioned snapshots**: evaluation runs against the graph's
+  memoised per-version :class:`~repro.graph.snapshot.GraphSnapshot`,
+  so adjacency indexes are materialised once per version, not per
+  call;
+- **result cache**: answers are memoised per ``(query, config,
+  graph_version)`` — any mutation bumps the version, so stale entries
+  can never be served;
+- **concurrent batches**: :meth:`evaluate_batch` fans independent
+  queries out over a thread pool (snapshots and precompiled plans are
+  immutable, hence safely shared).
+
+:class:`~repro.service.stats.ServiceStats` records cache hits, misses,
+evictions and latency percentiles for observability.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from repro.gpc import ast
+from repro.gpc.answers import Answer
+from repro.gpc.engine import DEFAULT_CONFIG, EngineConfig
+from repro.graph.ids import (
+    DirectedEdgeId,
+    GraphElementId,
+    NodeId,
+    UndirectedEdgeId,
+)
+from repro.graph.property_graph import Constant, PropertyGraph
+from repro.graph.snapshot import GraphSnapshot
+from repro.service.cache import LRUCache
+from repro.service.prepared import PreparedQuery
+from repro.service.stats import ServiceStats
+
+__all__ = ["GraphService"]
+
+
+class GraphService:
+    """Serve GPC queries over one (mutable, versioned) property graph.
+
+    Example
+    -------
+    >>> from repro import GraphBuilder
+    >>> from repro.service import GraphService
+    >>> g = (GraphBuilder().node("a", "P").node("b", "P")
+    ...      .edge("a", "b", "knows").build())
+    >>> service = GraphService(g)
+    >>> len(service.evaluate("TRAIL (x:P) -[:knows]-> (y:P)"))
+    1
+    >>> service.stats.result_cache.misses
+    1
+    >>> _ = service.evaluate("TRAIL (x:P) -[:knows]-> (y:P)")  # cache hit
+    >>> service.stats.result_cache.hits
+    1
+    """
+
+    def __init__(
+        self,
+        graph: PropertyGraph | None = None,
+        config: EngineConfig | None = None,
+        *,
+        plan_cache_size: int = 256,
+        result_cache_size: int = 4096,
+        max_workers: int | None = None,
+    ):
+        self._graph = graph if graph is not None else PropertyGraph()
+        self.config = config or DEFAULT_CONFIG
+        self.stats = ServiceStats()
+        self._plan_cache = LRUCache(plan_cache_size, self.stats.plan_cache)
+        self._result_cache = LRUCache(result_cache_size, self.stats.result_cache)
+        self._max_workers = max_workers
+        self._executor: ThreadPoolExecutor | None = None
+        self._lock = threading.RLock()
+        self._last_snapshot_version: int | None = None
+
+    # ------------------------------------------------------------------
+    # Graph access and mutation (delegations bump the version)
+    # ------------------------------------------------------------------
+
+    @property
+    def graph(self) -> PropertyGraph:
+        """The underlying graph; mutating it invalidates caches.
+
+        ``PropertyGraph`` itself is not thread-safe: when serving
+        concurrently (e.g. during :meth:`evaluate_batch`), mutate
+        through the service's delegating methods below — they hold the
+        service lock, so snapshot construction never observes a
+        half-applied mutation.
+        """
+        return self._graph
+
+    @property
+    def version(self) -> int:
+        """The graph's current version (changes on every mutation)."""
+        return self._graph.version
+
+    def snapshot(self) -> GraphSnapshot:
+        """The memoised snapshot of the current graph version."""
+        with self._lock:
+            snap = self._graph.snapshot()
+            if snap.version != self._last_snapshot_version:
+                self._last_snapshot_version = snap.version
+                self.stats.snapshots_built += 1
+            return snap
+
+    def add_node(
+        self,
+        key: Hashable,
+        labels: Iterable[str] = (),
+        properties: Mapping[str, Constant] | None = None,
+    ) -> NodeId:
+        with self._lock:
+            return self._graph.add_node(key, labels, properties)
+
+    def add_edge(
+        self,
+        key: Hashable,
+        source: NodeId,
+        target: NodeId,
+        labels: Iterable[str] = (),
+        properties: Mapping[str, Constant] | None = None,
+    ) -> DirectedEdgeId:
+        with self._lock:
+            return self._graph.add_edge(
+                key, source, target, labels, properties
+            )
+
+    def add_undirected_edge(
+        self,
+        key: Hashable,
+        endpoint_a: NodeId,
+        endpoint_b: NodeId,
+        labels: Iterable[str] = (),
+        properties: Mapping[str, Constant] | None = None,
+    ) -> UndirectedEdgeId:
+        with self._lock:
+            return self._graph.add_undirected_edge(
+                key, endpoint_a, endpoint_b, labels, properties
+            )
+
+    def set_property(
+        self, element: GraphElementId, key: str, value: Constant
+    ) -> None:
+        with self._lock:
+            self._graph.set_property(element, key, value)
+
+    def remove_node(self, node: NodeId) -> None:
+        with self._lock:
+            self._graph.remove_node(node)
+
+    def remove_edge(self, edge: DirectedEdgeId) -> None:
+        with self._lock:
+            self._graph.remove_edge(edge)
+
+    def remove_undirected_edge(self, edge: UndirectedEdgeId) -> None:
+        with self._lock:
+            self._graph.remove_undirected_edge(edge)
+
+    # ------------------------------------------------------------------
+    # Prepared queries (plan cache)
+    # ------------------------------------------------------------------
+
+    def prepare(
+        self, query: str | ast.Query, config: EngineConfig | None = None
+    ) -> PreparedQuery:
+        """Parse/typecheck/compile once; memoised per (query, config).
+
+        Both concrete-syntax strings and :mod:`repro.gpc.ast` queries
+        are accepted (AST nodes are hashable, so either keys the
+        cache).
+        """
+        config = config or self.config
+        key = (query, config)
+        return self._plan_cache.get_or_create(
+            key, lambda: PreparedQuery(query, config)
+        )
+
+    # ------------------------------------------------------------------
+    # Evaluation (result cache + snapshots)
+    # ------------------------------------------------------------------
+
+    def evaluate(
+        self,
+        query: str | ast.Query,
+        config: EngineConfig | None = None,
+        *,
+        use_cache: bool = True,
+    ) -> frozenset[Answer]:
+        """Evaluate ``query`` against the current graph version.
+
+        Results are set-identical to one-shot
+        ``Evaluator(graph, config).evaluate(parse_query(query))``; the
+        service merely amortises compilation (plan cache), adjacency
+        materialisation (snapshot memo) and repeated evaluation
+        (result cache).
+        """
+        config = config or self.config
+        started = time.perf_counter()
+        # Snapshot first and key the result by the snapshot's own
+        # version: a concurrent mutation then yields a different key
+        # rather than a stale entry under the new version.
+        snap = self.snapshot()
+        result_key = (query, config, snap.version)
+        if use_cache:
+            cached = self._result_cache.get(result_key)
+            if cached is not None:
+                self._record_query(started)
+                return cached
+        else:
+            with self._lock:
+                self.stats.result_cache.misses += 1
+        prepared = self.prepare(query, config)
+        result = prepared.execute(snap)
+        if use_cache:
+            self._result_cache.put(result_key, result)
+        self._record_query(started)
+        return result
+
+    def evaluate_batch(
+        self,
+        queries: Sequence[str | ast.Query],
+        config: EngineConfig | None = None,
+        *,
+        use_cache: bool = True,
+    ) -> list[frozenset[Answer]]:
+        """Evaluate independent queries concurrently.
+
+        Returns results in input order. Every query is evaluated
+        against the same graph snapshot semantics as
+        :meth:`evaluate` (answers are frozensets, so the outcome is
+        deterministic regardless of thread scheduling).
+        """
+        with self._lock:
+            self.stats.batches += 1
+        if not queries:
+            return []
+        executor = self._ensure_executor()
+        futures = [
+            executor.submit(self.evaluate, query, config, use_cache=use_cache)
+            for query in queries
+        ]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    # Lifecycle / maintenance
+    # ------------------------------------------------------------------
+
+    def clear_caches(self) -> None:
+        """Drop every cached plan and result (stats are kept)."""
+        self._plan_cache.clear()
+        self._result_cache.clear()
+
+    def close(self) -> None:
+        """Shut the batch thread pool down (idempotent)."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "GraphService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self._max_workers,
+                    thread_name_prefix="gpc-service",
+                )
+            return self._executor
+
+    def _record_query(self, started: float) -> None:
+        self.stats.latency.record(time.perf_counter() - started)
+        with self._lock:
+            self.stats.queries += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphService(version={self.version}, "
+            f"nodes={self._graph.num_nodes}, edges={self._graph.num_edges}, "
+            f"queries={self.stats.queries})"
+        )

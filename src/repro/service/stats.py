@@ -1,0 +1,117 @@
+"""Serving metrics for the query-service runtime.
+
+:class:`ServiceStats` aggregates cache hit/miss/eviction counters, a
+bounded latency reservoir with percentile estimation, and coarse
+throughput counters. All updates go through methods that the owning
+:class:`~repro.service.service.GraphService` serialises with its own
+lock, so the recorded numbers stay consistent under concurrent batch
+evaluation.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["CacheStats", "LatencyRecorder", "ServiceStats"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class LatencyRecorder:
+    """A bounded reservoir of recent latencies with percentiles.
+
+    Keeps the most recent ``capacity`` samples (seconds). Percentiles
+    use the nearest-rank method over the retained window — adequate
+    for serving dashboards without unbounded memory.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        self._samples: deque[float] = deque(maxlen=capacity)
+        self._count = 0
+        self._total = 0.0
+        self._lock = threading.Lock()
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._samples.append(seconds)
+            self._count += 1
+            self._total += seconds
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._total / self._count if self._count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile (``p`` in [0, 100]) of the window."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        with self._lock:
+            window = sorted(self._samples)
+        if not window:
+            return 0.0
+        rank = max(1, -(-len(window) * p // 100))  # ceil without floats
+        return window[int(rank) - 1]
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_s": self.mean,
+            "p50_s": self.percentile(50),
+            "p90_s": self.percentile(90),
+            "p99_s": self.percentile(99),
+        }
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate metrics exposed by :class:`GraphService.stats`."""
+
+    plan_cache: CacheStats = field(default_factory=CacheStats)
+    result_cache: CacheStats = field(default_factory=CacheStats)
+    latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+    queries: int = 0
+    batches: int = 0
+    snapshots_built: int = 0
+
+    def as_dict(self) -> dict[str, object]:
+        """A JSON-serialisable flattening of every metric."""
+        return {
+            "queries": self.queries,
+            "batches": self.batches,
+            "snapshots_built": self.snapshots_built,
+            "plan_cache": self.plan_cache.as_dict(),
+            "result_cache": self.result_cache.as_dict(),
+            "latency": self.latency.summary(),
+        }

@@ -165,3 +165,121 @@ class TestEqualityAndCopy:
         assert DirectedEdgeId("d1") in graph
         assert NodeId("zz") not in graph
         assert "not-an-id" not in graph
+
+
+class TestRemoval:
+    def test_remove_edge(self, graph):
+        graph.remove_edge(DirectedEdgeId("d1"))
+        assert not graph.has_edge(DirectedEdgeId("d1"))
+        assert graph.out_edges(NodeId("u")) == frozenset()
+        assert graph.in_edges(NodeId("v")) == frozenset()
+        with pytest.raises(UnknownIdError):
+            graph.source(DirectedEdgeId("d1"))
+        with pytest.raises(UnknownIdError):
+            graph.get_property(DirectedEdgeId("d1"), "w")
+
+    def test_remove_undirected_edge(self, graph):
+        graph.remove_undirected_edge(UndirectedEdgeId("u1"))
+        assert not graph.has_edge(UndirectedEdgeId("u1"))
+        assert graph.undirected_edges_at(NodeId("v")) == frozenset()
+        assert graph.undirected_edges_at(NodeId("w")) == frozenset()
+        with pytest.raises(UnknownIdError):
+            graph.endpoints(UndirectedEdgeId("u1"))
+
+    def test_remove_node_cascades(self, graph):
+        graph.remove_node(NodeId("v"))
+        assert not graph.has_node(NodeId("v"))
+        # Incident directed and undirected edges went with it.
+        assert not graph.has_edge(DirectedEdgeId("d1"))
+        assert not graph.has_edge(UndirectedEdgeId("u1"))
+        assert graph.out_edges(NodeId("u")) == frozenset()
+        assert graph.undirected_edges_at(NodeId("w")) == frozenset()
+        assert graph.num_nodes == 2 and graph.num_edges == 0
+
+    def test_remove_node_with_self_loops(self):
+        g = PropertyGraph()
+        n = g.add_node("n")
+        g.add_edge("loop", n, n)
+        g.add_undirected_edge("uloop", n, n)
+        g.remove_node(n)
+        assert g.num_nodes == 0 and g.num_edges == 0
+        assert g == PropertyGraph()
+
+    def test_remove_unknown_raises(self, graph):
+        with pytest.raises(UnknownIdError):
+            graph.remove_node(NodeId("zz"))
+        with pytest.raises(UnknownIdError):
+            graph.remove_edge(DirectedEdgeId("zz"))
+        with pytest.raises(UnknownIdError):
+            graph.remove_undirected_edge(UndirectedEdgeId("zz"))
+
+    def test_removed_key_is_reusable(self, graph):
+        graph.remove_edge(DirectedEdgeId("d1"))
+        graph.add_edge("d1", NodeId("v"), NodeId("u"), labels={"c"})
+        assert graph.source(DirectedEdgeId("d1")) == NodeId("v")
+
+    def test_add_remove_roundtrip_restores_equality(self, graph):
+        reference = graph.copy()
+        node = graph.add_node("tmp", labels={"T"}, properties={"x": 1})
+        graph.add_edge("tmp-e", node, NodeId("u"))
+        graph.remove_node(node)
+        assert graph == reference
+
+
+class TestVersionCounter:
+    def test_every_mutation_bumps(self):
+        g = PropertyGraph()
+        versions = [g.version]
+
+        def record(value):
+            versions.append(g.version)
+            return value
+
+        u = record(g.add_node("u"))
+        v = record(g.add_node("v"))
+        e = record(g.add_edge("e", u, v))
+        w = record(g.add_undirected_edge("w", u, v))
+        g.set_property(u, "k", 1)
+        record(None)
+        g.remove_property(u, "k")
+        record(None)
+        g.remove_edge(e)
+        record(None)
+        g.remove_undirected_edge(w)
+        record(None)
+        g.remove_node(v)
+        record(None)
+        assert versions == sorted(set(versions)), "versions must be strictly increasing"
+        assert len(versions) == 10
+
+    def test_reads_do_not_bump(self, graph):
+        version = graph.version
+        graph.nodes, graph.out_edges(NodeId("u")), graph.all_labels()
+        graph.snapshot()
+        assert graph.version == version
+
+
+class TestConstantChecking:
+    def test_rejects_toplevel_mutables(self, graph):
+        for bad in ([1], {"k": 1}, {1, 2}, bytearray(b"x")):
+            with pytest.raises(GraphError):
+                graph.set_property(NodeId("u"), "p", bad)
+
+    def test_rejects_mutables_nested_in_tuples(self, graph):
+        for bad in (("a", [1]), (1, (2, {"k": 3})), ((({4},),),)):
+            with pytest.raises(GraphError):
+                graph.set_property(NodeId("u"), "p", bad)
+        with pytest.raises(GraphError):
+            graph.add_node("bad", properties={"p": ("a", [1])})
+
+    def test_accepts_immutable_tuples(self, graph):
+        graph.set_property(NodeId("u"), "p", ("a", (1, 2), frozenset({3})))
+        assert graph.get_property(NodeId("u"), "p") == (
+            "a", (1, 2), frozenset({3})
+        )
+
+    def test_rejects_none(self, graph):
+        with pytest.raises(GraphError):
+            graph.set_property(NodeId("u"), "p", None)
+        with pytest.raises(GraphError):
+            graph.add_node("bad", properties={"p": None})

@@ -1,0 +1,292 @@
+"""The query-service runtime: caching, invalidation, batching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GPCTypeError
+from repro.gpc.engine import EngineConfig, Evaluator
+from repro.gpc.parser import parse_query
+from repro.graph.builder import GraphBuilder
+from repro.graph.generators import cycle_graph
+from repro.service import GraphService, LRUCache, PreparedQuery
+
+QUERIES = [
+    "TRAIL (x:Person) -[e:knows]-> (y:Person)",
+    "SIMPLE (x) ->{1,} (y)",
+    "SHORTEST (x:Person) -[:knows]->{1,} (y:Person)",
+    "p = TRAIL [ (x:Person) -[e:knows]->{1,} (y:Person) ] << x.team = y.team >>",
+    "TRAIL (x) ~[:married]~ (y)",
+]
+
+
+@pytest.fixture
+def social() -> GraphService:
+    graph = (
+        GraphBuilder()
+        .node("ann", "Person", name="Ann", team="db")
+        .node("bob", "Person", name="Bob", team="db")
+        .node("cia", "Person", name="Cia", team="ml")
+        .node("dan", "Person", name="Dan", team="ml")
+        .edge("ann", "bob", "knows", since=2015)
+        .edge("bob", "cia", "knows", since=2018)
+        .edge("cia", "dan", "knows", since=2020)
+        .edge("dan", "ann", "knows", since=2021)
+        .undirected("ann", "cia", "married")
+        .build()
+    )
+    return GraphService(graph)
+
+
+class TestPreparedQueries:
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_prepared_equals_one_shot(self, social, text):
+        prepared = PreparedQuery(text)
+        one_shot = Evaluator(social.graph).evaluate(parse_query(text))
+        assert prepared.execute(social.graph) == one_shot
+
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_prepared_reexecution_is_stable(self, social, text):
+        prepared = PreparedQuery(text)
+        first = prepared.execute(social.graph)
+        assert prepared.execute(social.graph) == first
+        assert prepared.execute(social.graph.snapshot()) == first
+
+    def test_prepared_tracks_graph_versions(self, social):
+        prepared = PreparedQuery(QUERIES[0])
+        before = prepared.execute(social.graph)
+        eve = social.add_node("eve", ["Person"], {"name": "Eve", "team": "db"})
+        social.add_edge(
+            "e5", eve, next(iter(social.graph.nodes_with_label("Person"))),
+            ["knows"],
+        )
+        after = prepared.execute(social.graph)
+        assert len(after) == len(before) + 1
+
+    def test_prepared_executes_across_graphs(self):
+        prepared = PreparedQuery("SHORTEST (x) ->{1,} (y)")
+        for size in (3, 4, 5):
+            graph = cycle_graph(size)
+            assert prepared.execute(graph) == Evaluator(graph).evaluate(
+                parse_query("SHORTEST (x) ->{1,} (y)")
+            )
+
+    def test_prepared_typechecks_at_construction(self):
+        # A group variable used as a singleton in a condition is a type
+        # error the paper's Figure 2 rules reject; prepare() must too.
+        with pytest.raises(GPCTypeError):
+            PreparedQuery("TRAIL [ -[e]->{1,3} ] << e.k = 1 >>")
+
+    def test_ast_queries_accepted(self, social):
+        query = parse_query(QUERIES[0])
+        prepared = PreparedQuery(query)
+        assert prepared.execute(social.graph) == social.evaluate(query)
+
+
+class TestResultCache:
+    def test_hit_on_repeat(self, social):
+        first = social.evaluate(QUERIES[0])
+        second = social.evaluate(QUERIES[0])
+        assert first == second
+        assert social.stats.result_cache.hits == 1
+        assert social.stats.result_cache.misses == 1
+
+    def test_identical_results_are_shared(self, social):
+        first = social.evaluate(QUERIES[2])
+        second = social.evaluate(QUERIES[2])
+        assert first is second  # the cached frozenset itself
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda s: s.add_node("zed", ["Person"], {"team": "db"}),
+            lambda s: s.set_property(
+                next(iter(s.graph.nodes_with_label("Person"))), "age", 30
+            ),
+            lambda s: s.remove_edge(next(s.graph.iter_directed_edges())),
+            lambda s: s.remove_node(next(s.graph.iter_nodes())),
+            lambda s: s.remove_undirected_edge(
+                next(s.graph.iter_undirected_edges())
+            ),
+        ],
+        ids=["add_node", "set_property", "remove_edge", "remove_node",
+             "remove_undirected_edge"],
+    )
+    def test_every_mutation_invalidates(self, social, mutate):
+        social.evaluate(QUERIES[0])
+        version = social.version
+        mutate(social)
+        assert social.version > version
+        social.evaluate(QUERIES[0])
+        # Second evaluation may not be equal (the graph changed) but
+        # must be a miss: the key embeds the bumped version.
+        assert social.stats.result_cache.misses == 2
+        assert social.stats.result_cache.hits == 0
+
+    def test_stale_entries_never_served(self, social):
+        q = QUERIES[0]
+        before = social.evaluate(q)
+        edge = next(social.graph.iter_directed_edges())
+        social.remove_edge(edge)
+        after = social.evaluate(q)
+        assert after != before
+        assert after == Evaluator(social.graph).evaluate(parse_query(q))
+
+    def test_results_equal_one_shot_per_version(self, social):
+        for text in QUERIES:
+            assert social.evaluate(text) == Evaluator(social.graph).evaluate(
+                parse_query(text)
+            )
+        social.remove_node(next(social.graph.iter_nodes()))
+        for text in QUERIES:
+            assert social.evaluate(text) == Evaluator(social.graph).evaluate(
+                parse_query(text)
+            )
+
+    def test_use_cache_false_recomputes(self, social):
+        first = social.evaluate(QUERIES[0], use_cache=False)
+        second = social.evaluate(QUERIES[0], use_cache=False)
+        assert first == second and first is not second
+        assert social.stats.result_cache.hits == 0
+
+    def test_config_is_part_of_the_key(self, social):
+        loose = EngineConfig(max_pattern_length=2)
+        social.evaluate(QUERIES[0])
+        social.evaluate(QUERIES[0], config=loose)
+        assert social.stats.result_cache.misses == 2
+
+
+class TestPlanCache:
+    def test_prepare_is_memoised(self, social):
+        first = social.prepare(QUERIES[0])
+        second = social.prepare(QUERIES[0])
+        assert first is second
+        assert social.stats.plan_cache.hits == 1
+
+    def test_plan_survives_mutations(self, social):
+        plan = social.prepare(QUERIES[2])
+        social.add_node("new", ["Person"], {"team": "db"})
+        assert social.prepare(QUERIES[2]) is plan  # plans are version-free
+
+    def test_eviction_is_counted(self):
+        service = GraphService(cycle_graph(3), plan_cache_size=2)
+        for text in ["TRAIL ->", "SIMPLE ->", "TRAIL ->{1,2}"]:
+            service.prepare(text)
+        assert service.stats.plan_cache.evictions == 1
+        assert len(service._plan_cache) == 2
+
+
+class TestBatchEvaluation:
+    def test_batch_matches_sequential(self, social):
+        batch = social.evaluate_batch(QUERIES)
+        assert batch == [
+            Evaluator(social.graph).evaluate(parse_query(t)) for t in QUERIES
+        ]
+
+    def test_batch_is_deterministic_across_runs(self, social):
+        workload = QUERIES * 3
+        runs = [social.evaluate_batch(workload, use_cache=False)
+                for _ in range(3)]
+        assert runs[0] == runs[1] == runs[2]
+
+    def test_batch_preserves_input_order(self, social):
+        workload = list(reversed(QUERIES))
+        batch = social.evaluate_batch(workload)
+        for text, result in zip(workload, batch):
+            assert result == social.evaluate(text)
+
+    def test_empty_batch(self, social):
+        assert social.evaluate_batch([]) == []
+
+    def test_batch_with_single_worker(self):
+        service = GraphService(cycle_graph(4), max_workers=1)
+        batch = service.evaluate_batch(["TRAIL ->", "SIMPLE ->{1,}"])
+        assert [len(r) for r in batch] == [4, 12]
+        service.close()
+
+    def test_context_manager_closes_pool(self, social):
+        with social as service:
+            service.evaluate_batch(QUERIES[:2])
+            assert service._executor is not None
+        assert social._executor is None
+
+
+class TestStats:
+    def test_latency_percentiles_ordered(self, social):
+        for _ in range(5):
+            social.evaluate_batch(QUERIES)
+        summary = social.stats.latency.summary()
+        assert summary["count"] == 5 * len(QUERIES)
+        assert summary["p50_s"] <= summary["p90_s"] <= summary["p99_s"]
+
+    def test_as_dict_is_json_serialisable(self, social):
+        import json
+
+        social.evaluate(QUERIES[0])
+        encoded = json.dumps(social.stats.as_dict())
+        assert "result_cache" in encoded
+
+    def test_snapshot_memoised_per_version(self, social):
+        social.evaluate(QUERIES[0])
+        social.evaluate(QUERIES[1])
+        assert social.stats.snapshots_built == 1
+        social.add_node("x")
+        social.evaluate(QUERIES[0])
+        assert social.stats.snapshots_built == 2
+
+
+class TestLRUCache:
+    def test_lru_order(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a
+        cache.put("c", 3)  # evicts b
+        assert "b" not in cache and "a" in cache and "c" in cache
+        assert cache.stats.evictions == 1
+
+    def test_get_or_create_runs_factory_once_per_miss(self):
+        cache = LRUCache(4)
+        calls = []
+        cache.get_or_create("k", lambda: calls.append(1) or "v")
+        cache.get_or_create("k", lambda: calls.append(1) or "v")
+        assert len(calls) == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+
+class TestConcurrentMutation:
+    def test_service_mutators_are_safe_during_serving(self):
+        """Mutating through the service while a batch is in flight
+        must never produce torn snapshots (UnknownIdError mid-eval)."""
+        import threading
+
+        service = GraphService(cycle_graph(6), max_workers=4)
+        errors: list[Exception] = []
+
+        def mutate():
+            try:
+                for i in range(40):
+                    node = service.add_node(f"extra{i}")
+                    edge = service.add_edge(
+                        f"eextra{i}", node, next(service.graph.iter_nodes())
+                    )
+                    service.remove_edge(edge)
+                    service.remove_node(node)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        writer = threading.Thread(target=mutate)
+        writer.start()
+        try:
+            for _ in range(10):
+                for result in service.evaluate_batch(
+                    ["TRAIL (x) -> (y)", "SIMPLE (x) ->{1,2} (y)"]
+                ):
+                    assert result is not None
+        finally:
+            writer.join()
+            service.close()
+        assert errors == []
