@@ -13,6 +13,8 @@ Subpackage map (mirroring the paper's sections):
 - :mod:`repro.gpc.collect` — the three ``collect`` approaches;
 - :mod:`repro.gpc.minlength` — the Approach 1 syntactic analysis;
 - :mod:`repro.gpc.engine` — the bounded compositional evaluator;
+- :mod:`repro.gpc.planner` — cost-aware query planning (hash joins,
+  endpoint pruning, cardinality estimation);
 - :mod:`repro.gpc.gpc_plus` — GPC+ (projection + top-level union).
 """
 
@@ -50,6 +52,16 @@ from repro.gpc.engine import (
     evaluate,
 )
 from repro.gpc.explain import explain, explain_pattern, explain_query
+from repro.gpc.planner import (
+    EndpointConstraint,
+    NodeConstraint,
+    ShortestPlan,
+    estimate_pattern_cardinality,
+    estimate_query_cardinality,
+    explain_plan,
+    join_shared_variables,
+    plan_shortest,
+)
 from repro.gpc.gpc_plus import GPCPlusQuery, Rule
 from repro.gpc.parser import parse_pattern, parse_query
 from repro.gpc.pretty import pretty
@@ -111,6 +123,15 @@ __all__ = [
     "explain",
     "explain_pattern",
     "explain_query",
+    # Planner
+    "NodeConstraint",
+    "EndpointConstraint",
+    "ShortestPlan",
+    "plan_shortest",
+    "join_shared_variables",
+    "estimate_pattern_cardinality",
+    "estimate_query_cardinality",
+    "explain_plan",
     # GPC+
     "GPCPlusQuery",
     "Rule",

@@ -33,6 +33,13 @@ from repro.gpc.answers import Answer
 from repro.gpc.assignments import Assignment
 from repro.gpc.collect import CollectMode
 from repro.gpc.minlength import max_path_length, validate_approach1
+from repro.gpc.planner import (
+    ShortestPlan,
+    estimate_query_cardinality,
+    explain_plan,
+    join_shared_variables,
+    plan_shortest,
+)
 from repro.gpc.semantics import BoundedEvaluator, Match, _Limits
 from repro.gpc.typing import infer_schema
 from repro.gpc.abstraction import compile_pattern_abstraction
@@ -70,6 +77,12 @@ class EngineConfig:
         Cap on abstraction-automaton size (repetition bounds unroll).
     ``max_intermediate_results`` / ``max_power_iterations``
         Resource fail-safes for the bounded evaluator.
+    ``use_planner``
+        Enables the cost-aware optimisations from
+        :mod:`repro.gpc.planner` (hash joins, cardinality-ordered join
+        sides, endpoint-pruned ``shortest`` starts). All of them are
+        answer-preserving; the flag exists so benchmarks and
+        differential tests can compare against naive evaluation.
     """
 
     collect_mode: CollectMode = CollectMode.GROUPING
@@ -79,6 +92,7 @@ class EngineConfig:
     automaton_state_limit: int = 100_000
     max_intermediate_results: int = 2_000_000
     max_power_iterations: int = 10_000
+    use_planner: bool = True
 
 
 DEFAULT_CONFIG = EngineConfig()
@@ -106,6 +120,8 @@ class QueryPlan:
         self._register_nfas: dict[ast.Pattern, RegisterNFA | None] = {}
         self._abstractions: dict[ast.Pattern, NFA] = {}
         self._typechecked: set[ast.Expression] = set()
+        self._join_variables: dict[ast.Join, tuple[str, ...]] = {}
+        self._shortest_plans: dict[ast.Pattern, ShortestPlan] = {}
 
     def ensure_typechecked(self, expression: ast.Expression) -> None:
         """Run ``infer_schema`` once per expression (raises on error)."""
@@ -133,12 +149,37 @@ class QueryPlan:
             )
         return self._abstractions[pattern]
 
+    def join_variables(self, join: ast.Join) -> tuple[str, ...]:
+        """The join's shared singleton variables (hash-join keys)."""
+        if join not in self._join_variables:
+            self._join_variables[join] = join_shared_variables(join)
+        return self._join_variables[join]
+
+    def shortest_plan(self, pattern: ast.Pattern) -> ShortestPlan:
+        """Endpoint-pruning constraints for a ``shortest`` pattern."""
+        if pattern not in self._shortest_plans:
+            self._shortest_plans[pattern] = plan_shortest(pattern)
+        return self._shortest_plans[pattern]
+
+    def explain(self, query: ast.Query, graph=None) -> str:
+        """Human-readable summary of the strategies chosen for
+        ``query`` (see :func:`repro.gpc.planner.explain_plan`); pass a
+        graph or snapshot to include cardinality estimates."""
+        self.ensure_typechecked(query)
+        view = (
+            graph.snapshot()
+            if graph is not None and hasattr(graph, "snapshot")
+            else graph
+        )
+        return explain_plan(query, view, plan=self)
+
     def precompile(self, query: ast.Query) -> None:
         """Typecheck and compile every automaton the query can need."""
         self.ensure_typechecked(query)
         for pattern_query in self._pattern_queries(query):
             restrictor = pattern_query.restrictor
             if restrictor.shortest and restrictor.mode is None:
+                self.shortest_plan(pattern_query.pattern)
                 if self.register_nfa(pattern_query.pattern) is None:
                     # Fallback path: the abstraction is only consulted
                     # when the pattern's length is syntactically
@@ -147,14 +188,14 @@ class QueryPlan:
                     if max_path_length(pattern_query.pattern) is None:
                         self.abstraction(pattern_query.pattern)
 
-    @staticmethod
-    def _pattern_queries(query: ast.Query):
+    def _pattern_queries(self, query: ast.Query):
         stack = [query]
         while stack:
             current = stack.pop()
             if isinstance(current, ast.PatternQuery):
                 yield current
             elif isinstance(current, ast.Join):
+                self.join_variables(current)
                 stack.extend((current.left, current.right))
 
 
@@ -177,6 +218,14 @@ class Evaluator:
         plan: QueryPlan | None = None,
     ):
         self.graph = graph
+        if config is not None and plan is not None and plan.config != config:
+            raise ValueError(
+                f"Evaluator config {config!r} disagrees with the plan's "
+                f"compile-time config {plan.config!r}; the plan's automata "
+                f"were compiled under its own limits, so mixing the two "
+                f"would silently apply inconsistent settings. Pass only "
+                f"one of them, or make them equal."
+            )
         if config is None:
             config = plan.config if plan is not None else DEFAULT_CONFIG
         self.config = config
@@ -239,16 +288,45 @@ class Evaluator:
                 out.append(Answer((path,), mu))
             return frozenset(out)
         if isinstance(query, ast.Join):
+            return self._eval_join(query)
+        raise TypeError(f"not a query: {query!r}")
+
+    def _eval_join(self, query: ast.Join) -> frozenset[Answer]:
+        """Join two answer sets.
+
+        With the planner enabled, the side with the smaller estimated
+        cardinality is evaluated first (an empty result short-circuits
+        the other side entirely) and the sides are hash-joined on their
+        shared singleton variables. Without it, this is the naive
+        nested-loop product. Both produce identical answer sets:
+        answers combine iff they agree on the shared variables, which
+        is exactly bucket equality.
+        """
+        if not self.config.use_planner:
             left = self._eval_query(query.left)
             right = self._eval_query(query.right)
-            out = []
-            for left_answer in left:
-                for right_answer in right:
-                    combined = left_answer.combine(right_answer)
-                    if combined is not None:
-                        out.append(combined)
-            return frozenset(out)
-        raise TypeError(f"not a query: {query!r}")
+            return _nested_loop_join(left, right)
+        left_estimate = estimate_query_cardinality(
+            query.left, self._view, self.plan
+        )
+        right_estimate = estimate_query_cardinality(
+            query.right, self._view, self.plan
+        )
+        left_first = left_estimate <= right_estimate
+        first = self._eval_query(query.left if left_first else query.right)
+        if not first:
+            # The join is empty regardless of the other side — but the
+            # skipped side must still surface the validation errors
+            # naive evaluation would have raised (e.g. CollectError
+            # under Approach 1), or query validity becomes
+            # data-dependent.
+            skipped = query.right if left_first else query.left
+            for pattern_query in self.plan._pattern_queries(skipped):
+                self._validate_collect(pattern_query.pattern)
+            return frozenset()
+        second = self._eval_query(query.right if left_first else query.left)
+        left, right = (first, second) if left_first else (second, first)
+        return _hash_join(left, right, self.plan.join_variables(query))
 
     # ------------------------------------------------------------------
     # Restrictors
@@ -297,9 +375,12 @@ class Evaluator:
 
         limit = self.config.shortest_deepening_limit
         answers: set[Match] = set()
-        for start in sorted(self._view.nodes):
+        starts, end_filter = self._shortest_candidates(pattern)
+        for start in starts:
             best = shortest_pair_lengths(self._view, rnfa, start)
             for end in sorted(best):
+                if end_filter is not None and end not in end_filter:
+                    continue
                 length = best[end]
                 # The register search can under-estimate in one corner:
                 # an accepted run whose every factorization fails
@@ -329,6 +410,27 @@ class Evaluator:
                             f"or set lenient_shortest=True"
                         )
         return frozenset(answers)
+
+    def _shortest_candidates(self, pattern: ast.Pattern):
+        """Start nodes to seed the register search from, and an
+        optional end-node filter.
+
+        Every match starts (ends) at a node satisfying the pattern's
+        leading (trailing) constraints, so restricting the search to
+        the planner's candidates drops no answers. Snapshot carriers
+        are pre-sorted tuples — iterate them directly instead of
+        re-sorting per query.
+        """
+        if self.config.use_planner:
+            shortest_plan = self.plan.shortest_plan(pattern)
+            starts = shortest_plan.start.candidate_nodes(self._view)
+            ends = shortest_plan.end.candidate_nodes(self._view)
+        else:
+            starts = ends = None
+        if starts is None:
+            nodes = self._view.nodes
+            starts = nodes if isinstance(nodes, tuple) else tuple(sorted(nodes))
+        return starts, (None if ends is None else frozenset(ends))
 
     def _eval_shortest_fallback(self, pattern: ast.Pattern) -> frozenset[Match]:
         """Bounded-evaluation fallback for extension patterns."""
@@ -369,6 +471,55 @@ class Evaluator:
     def _validate_collect(self, pattern: ast.Pattern) -> None:
         if self.config.collect_mode is CollectMode.SYNTACTIC:
             validate_approach1(pattern)
+
+
+def _nested_loop_join(
+    left: frozenset[Answer], right: frozenset[Answer]
+) -> frozenset[Answer]:
+    """Combine every left/right pair whose assignments unify."""
+    out = []
+    for left_answer in left:
+        for right_answer in right:
+            combined = left_answer.combine(right_answer)
+            if combined is not None:
+                out.append(combined)
+    return frozenset(out)
+
+
+def _hash_join(
+    left: frozenset[Answer],
+    right: frozenset[Answer],
+    shared: tuple[str, ...],
+) -> frozenset[Answer]:
+    """Combine two answer sets, bucketing on the shared variables.
+
+    The hash table is built on the smaller side; path-tuple order in
+    the combined answers always follows the query's left-to-right join
+    order, so the result is identical to the nested loop's.
+    """
+    if not left or not right:
+        return frozenset()
+    if not shared:
+        # Disjoint schemas: the join is a plain cross product.
+        return _nested_loop_join(left, right)
+    if len(left) <= len(right):
+        build, probe, build_is_left = left, right, True
+    else:
+        build, probe, build_is_left = right, left, False
+    buckets: dict[tuple, list[Answer]] = {}
+    for answer in build:
+        key = tuple(answer.assignment.get(v) for v in shared)
+        buckets.setdefault(key, []).append(answer)
+    out = []
+    for answer in probe:
+        key = tuple(answer.assignment.get(v) for v in shared)
+        for mate in buckets.get(key, ()):
+            combined = (
+                mate.combine(answer) if build_is_left else answer.combine(mate)
+            )
+            if combined is not None:
+                out.append(combined)
+    return frozenset(out)
 
 
 def _keep_shortest(matches: frozenset[Match]) -> frozenset[Match]:

@@ -81,6 +81,7 @@ class GraphSnapshot:
         "_nodes_by_label",
         "_dedges_by_label",
         "_uedges_by_label",
+        "_label_cards",
     )
 
     def __init__(self, graph: "PropertyGraph") -> None:
@@ -105,6 +106,7 @@ class GraphSnapshot:
         self._nodes_by_label = _invert_labels(self._node_labels)
         self._dedges_by_label = _invert_labels(self._dedge_labels)
         self._uedges_by_label = _invert_labels(self._uedge_labels)
+        self._label_cards = None
 
     # ------------------------------------------------------------------
     # Formal accessors (same contracts as PropertyGraph)
@@ -211,6 +213,48 @@ class GraphSnapshot:
         return frozenset(self._nodes_by_label) | frozenset(
             self._dedges_by_label
         ) | frozenset(self._uedges_by_label)
+
+    # ------------------------------------------------------------------
+    # Per-label cardinalities (consumed by the query planner)
+    # ------------------------------------------------------------------
+
+    def num_nodes_with_label(self, label: str) -> int:
+        return len(self._nodes_by_label.get(label, _EMPTY))
+
+    def num_directed_edges_with_label(self, label: str) -> int:
+        return len(self._dedges_by_label.get(label, _EMPTY))
+
+    def num_undirected_edges_with_label(self, label: str) -> int:
+        return len(self._uedges_by_label.get(label, _EMPTY))
+
+    def label_cardinalities(self):
+        """The snapshot's per-label count summary, built once.
+
+        Returns a :class:`repro.graph.statistics.LabelCardinalities`;
+        snapshots are immutable, so the summary is cached for the
+        snapshot's lifetime.
+        """
+        if self._label_cards is None:
+            from repro.graph.statistics import LabelCardinalities
+
+            self._label_cards = LabelCardinalities(
+                num_nodes=len(self._nodes),
+                num_directed_edges=len(self._dedges),
+                num_undirected_edges=len(self._uedges),
+                node_counts={
+                    label: len(members)
+                    for label, members in self._nodes_by_label.items()
+                },
+                directed_edge_counts={
+                    label: len(members)
+                    for label, members in self._dedges_by_label.items()
+                },
+                undirected_edge_counts={
+                    label: len(members)
+                    for label, members in self._uedges_by_label.items()
+                },
+            )
+        return self._label_cards
 
     # ------------------------------------------------------------------
     # Adjacency

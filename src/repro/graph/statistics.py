@@ -1,16 +1,24 @@
 """Summary statistics over property graphs.
 
 Used by the benchmark harness to report workload characteristics next
-to measured results, and by tests as a cheap structural fingerprint.
+to measured results, by tests as a cheap structural fingerprint, and —
+via :class:`LabelCardinalities` — by the query planner
+(:mod:`repro.gpc.planner`) as the basis for cardinality estimation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Mapping
 
 from repro.graph.property_graph import PropertyGraph
 
-__all__ = ["GraphStatistics", "compute_statistics"]
+__all__ = [
+    "GraphStatistics",
+    "LabelCardinalities",
+    "compute_statistics",
+    "compute_label_cardinalities",
+]
 
 
 @dataclass(frozen=True)
@@ -32,6 +40,62 @@ class GraphStatistics:
     @property
     def num_edges(self) -> int:
         return self.num_directed_edges + self.num_undirected_edges
+
+
+@dataclass(frozen=True)
+class LabelCardinalities:
+    """Per-label node/edge counts of one graph version.
+
+    The query planner's cost model reads these to estimate pattern
+    cardinalities and order join sides; snapshots build them once from
+    their inverted label indexes
+    (:meth:`~repro.graph.snapshot.GraphSnapshot.label_cardinalities`).
+    """
+
+    num_nodes: int
+    num_directed_edges: int
+    num_undirected_edges: int
+    node_counts: Mapping[str, int] = field(hash=False, default_factory=dict)
+    directed_edge_counts: Mapping[str, int] = field(
+        hash=False, default_factory=dict
+    )
+    undirected_edge_counts: Mapping[str, int] = field(
+        hash=False, default_factory=dict
+    )
+
+    def nodes_with_label(self, label: str) -> int:
+        return self.node_counts.get(label, 0)
+
+    def directed_edges_with_label(self, label: str) -> int:
+        return self.directed_edge_counts.get(label, 0)
+
+    def undirected_edges_with_label(self, label: str) -> int:
+        return self.undirected_edge_counts.get(label, 0)
+
+    def edges_with_label(self, label: str) -> int:
+        return self.directed_edges_with_label(
+            label
+        ) + self.undirected_edges_with_label(label)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "num_nodes": self.num_nodes,
+            "num_directed_edges": self.num_directed_edges,
+            "num_undirected_edges": self.num_undirected_edges,
+            "node_counts": dict(self.node_counts),
+            "directed_edge_counts": dict(self.directed_edge_counts),
+            "undirected_edge_counts": dict(self.undirected_edge_counts),
+        }
+
+
+def compute_label_cardinalities(graph) -> LabelCardinalities:
+    """Per-label counts for a graph or snapshot.
+
+    Mutable graphs are snapshotted first (memoised per version), so
+    repeated calls against an unchanged graph are free.
+    """
+    snapshot = graph.snapshot() if hasattr(graph, "snapshot") else graph
+    return snapshot.label_cardinalities()
 
 
 def compute_statistics(graph: PropertyGraph) -> GraphStatistics:

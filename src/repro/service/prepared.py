@@ -60,6 +60,15 @@ class PreparedQuery:
         evaluator = Evaluator(graph, self.config, plan=self.plan)
         return evaluator.evaluate(self.query, typecheck=False)
 
+    def explain(self, graph: PropertyGraph | GraphSnapshot | None = None) -> str:
+        """The planner's strategy summary for this query.
+
+        Pass a graph (or snapshot) to include cardinality estimates and
+        candidate-node counts; without one the summary is
+        graph-independent. See :meth:`repro.gpc.engine.QueryPlan.explain`.
+        """
+        return self.plan.explain(self.query, graph)
+
     def __repr__(self) -> str:
         shown = self.text if self.text is not None else self.query
         return f"PreparedQuery({shown!r})"

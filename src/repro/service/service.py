@@ -186,6 +186,14 @@ class GraphService:
             key, lambda: PreparedQuery(query, config)
         )
 
+    def explain(
+        self, query: str | ast.Query, config: EngineConfig | None = None
+    ) -> str:
+        """The planner's strategy summary for ``query`` against the
+        current graph version (joins, shared variables, cardinality
+        estimates, ``shortest`` start/end pruning)."""
+        return self.prepare(query, config).explain(self.snapshot())
+
     # ------------------------------------------------------------------
     # Evaluation (result cache + snapshots)
     # ------------------------------------------------------------------
@@ -218,8 +226,10 @@ class GraphService:
                 self._record_query(started)
                 return cached
         else:
+            # A deliberate cache skip is not a lookup: count it as a
+            # bypass so hit_rate only reflects real cache probes.
             with self._lock:
-                self.stats.result_cache.misses += 1
+                self.stats.result_cache.bypasses += 1
         prepared = self.prepare(query, config)
         result = prepared.execute(snap)
         if use_cache:

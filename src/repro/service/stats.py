@@ -19,11 +19,18 @@ __all__ = ["CacheStats", "LatencyRecorder", "ServiceStats"]
 
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction counters for one cache."""
+    """Hit/miss/eviction/bypass counters for one cache.
+
+    ``bypasses`` counts requests that deliberately skipped the cache
+    (e.g. ``evaluate(use_cache=False)``). They are *not* lookups: a
+    bypass never probed the cache, so counting it as a miss would
+    silently drag ``hit_rate`` down.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    bypasses: int = 0
 
     @property
     def lookups(self) -> int:
@@ -40,6 +47,7 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "bypasses": self.bypasses,
             "hit_rate": self.hit_rate,
         }
 
@@ -66,7 +74,8 @@ class LatencyRecorder:
 
     @property
     def count(self) -> int:
-        return self._count
+        with self._lock:
+            return self._count
 
     @property
     def mean(self) -> float:
@@ -79,19 +88,36 @@ class LatencyRecorder:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
         with self._lock:
             window = sorted(self._samples)
-        if not window:
-            return 0.0
-        rank = max(1, -(-len(window) * p // 100))  # ceil without floats
-        return window[int(rank) - 1]
+        return _nearest_rank(window, p)
 
     def summary(self) -> dict[str, float]:
+        """A consistent one-shot summary.
+
+        Takes a single locked copy of the reservoir and sorts it once;
+        mean and every percentile are derived from that same copy, so
+        the summary is internally consistent even under concurrent
+        ``record`` calls (and three times cheaper than re-locking and
+        re-sorting per percentile).
+        """
+        with self._lock:
+            window = sorted(self._samples)
+            count = self._count
+            total = self._total
         return {
-            "count": self.count,
-            "mean_s": self.mean,
-            "p50_s": self.percentile(50),
-            "p90_s": self.percentile(90),
-            "p99_s": self.percentile(99),
+            "count": count,
+            "mean_s": total / count if count else 0.0,
+            "p50_s": _nearest_rank(window, 50),
+            "p90_s": _nearest_rank(window, 90),
+            "p99_s": _nearest_rank(window, 99),
         }
+
+
+def _nearest_rank(window: list[float], p: float) -> float:
+    """Nearest-rank percentile over an already-sorted window."""
+    if not window:
+        return 0.0
+    rank = max(1, -(-len(window) * p // 100))  # ceil without floats
+    return window[int(rank) - 1]
 
 
 @dataclass

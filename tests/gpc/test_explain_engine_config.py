@@ -57,6 +57,37 @@ class TestEngineLimits:
         assert first is second  # memo returns the same frozenset
 
 
+class TestConfigPlanMismatch:
+    """``Evaluator(graph, config=A, plan=compiled_with_B)`` used to
+    silently evaluate under A while running B's automata."""
+
+    def test_disagreeing_config_and_plan_raise(self, cycle4):
+        from repro.gpc.engine import QueryPlan
+
+        plan = QueryPlan(EngineConfig(automaton_state_limit=10))
+        with pytest.raises(ValueError, match="disagrees"):
+            Evaluator(cycle4, EngineConfig(), plan=plan)
+
+    def test_matching_config_and_plan_are_fine(self, cycle4):
+        from repro.gpc.engine import QueryPlan
+
+        config = EngineConfig(max_pattern_length=2)
+        evaluator = Evaluator(cycle4, config, plan=QueryPlan(config))
+        assert evaluator.config == config
+
+    def test_plan_alone_supplies_its_config(self, cycle4):
+        from repro.gpc.engine import QueryPlan
+
+        config = EngineConfig(shortest_deepening_limit=7)
+        evaluator = Evaluator(cycle4, plan=QueryPlan(config))
+        assert evaluator.config == config
+
+    def test_config_alone_builds_matching_plan(self, cycle4):
+        config = EngineConfig(shortest_deepening_limit=7)
+        evaluator = Evaluator(cycle4, config)
+        assert evaluator.plan.config == config
+
+
 class TestExplainPattern:
     def test_well_typed_report(self):
         report = explain_pattern(parse_pattern("(x) -[e]->{1,3} (y)"))

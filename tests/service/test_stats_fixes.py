@@ -1,0 +1,109 @@
+"""Regression tests for the service-stats correctness fixes:
+
+- ``evaluate(use_cache=False)`` must count a *bypass*, not a miss, so
+  ``hit_rate`` only reflects real cache probes;
+- ``LatencyRecorder.count`` must read under the lock, and ``summary()``
+  must derive every figure from one locked, once-sorted copy.
+"""
+
+import threading
+
+from repro.graph.generators import social_network
+from repro.service import GraphService
+from repro.service.stats import CacheStats, LatencyRecorder
+
+QUERY = "TRAIL (x:Person) -[:knows]-> (y:Person)"
+
+
+class TestCacheBypasses:
+    def test_bypass_not_counted_as_miss(self):
+        service = GraphService(social_network(num_people=8, seed=2))
+        for _ in range(3):
+            service.evaluate(QUERY, use_cache=False)
+        stats = service.stats.result_cache
+        assert stats.bypasses == 3
+        assert stats.misses == 0
+        assert stats.lookups == 0
+        service.close()
+
+    def test_hit_rate_unaffected_by_bypasses(self):
+        service = GraphService(social_network(num_people=8, seed=2))
+        service.evaluate(QUERY)  # miss
+        service.evaluate(QUERY)  # hit
+        for _ in range(10):
+            service.evaluate(QUERY, use_cache=False)
+        stats = service.stats.result_cache
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.hit_rate == 0.5  # 10 bypasses must not drag it down
+        service.close()
+
+    def test_bypasses_in_as_dict(self):
+        stats = CacheStats(hits=2, misses=1, bypasses=4)
+        payload = stats.as_dict()
+        assert payload["bypasses"] == 4
+        assert payload["hit_rate"] == 2 / 3
+
+    def test_service_as_dict_includes_bypasses(self):
+        service = GraphService(social_network(num_people=8, seed=2))
+        service.evaluate(QUERY, use_cache=False)
+        payload = service.stats.as_dict()
+        assert payload["result_cache"]["bypasses"] == 1
+        service.close()
+
+
+class TestLatencyRecorder:
+    def test_summary_consistent_figures(self):
+        recorder = LatencyRecorder()
+        for value in (0.5, 0.1, 0.3, 0.2, 0.4):
+            recorder.record(value)
+        summary = recorder.summary()
+        assert summary["count"] == 5
+        assert abs(summary["mean_s"] - 0.3) < 1e-12
+        assert summary["p50_s"] == 0.3
+        assert summary["p90_s"] == 0.5
+        assert summary["p99_s"] == 0.5
+        assert summary["p50_s"] <= summary["p90_s"] <= summary["p99_s"]
+
+    def test_empty_summary(self):
+        summary = LatencyRecorder().summary()
+        assert summary == {
+            "count": 0,
+            "mean_s": 0.0,
+            "p50_s": 0.0,
+            "p90_s": 0.0,
+            "p99_s": 0.0,
+        }
+
+    def test_percentile_still_matches_summary(self):
+        recorder = LatencyRecorder()
+        for value in range(1, 101):
+            recorder.record(value / 100.0)
+        summary = recorder.summary()
+        assert summary["p50_s"] == recorder.percentile(50)
+        assert summary["p90_s"] == recorder.percentile(90)
+        assert summary["p99_s"] == recorder.percentile(99)
+
+    def test_concurrent_records_keep_summary_sane(self):
+        recorder = LatencyRecorder(capacity=128)
+        stop = threading.Event()
+
+        def writer():
+            value = 0
+            while not stop.is_set():
+                value += 1
+                recorder.record((value % 100) / 1000.0)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(200):
+                summary = recorder.summary()
+                assert summary["count"] >= 0
+                assert 0.0 <= summary["p50_s"] <= summary["p99_s"] <= 0.1
+                assert recorder.count == recorder.count  # locked read
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert recorder.summary()["count"] == recorder.count
