@@ -17,7 +17,10 @@ Reproduction of "GPC: A Pattern Calculus for Property Graphs"
   conditions, the Proposition 14 gadget, mixed restrictors, label
   expressions, bag semantics);
 - :mod:`repro.service` — the query-service runtime (prepared queries,
-  versioned snapshots, plan/result caching, concurrent batches).
+  versioned snapshots, plan/result caching, concurrent batches);
+- :mod:`repro.cluster` — sharded scatter/gather serving (seed
+  partitioning, serial/thread/process executor backends, merged
+  cluster stats).
 
 Quickstart
 ----------
@@ -48,9 +51,10 @@ from repro.gpc import (
     parse_query,
     pretty,
 )
+from repro.cluster import ClusterService
 from repro.service import GraphService, PreparedQuery, ServiceStats
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Direction",
@@ -73,4 +77,5 @@ __all__ = [
     "GraphService",
     "PreparedQuery",
     "ServiceStats",
+    "ClusterService",
 ]

@@ -1,0 +1,373 @@
+"""Pluggable executor backends for sharded evaluation.
+
+A backend turns a list of :class:`ShardCall`\\ s — (query, config,
+seed restriction) triples against one immutable snapshot — into a list
+of :class:`ShardOutcome`\\ s in the same order. Three implementations:
+
+- :class:`SerialBackend` — in-process, sequential. The reference
+  implementation used by tests and differential checks: zero
+  concurrency, identical results by construction.
+- :class:`ThreadBackend` — a :class:`~concurrent.futures.ThreadPoolExecutor`.
+  Shares the snapshot and a thread-safe plan cache by reference. The
+  GIL caps its speedup for CPU-bound evaluation (see
+  ``bench_a3_service.py``), but it parallelises anything that releases
+  the GIL and keeps shipping costs at zero.
+- :class:`ProcessBackend` — a :class:`~concurrent.futures.ProcessPoolExecutor`
+  for genuine CPU parallelism. Snapshots are immutable and picklable,
+  so the backend ships one pickled snapshot per **graph version** into
+  every worker via the pool initializer — a warm-worker snapshot cache:
+  while the version is unchanged (the mutation-light serving case),
+  queries ship only their text and seed restriction, never the graph.
+  Workers also keep per-process prepared-plan caches, so a repeated
+  query is parsed/typechecked/compiled once per worker, not per call.
+
+Backends never raise for a failing shard: the failure is captured in
+its outcome so sibling shards complete and the router can surface the
+error with full context (:class:`repro.errors.ClusterError`).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+import time
+from abc import ABC, abstractmethod
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.gpc import ast
+from repro.gpc.answers import Answer
+from repro.gpc.engine import EngineConfig
+from repro.graph.ids import NodeId
+from repro.service.prepared import PreparedQuery
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.stats import ClusterStats
+    from repro.graph.snapshot import GraphSnapshot
+
+__all__ = [
+    "ShardCall",
+    "ShardOutcome",
+    "ExecutorBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "make_backend",
+]
+
+
+@dataclass(frozen=True)
+class ShardCall:
+    """One unit of scattered work: evaluate ``query`` restricted to
+    the shard's seed nodes (``None`` = unrestricted)."""
+
+    query: "str | ast.Query"
+    config: EngineConfig
+    restriction: Optional[frozenset[NodeId]]
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """What came back from one shard task.
+
+    Exactly one of ``result`` / ``error`` is set. ``worker`` tags which
+    executor unit ran the task (``serial``, a thread name, or a worker
+    pid) and ``elapsed_s`` is in-worker evaluation time.
+    """
+
+    result: Optional[frozenset[Answer]]
+    error: Optional[Exception]
+    worker: str
+    elapsed_s: float
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+#: Bound on every worker-side prepared-plan cache (mirrors the
+#: service-layer plan LRU default): a long-lived backend serving many
+#: distinct ad-hoc query texts must not grow memory without bound.
+PLAN_CACHE_CAPACITY = 256
+
+
+def _evict_oldest(plans: dict) -> None:
+    """FIFO eviction down to capacity (dicts preserve insert order)."""
+    while len(plans) > PLAN_CACHE_CAPACITY:
+        del plans[next(iter(plans))]
+
+
+def _cached_prepared(
+    plans: dict, call: ShardCall, lock: Optional[threading.Lock] = None
+) -> PreparedQuery:
+    """The memoised prepared query for a call's (query, config).
+
+    Construction runs outside the lock (compilation may be expensive);
+    concurrent misses may both build, first writer wins — plans are
+    idempotently recomputable, same policy as the service LRU.
+    """
+    key = (call.query, call.config)
+    if lock is None:
+        prepared = plans.get(key)
+        if prepared is None:
+            prepared = plans[key] = PreparedQuery(call.query, call.config)
+            _evict_oldest(plans)
+        return prepared
+    with lock:
+        prepared = plans.get(key)
+    if prepared is None:
+        built = PreparedQuery(call.query, call.config)
+        with lock:
+            prepared = plans.setdefault(key, built)
+            _evict_oldest(plans)
+    return prepared
+
+
+def _evaluate_shard(
+    snapshot: "GraphSnapshot",
+    plans: dict,
+    call: ShardCall,
+    worker: str,
+    lock: Optional[threading.Lock] = None,
+) -> ShardOutcome:
+    """Shared evaluation kernel for all backends."""
+    started = time.perf_counter()
+    try:
+        prepared = _cached_prepared(plans, call, lock)
+        result = prepared.execute(
+            snapshot, start_restriction=call.restriction
+        )
+        return ShardOutcome(result, None, worker, time.perf_counter() - started)
+    except Exception as exc:
+        return ShardOutcome(None, exc, worker, time.perf_counter() - started)
+
+
+class ExecutorBackend(ABC):
+    """The executor seam of :class:`~repro.cluster.service.ClusterService`."""
+
+    #: Stable identifier used in stats, explain output and benchmarks.
+    name: str = "abstract"
+
+    @abstractmethod
+    def run(
+        self, snapshot: "GraphSnapshot", calls: Sequence[ShardCall]
+    ) -> list[ShardOutcome]:
+        """Evaluate every call against ``snapshot``; outcomes align
+        positionally with ``calls`` and failures are captured, never
+        raised."""
+
+    def close(self) -> None:
+        """Release executor resources (idempotent)."""
+
+    def bind_stats(self, stats: "ClusterStats") -> None:
+        """Adopt the owning cluster's stats sink (no-op by default).
+
+        Called by :func:`make_backend` so user-constructed backend
+        instances report the same counters (snapshot ships, …) as
+        string-spec ones.
+        """
+
+    def __enter__(self) -> "ExecutorBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialBackend(ExecutorBackend):
+    """Sequential in-process execution (the differential baseline)."""
+
+    name = "serial"
+
+    def __init__(self):
+        self._plans: dict = {}
+
+    def run(self, snapshot, calls):
+        return [
+            _evaluate_shard(snapshot, self._plans, call, self.name)
+            for call in calls
+        ]
+
+
+class ThreadBackend(ExecutorBackend):
+    """Thread-pool execution: shared snapshot, shared plan cache."""
+
+    name = "thread"
+
+    def __init__(self, max_workers: int = 4):
+        self._max_workers = max_workers
+        self._plans: dict = {}
+        self._plans_lock = threading.Lock()
+        self._executor: Optional[ThreadPoolExecutor] = None
+        #: Guards executor lifecycle and submission against concurrent
+        #: run()/close() (duplicate pools, submit-after-shutdown).
+        self._lock = threading.RLock()
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self._max_workers,
+                thread_name_prefix="gpc-cluster",
+            )
+        return self._executor
+
+    def _call(self, snapshot, call: ShardCall) -> ShardOutcome:
+        return _evaluate_shard(
+            snapshot,
+            self._plans,
+            call,
+            threading.current_thread().name,
+            self._plans_lock,
+        )
+
+    def run(self, snapshot, calls):
+        with self._lock:
+            executor = self._ensure_executor()
+            futures = [
+                executor.submit(self._call, snapshot, call) for call in calls
+            ]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+
+# ---------------------------------------------------------------------------
+# Process pool: per-worker snapshot + plan caches
+# ---------------------------------------------------------------------------
+
+#: Per-worker-process state, installed by the pool initializer: the
+#: unpickled snapshot for the pool's graph version, and prepared plans
+#: keyed by (query, config). Living at module level makes it reachable
+#: from the picklable top-level task function.
+_WORKER_SNAPSHOT: "Optional[GraphSnapshot]" = None
+_WORKER_PLANS: dict = {}
+
+
+def _init_process_worker(snapshot_blob: bytes) -> None:
+    global _WORKER_SNAPSHOT
+    _WORKER_SNAPSHOT = pickle.loads(snapshot_blob)
+    _WORKER_PLANS.clear()
+
+
+def _run_process_shard(call: ShardCall) -> ShardOutcome:
+    return _evaluate_shard(
+        _WORKER_SNAPSHOT, _WORKER_PLANS, call, f"pid-{os.getpid()}"
+    )
+
+
+class ProcessBackend(ExecutorBackend):
+    """Process-pool execution with version-keyed snapshot shipping.
+
+    The pool is (re)created whenever the snapshot's version differs
+    from the one the current pool was warmed with; the pickled snapshot
+    travels once per worker through the pool initializer. While the
+    version is stable, ``run`` ships only calls — the warm workers
+    already hold the snapshot and their compiled plans.
+    """
+
+    name = "process"
+
+    def __init__(
+        self, max_workers: int = 4, stats: "Optional[ClusterStats]" = None
+    ):
+        self._max_workers = max_workers
+        self._stats = stats
+        self._executor: Optional[ProcessPoolExecutor] = None
+        #: The exact snapshot object the warm workers hold. Identity
+        #: (not just the version number) keys the cache: a backend
+        #: instance shared between services over *different* graphs at
+        #: coincidentally equal versions must rebuild, and per-graph
+        #: snapshots are memoised per version, so an unchanged graph
+        #: always presents the identical object.
+        self._pool_snapshot: "Optional[GraphSnapshot]" = None
+        #: Pickled-bytes memo for the same snapshot: re-pickling is the
+        #: expensive half of a pool rebuild.
+        self._blob_snapshot: "Optional[GraphSnapshot]" = None
+        self._blob: Optional[bytes] = None
+        #: Guards executor lifecycle and submission: close/rebuild may
+        #: not tear a pool down while another thread is submitting to
+        #: it. shutdown(wait=True) under the lock still lets in-flight
+        #: futures finish (workers run independently of the lock).
+        self._lock = threading.RLock()
+
+    def bind_stats(self, stats: "ClusterStats") -> None:
+        if self._stats is None:
+            self._stats = stats
+
+    @property
+    def pool_version(self) -> Optional[int]:
+        """The graph version the warm workers currently hold."""
+        snapshot = self._pool_snapshot
+        return None if snapshot is None else snapshot.version
+
+    def _ensure_executor(self, snapshot) -> ProcessPoolExecutor:
+        if self._executor is not None and self._pool_snapshot is snapshot:
+            return self._executor
+        self.close()
+        if self._blob_snapshot is not snapshot:
+            self._blob = pickle.dumps(
+                snapshot, protocol=pickle.HIGHEST_PROTOCOL
+            )
+            self._blob_snapshot = snapshot
+        self._executor = ProcessPoolExecutor(
+            max_workers=self._max_workers,
+            initializer=_init_process_worker,
+            initargs=(self._blob,),
+        )
+        self._pool_snapshot = snapshot
+        if self._stats is not None:
+            self._stats.count(snapshots_shipped=1)
+        return self._executor
+
+    def run(self, snapshot, calls):
+        with self._lock:
+            executor = self._ensure_executor(snapshot)
+            futures: list[Future] = [
+                executor.submit(_run_process_shard, call) for call in calls
+            ]
+        outcomes: list[ShardOutcome] = []
+        for future in futures:
+            try:
+                outcomes.append(future.result())
+            except Exception as exc:
+                # Transport-level failure (e.g. a worker died); shard
+                # evaluation errors are already captured in-outcome.
+                outcomes.append(ShardOutcome(None, exc, self.name, 0.0))
+        return outcomes
+
+    def close(self) -> None:
+        with self._lock:
+            executor, self._executor = self._executor, None
+            self._pool_snapshot = None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+
+def make_backend(
+    spec: "str | ExecutorBackend",
+    max_workers: int,
+    stats: "Optional[ClusterStats]" = None,
+) -> ExecutorBackend:
+    """Resolve a backend spec: an instance passes through (adopting
+    ``stats`` if it has none yet); the strings ``"serial"``,
+    ``"thread"`` and ``"process"`` construct one."""
+    if isinstance(spec, ExecutorBackend):
+        if stats is not None:
+            spec.bind_stats(stats)
+        return spec
+    if spec == "serial":
+        return SerialBackend()
+    if spec == "thread":
+        return ThreadBackend(max_workers)
+    if spec == "process":
+        return ProcessBackend(max_workers, stats)
+    raise ValueError(
+        f"unknown backend {spec!r}; expected 'serial', 'thread', 'process' "
+        f"or an ExecutorBackend instance"
+    )

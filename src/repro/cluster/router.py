@@ -1,0 +1,106 @@
+"""Scatter/gather routing: shard construction, merge, failure surfacing.
+
+The router owns the protocol between :class:`ClusterService` and its
+executor backend:
+
+- **scatter**: one :class:`~repro.cluster.backends.ShardCall` per
+  partition cell, all against the same immutable snapshot;
+- **gather**: shard outcomes are walked *in shard order* and their
+  answer frozensets unioned. GPC's set semantics makes the merge
+  deterministic regardless of worker scheduling — disjoint seed cells
+  yield disjoint answer sets, and frozenset union is order-insensitive
+  — so the fixed gather order exists purely to make latency accounting
+  and failure reporting reproducible;
+- **failure surfacing**: a failing shard never aborts its siblings.
+  All outcomes are gathered first (latencies recorded for every shard
+  that ran), then a :class:`repro.errors.ClusterError` is raised
+  carrying one :class:`ShardFailure` per failed shard with the worker
+  tag and original exception.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.errors import ClusterError
+from repro.gpc.answers import Answer
+from repro.cluster.backends import ShardCall, ShardOutcome
+from repro.graph.ids import NodeId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.stats import ClusterStats
+    from repro.gpc.engine import EngineConfig
+
+__all__ = ["ShardFailure", "ScatterGatherRouter"]
+
+
+@dataclass(frozen=True)
+class ShardFailure:
+    """One failed shard: which cell, which worker, what it raised."""
+
+    shard: int
+    worker: str
+    error: Exception
+
+    def describe(self) -> str:
+        return (
+            f"shard {self.shard} on worker {self.worker}: "
+            f"{type(self.error).__name__}: {self.error}"
+        )
+
+
+class ScatterGatherRouter:
+    """Builds shard calls and merges their outcomes."""
+
+    def __init__(self, stats: "Optional[ClusterStats]" = None):
+        self.stats = stats
+
+    def scatter(
+        self,
+        query,
+        config: "EngineConfig",
+        cells: Sequence[frozenset[NodeId]],
+    ) -> list[ShardCall]:
+        """One call per partition cell."""
+        calls = [ShardCall(query, config, cell) for cell in cells]
+        if self.stats is not None:
+            self.stats.count(scatters=len(calls))
+        return calls
+
+    def gather(self, outcomes: Sequence[ShardOutcome]) -> frozenset[Answer]:
+        """Union the shard answers in shard order; raise after the
+        full gather when any shard failed."""
+        self._record(outcomes)
+        failures = [
+            ShardFailure(index, outcome.worker, outcome.error)
+            for index, outcome in enumerate(outcomes)
+            if not outcome.ok
+        ]
+        if failures:
+            raise self.failure_error(failures)
+        return frozenset().union(
+            *(outcome.result for outcome in outcomes)
+        ) if outcomes else frozenset()
+
+    def failure_error(self, failures: Sequence[ShardFailure]) -> ClusterError:
+        """A :class:`ClusterError` summarising ``failures``, chained to
+        the first original exception."""
+        error = ClusterError(
+            f"{len(failures)} shard(s) failed: "
+            + "; ".join(f.describe() for f in failures),
+            failures=failures,
+        )
+        error.__cause__ = failures[0].error
+        return error
+
+    def _record(self, outcomes: Sequence[ShardOutcome]) -> None:
+        if self.stats is None:
+            return
+        failed = 0
+        for outcome in outcomes:
+            self.stats.record_shard(outcome.worker, outcome.elapsed_s)
+            if not outcome.ok:
+                failed += 1
+        if failed:
+            self.stats.count(shard_failures=failed)

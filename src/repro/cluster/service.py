@@ -1,0 +1,369 @@
+"""The :class:`ClusterService` façade — sharded scatter/gather serving.
+
+``ClusterService`` presents the same surface as
+:class:`~repro.service.service.GraphService` — ``prepare`` /
+``evaluate`` / ``evaluate_batch`` / ``explain`` / ``stats`` plus the
+mutation delegations — but evaluates each query by *partitioning its
+seed space* across N workers instead of running it whole:
+
+1. the :class:`~repro.cluster.partitioner.SeedPartitioner` splits the
+   query's viable start nodes (pruned by the planner's leading-endpoint
+   analysis) into degree-balanced cells;
+2. the :class:`~repro.cluster.router.ScatterGatherRouter` turns the
+   cells into shard calls against the current immutable snapshot;
+3. the executor backend (serial / thread / process) evaluates every
+   shard with the engine's native ``start_restriction`` seam;
+4. the router unions the shard answers — lossless by GPC's set
+   semantics: disjoint seed cells produce disjoint answer sets whose
+   union is exactly the unsharded answer set.
+
+Every backend returns frozenset-identical answers; the process backend
+adds true CPU parallelism, shipping each snapshot once per graph
+version into warm workers (see
+:class:`~repro.cluster.backends.ProcessBackend`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Hashable, Iterable, Mapping, Optional, Sequence
+
+from repro.cluster.backends import ExecutorBackend, make_backend
+from repro.cluster.partitioner import SeedPartitioner
+from repro.cluster.router import ScatterGatherRouter
+from repro.cluster.stats import ClusterStats
+from repro.gpc import ast
+from repro.gpc.answers import Answer
+from repro.gpc.engine import DEFAULT_CONFIG, EngineConfig
+from repro.graph.ids import (
+    DirectedEdgeId,
+    GraphElementId,
+    NodeId,
+    UndirectedEdgeId,
+)
+from repro.graph.property_graph import Constant, PropertyGraph
+from repro.graph.snapshot import GraphSnapshot
+from repro.service.cache import LRUCache
+from repro.service.prepared import PreparedQuery
+
+__all__ = ["ClusterService"]
+
+
+class ClusterService:
+    """Serve GPC queries by scatter/gather over partitioned seeds.
+
+    Example
+    -------
+    >>> from repro import GraphBuilder
+    >>> from repro.cluster import ClusterService
+    >>> g = (GraphBuilder().node("a", "P").node("b", "P")
+    ...      .edge("a", "b", "knows").build())
+    >>> with ClusterService(g, backend="serial", num_workers=2) as cluster:
+    ...     len(cluster.evaluate("TRAIL (x:P) -[:knows]-> (y:P)"))
+    1
+    """
+
+    def __init__(
+        self,
+        graph: Optional[PropertyGraph] = None,
+        config: Optional[EngineConfig] = None,
+        *,
+        num_workers: int = 4,
+        backend: "str | ExecutorBackend" = "process",
+        partitioner: Optional[SeedPartitioner] = None,
+        plan_cache_size: int = 256,
+        result_cache_size: int = 4096,
+    ):
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self._graph = graph if graph is not None else PropertyGraph()
+        self.config = config or DEFAULT_CONFIG
+        self.num_workers = num_workers
+        self.stats = ClusterStats()
+        self.backend = make_backend(backend, num_workers, self.stats)
+        self.partitioner = (
+            partitioner
+            if partitioner is not None
+            else SeedPartitioner(num_workers)
+        )
+        self.router = ScatterGatherRouter(self.stats)
+        self._plan_cache = LRUCache(plan_cache_size, self.stats.plan_cache)
+        self._result_cache = LRUCache(
+            result_cache_size, self.stats.result_cache
+        )
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # Graph access and mutation (same contract as GraphService)
+    # ------------------------------------------------------------------
+
+    @property
+    def graph(self) -> PropertyGraph:
+        """The underlying graph; mutate through the delegations below
+        when serving concurrently (they hold the service lock)."""
+        return self._graph
+
+    @property
+    def version(self) -> int:
+        return self._graph.version
+
+    def snapshot(self) -> GraphSnapshot:
+        with self._lock:
+            return self._graph.snapshot()
+
+    def add_node(
+        self,
+        key: Hashable,
+        labels: Iterable[str] = (),
+        properties: Optional[Mapping[str, Constant]] = None,
+    ) -> NodeId:
+        with self._lock:
+            return self._graph.add_node(key, labels, properties)
+
+    def add_edge(
+        self,
+        key: Hashable,
+        source: NodeId,
+        target: NodeId,
+        labels: Iterable[str] = (),
+        properties: Optional[Mapping[str, Constant]] = None,
+    ) -> DirectedEdgeId:
+        with self._lock:
+            return self._graph.add_edge(key, source, target, labels, properties)
+
+    def add_undirected_edge(
+        self,
+        key: Hashable,
+        endpoint_a: NodeId,
+        endpoint_b: NodeId,
+        labels: Iterable[str] = (),
+        properties: Optional[Mapping[str, Constant]] = None,
+    ) -> UndirectedEdgeId:
+        with self._lock:
+            return self._graph.add_undirected_edge(
+                key, endpoint_a, endpoint_b, labels, properties
+            )
+
+    def set_property(
+        self, element: GraphElementId, key: str, value: Constant
+    ) -> None:
+        with self._lock:
+            self._graph.set_property(element, key, value)
+
+    def remove_node(self, node: NodeId) -> None:
+        with self._lock:
+            self._graph.remove_node(node)
+
+    def remove_edge(self, edge: DirectedEdgeId) -> None:
+        with self._lock:
+            self._graph.remove_edge(edge)
+
+    def remove_undirected_edge(self, edge: UndirectedEdgeId) -> None:
+        with self._lock:
+            self._graph.remove_undirected_edge(edge)
+
+    # ------------------------------------------------------------------
+    # Prepared queries and explain
+    # ------------------------------------------------------------------
+
+    def prepare(
+        self,
+        query: "str | ast.Query",
+        config: Optional[EngineConfig] = None,
+    ) -> PreparedQuery:
+        """Router-side compilation, memoised per (query, config).
+
+        Workers keep their own plan caches; this one drives seed
+        partitioning and ``explain`` without shipping anything.
+        """
+        config = config or self.config
+        key = (query, config)
+        return self._plan_cache.get_or_create(
+            key, lambda: PreparedQuery(query, config)
+        )
+
+    def explain(
+        self,
+        query: "str | ast.Query",
+        config: Optional[EngineConfig] = None,
+    ) -> str:
+        """The engine plan plus the cluster's sharding decision."""
+        prepared = self.prepare(query, config)
+        snap = self.snapshot()
+        return "\n".join(
+            [
+                prepared.explain(snap),
+                f"cluster: backend={self.backend.name}, "
+                f"workers={self.num_workers}; "
+                + self.partitioner.describe(snap, prepared),
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(
+        self,
+        query: "str | ast.Query",
+        config: Optional[EngineConfig] = None,
+        *,
+        use_cache: bool = True,
+    ) -> frozenset[Answer]:
+        """Scatter ``query`` across seed partitions, gather the union.
+
+        Results are frozenset-identical to
+        :meth:`GraphService.evaluate` on the same graph version,
+        whatever the backend — including the ``(query, config,
+        version)``-keyed result cache and its ``use_cache`` bypass.
+        """
+        config = config or self.config
+        started = time.perf_counter()
+        snap = self.snapshot()
+        result_key = (query, config, snap.version)
+        if use_cache:
+            cached = self._result_cache.get(result_key)
+            if cached is not None:
+                self._record_query(started)
+                return cached
+        else:
+            self._count_bypass()
+        outcomes = self.backend.run(
+            snap, self._scatter_one(query, config, snap)
+        )
+        try:
+            result = self.router.gather(outcomes)
+        except Exception:
+            # A failed gather still served the query's shards: count it
+            # and record its latency, as evaluate_batch does, so error
+            # rates computed from queries/shard_failures stay honest.
+            self._record_query(started)
+            raise
+        if use_cache:
+            self._result_cache.put(result_key, result)
+        self._record_query(started)
+        return result
+
+    def evaluate_batch(
+        self,
+        queries: Sequence["str | ast.Query"],
+        config: Optional[EngineConfig] = None,
+        *,
+        use_cache: bool = True,
+        return_exceptions: bool = False,
+    ) -> list:
+        """Evaluate independent queries, each sharded, in one scatter.
+
+        All shards of all (uncached) queries go to the backend
+        together, so the worker pool pipelines across queries. Results
+        come back in input order. A raising query never loses its
+        siblings: every shard completes and sibling results are fully
+        merged; with ``return_exceptions=True`` the failing positions
+        hold the exception, otherwise the first failure is raised
+        afterwards (same contract as
+        :meth:`GraphService.evaluate_batch`).
+        """
+        config = config or self.config
+        self.stats.count(batches=1)
+        if not queries:
+            return []
+        started = time.perf_counter()
+        snap = self.snapshot()
+        calls: list = []
+        # Per query: a (start, end) span in calls, a cached frozenset,
+        # or a pre-scatter exception.
+        spans: list = []
+        for query in queries:
+            result_key = (query, config, snap.version)
+            if use_cache:
+                cached = self._result_cache.get(result_key)
+                if cached is not None:
+                    spans.append(cached)
+                    continue
+            else:
+                self._count_bypass()
+            try:
+                shard_calls = self._scatter_one(query, config, snap)
+            except Exception as exc:
+                spans.append(exc)
+                continue
+            spans.append((len(calls), len(calls) + len(shard_calls)))
+            calls.extend(shard_calls)
+        outcomes = self.backend.run(snap, calls)
+        results: list = []
+        evaluated = 0
+        for query, span in zip(queries, spans):
+            if isinstance(span, Exception):
+                results.append(span)
+                continue
+            if isinstance(span, frozenset):
+                results.append(span)
+                evaluated += 1
+                continue
+            begin, end = span
+            evaluated += 1
+            try:
+                merged = self.router.gather(outcomes[begin:end])
+            except Exception as exc:
+                results.append(exc)
+                continue
+            if use_cache:
+                self._result_cache.put((query, config, snap.version), merged)
+            results.append(merged)
+        # One latency sample for the whole pipelined batch (per-query
+        # wall clock is not separable once shards interleave). Queries
+        # that failed before any shard ran are not counted — the same
+        # accounting as `evaluate`, which raises before recording.
+        self.stats.latency.record(time.perf_counter() - started)
+        self.stats.count(queries=evaluated)
+        if not return_exceptions:
+            for item in results:
+                if isinstance(item, Exception):
+                    raise item
+        return results
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def clear_caches(self) -> None:
+        """Drop the router-side plan and result caches (stats kept)."""
+        self._plan_cache.clear()
+        self._result_cache.clear()
+
+    def close(self) -> None:
+        """Shut the executor backend down (idempotent)."""
+        self.backend.close()
+
+    def __enter__(self) -> "ClusterService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    def _scatter_one(self, query, config: EngineConfig, snap: GraphSnapshot):
+        """Prepare, partition and build the shard calls for one query."""
+        prepared = self.prepare(query, config)
+        cells = self.partitioner.partition(snap, prepared)
+        return self.router.scatter(query, config, cells)
+
+    def _record_query(self, started: float) -> None:
+        self.stats.latency.record(time.perf_counter() - started)
+        self.stats.count(queries=1)
+
+    def _count_bypass(self) -> None:
+        # Deliberate cache skips are bypasses, not misses — same
+        # accounting as GraphService (hit_rate reflects real probes).
+        with self._lock:
+            self.stats.result_cache.bypasses += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterService(version={self.version}, "
+            f"nodes={self._graph.num_nodes}, edges={self._graph.num_edges}, "
+            f"backend={self.backend.name}, workers={self.num_workers}, "
+            f"queries={self.stats.queries})"
+        )

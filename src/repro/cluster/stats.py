@@ -1,0 +1,78 @@
+"""Serving metrics for the sharded cluster runtime.
+
+:class:`ClusterStats` mirrors :class:`~repro.service.stats.ServiceStats`
+in spirit but tracks the quantities that matter for scatter/gather
+serving: how many shard tasks were scattered, how often snapshots were
+shipped to process workers, per-worker latency reservoirs (one
+:class:`~repro.service.stats.LatencyRecorder` per worker tag) next to
+the aggregate, and shard failure counts. ``as_dict()`` is the metrics
+payload, exactly like the single-service stats.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.service.stats import CacheStats, LatencyRecorder
+
+__all__ = ["ClusterStats"]
+
+
+@dataclass
+class ClusterStats:
+    """Aggregate metrics exposed by :class:`ClusterService.stats`.
+
+    ``latency`` records router-level wall clock per query (scatter +
+    evaluate + gather); ``shard_latency`` records in-worker evaluation
+    time per shard task, with :attr:`per_worker` breaking the same
+    samples down by worker tag (thread name or worker pid).
+    """
+
+    plan_cache: CacheStats = field(default_factory=CacheStats)
+    result_cache: CacheStats = field(default_factory=CacheStats)
+    latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+    shard_latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+    per_worker: dict[str, LatencyRecorder] = field(default_factory=dict)
+    queries: int = 0
+    batches: int = 0
+    scatters: int = 0
+    shard_failures: int = 0
+    snapshots_shipped: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
+
+    def record_shard(self, worker: str, seconds: float) -> None:
+        """Record one completed shard task attributed to ``worker``."""
+        self.shard_latency.record(seconds)
+        with self._lock:
+            recorder = self.per_worker.get(worker)
+            if recorder is None:
+                recorder = self.per_worker[worker] = LatencyRecorder()
+        recorder.record(seconds)
+
+    def count(self, **deltas: int) -> None:
+        """Atomically bump the named integer counters."""
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
+    def as_dict(self) -> dict[str, object]:
+        """A JSON-serialisable flattening of every metric."""
+        with self._lock:
+            workers = dict(self.per_worker)
+        return {
+            "queries": self.queries,
+            "batches": self.batches,
+            "scatters": self.scatters,
+            "shard_failures": self.shard_failures,
+            "snapshots_shipped": self.snapshots_shipped,
+            "plan_cache": self.plan_cache.as_dict(),
+            "result_cache": self.result_cache.as_dict(),
+            "latency": self.latency.summary(),
+            "shard_latency": self.shard_latency.summary(),
+            "per_worker": {
+                tag: recorder.summary() for tag, recorder in sorted(workers.items())
+            },
+        }

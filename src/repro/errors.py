@@ -25,6 +25,7 @@ __all__ = [
     "TranslationError",
     "DatalogError",
     "WorkloadError",
+    "ClusterError",
 ]
 
 
@@ -145,3 +146,18 @@ class DatalogError(GPCError):
 
 class WorkloadError(GPCError):
     """A benchmark workload specification is invalid."""
+
+
+class ClusterError(GPCError):
+    """One or more shards of a scattered evaluation failed.
+
+    Raised by the cluster router after *all* shards have been gathered,
+    so sibling shards complete (and their latencies are recorded) even
+    when one worker raises. ``failures`` holds ``ShardFailure`` entries
+    (shard index, worker tag, original exception); the first original
+    exception is chained as ``__cause__``.
+    """
+
+    def __init__(self, message: str, failures=()):
+        super().__init__(message)
+        self.failures = tuple(failures)

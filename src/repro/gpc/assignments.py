@@ -35,6 +35,12 @@ class Assignment(Mapping[str, Value]):
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Assignment is immutable")
 
+    def __reduce__(self):
+        # The immutability guard defeats default slots pickling;
+        # rebuild through __init__ (assignments travel to process-pool
+        # workers inside answers).
+        return (type(self), (self._lookup,))
+
     # -- Mapping protocol -------------------------------------------------
 
     def __getitem__(self, variable: str) -> Value:

@@ -244,17 +244,39 @@ class Evaluator:
     # ------------------------------------------------------------------
 
     def evaluate(
-        self, query: ast.Query, *, typecheck: bool = True
+        self,
+        query: ast.Query,
+        *,
+        typecheck: bool = True,
+        start_restriction: "frozenset[NodeId] | None" = None,
     ) -> frozenset[Answer]:
         """Compute ``[[Q]]_G`` — always finite (Theorem 10).
 
         ``typecheck=False`` skips the upfront schema inference; only
         pass it for queries already checked (e.g. by a prepared query's
         plan).
+
+        ``start_restriction`` restricts evaluation to the answers whose
+        *first* path starts at one of the given nodes — for a join,
+        that is the leftmost pattern query, whose path is always
+        ``answer.paths[0]``. The restriction is applied natively (the
+        ``shortest`` register search is seeded only from restricted
+        nodes; bounded evaluation fuses the membership test into its
+        restrictor filters), so
+
+        ``evaluate(q, start_restriction=R)
+          == {a in evaluate(q) : a.paths[0].src in R}``
+
+        and evaluating a query once per cell of a partition of the
+        node set unions losslessly to the full answer set. This is the
+        scatter/gather seam used by :mod:`repro.cluster`.
         """
         if typecheck:
             self.plan.ensure_typechecked(query)
-        return self._eval_query(query)
+        restriction = (
+            None if start_restriction is None else frozenset(start_restriction)
+        )
+        return self._eval_query(query, restriction)
 
     def eval_pattern(
         self, pattern: ast.Pattern, max_length: int | None = None
@@ -278,9 +300,15 @@ class Evaluator:
     # Queries
     # ------------------------------------------------------------------
 
-    def _eval_query(self, query: ast.Query) -> frozenset[Answer]:
+    def _eval_query(
+        self,
+        query: ast.Query,
+        restriction: frozenset[NodeId] | None = None,
+    ) -> frozenset[Answer]:
         if isinstance(query, ast.PatternQuery):
-            matches = self._eval_restricted(query.restrictor, query.pattern)
+            matches = self._eval_restricted(
+                query.restrictor, query.pattern, restriction
+            )
             out = []
             for path, mu in matches:
                 if query.name is not None:
@@ -288,10 +316,14 @@ class Evaluator:
                 out.append(Answer((path,), mu))
             return frozenset(out)
         if isinstance(query, ast.Join):
-            return self._eval_join(query)
+            return self._eval_join(query, restriction)
         raise TypeError(f"not a query: {query!r}")
 
-    def _eval_join(self, query: ast.Join) -> frozenset[Answer]:
+    def _eval_join(
+        self,
+        query: ast.Join,
+        restriction: frozenset[NodeId] | None = None,
+    ) -> frozenset[Answer]:
         """Join two answer sets.
 
         With the planner enabled, the side with the smaller estimated
@@ -301,9 +333,14 @@ class Evaluator:
         nested-loop product. Both produce identical answer sets:
         answers combine iff they agree on the shared variables, which
         is exactly bucket equality.
+
+        A start restriction always flows into the *left* side: combined
+        path tuples concatenate left-to-right, so ``paths[0]`` — the
+        path the restriction is defined over — comes from the leftmost
+        pattern query regardless of which side is evaluated first.
         """
         if not self.config.use_planner:
-            left = self._eval_query(query.left)
+            left = self._eval_query(query.left, restriction)
             right = self._eval_query(query.right)
             return _nested_loop_join(left, right)
         left_estimate = estimate_query_cardinality(
@@ -313,7 +350,10 @@ class Evaluator:
             query.right, self._view, self.plan
         )
         left_first = left_estimate <= right_estimate
-        first = self._eval_query(query.left if left_first else query.right)
+        first = self._eval_query(
+            query.left if left_first else query.right,
+            restriction if left_first else None,
+        )
         if not first:
             # The join is empty regardless of the other side — but the
             # skipped side must still surface the validation errors
@@ -324,7 +364,10 @@ class Evaluator:
             for pattern_query in self.plan._pattern_queries(skipped):
                 self._validate_collect(pattern_query.pattern)
             return frozenset()
-        second = self._eval_query(query.right if left_first else query.left)
+        second = self._eval_query(
+            query.right if left_first else query.left,
+            None if left_first else restriction,
+        )
         left, right = (first, second) if left_first else (second, first)
         return _hash_join(left, right, self.plan.join_variables(query))
 
@@ -333,18 +376,27 @@ class Evaluator:
     # ------------------------------------------------------------------
 
     def _eval_restricted(
-        self, restrictor: ast.Restrictor, pattern: ast.Pattern
+        self,
+        restrictor: ast.Restrictor,
+        pattern: ast.Pattern,
+        restriction: frozenset[NodeId] | None = None,
     ) -> frozenset[Match]:
         self._validate_collect(pattern)
         if restrictor.mode == "trail":
             bound = self._view.num_edges
             matches = frozenset(
-                m for m in self._bounded.evaluate(pattern, bound) if is_trail(m[0])
+                m
+                for m in self._bounded.evaluate(pattern, bound)
+                if (restriction is None or m[0].src in restriction)
+                and is_trail(m[0])
             )
         elif restrictor.mode == "simple":
             bound = self._view.num_nodes
             matches = frozenset(
-                m for m in self._bounded.evaluate(pattern, bound) if is_simple(m[0])
+                m
+                for m in self._bounded.evaluate(pattern, bound)
+                if (restriction is None or m[0].src in restriction)
+                and is_simple(m[0])
             )
         else:
             matches = None
@@ -354,11 +406,17 @@ class Evaluator:
             return matches
         if matches is not None:
             # shortest trail / shortest simple: minimise within the
-            # already-finite filtered set.
+            # already-finite filtered set. Filtering by source first is
+            # safe: minima are taken per (src, tgt) pair, so dropping
+            # whole pairs never changes the minimum of a kept pair.
             return _keep_shortest(matches)
-        return self._eval_shortest(pattern)
+        return self._eval_shortest(pattern, restriction)
 
-    def _eval_shortest(self, pattern: ast.Pattern) -> frozenset[Match]:
+    def _eval_shortest(
+        self,
+        pattern: ast.Pattern,
+        restriction: frozenset[NodeId] | None = None,
+    ) -> frozenset[Match]:
         """``shortest pi`` with no trail/simple underneath.
 
         The main route compiles the pattern to a register NFA
@@ -370,12 +428,12 @@ class Evaluator:
         """
         rnfa = self.plan.register_nfa(pattern)
         if rnfa is None:
-            return self._eval_shortest_fallback(pattern)
+            return self._eval_shortest_fallback(pattern, restriction)
         from repro.enumeration.span_matcher import match_on_path
 
         limit = self.config.shortest_deepening_limit
         answers: set[Match] = set()
-        starts, end_filter = self._shortest_candidates(pattern)
+        starts, end_filter = self._shortest_candidates(pattern, restriction)
         for start in starts:
             best = shortest_pair_lengths(self._view, rnfa, start)
             for end in sorted(best):
@@ -411,7 +469,11 @@ class Evaluator:
                         )
         return frozenset(answers)
 
-    def _shortest_candidates(self, pattern: ast.Pattern):
+    def _shortest_candidates(
+        self,
+        pattern: ast.Pattern,
+        restriction: frozenset[NodeId] | None = None,
+    ):
         """Start nodes to seed the register search from, and an
         optional end-node filter.
 
@@ -419,7 +481,11 @@ class Evaluator:
         leading (trailing) constraints, so restricting the search to
         the planner's candidates drops no answers. Snapshot carriers
         are pre-sorted tuples — iterate them directly instead of
-        re-sorting per query.
+        re-sorting per query. A caller-supplied start restriction
+        intersects the candidate starts, so every per-start register
+        search outside the restriction is skipped entirely — this is
+        what makes partitioned scatter/gather evaluation do ``1/K`` of
+        the work per shard rather than filtering full answer sets.
         """
         if self.config.use_planner:
             shortest_plan = self.plan.shortest_plan(pattern)
@@ -430,17 +496,36 @@ class Evaluator:
         if starts is None:
             nodes = self._view.nodes
             starts = nodes if isinstance(nodes, tuple) else tuple(sorted(nodes))
+        if restriction is not None:
+            # ``starts`` is already sorted; filtering preserves order.
+            starts = tuple(n for n in starts if n in restriction)
         return starts, (None if ends is None else frozenset(ends))
 
-    def _eval_shortest_fallback(self, pattern: ast.Pattern) -> frozenset[Match]:
+    def _eval_shortest_fallback(
+        self,
+        pattern: ast.Pattern,
+        restriction: frozenset[NodeId] | None = None,
+    ) -> frozenset[Match]:
         """Bounded-evaluation fallback for extension patterns."""
         syntactic_max = max_path_length(pattern)
         if syntactic_max is not None:
             # Bounded pattern: evaluate exactly and minimise.
-            return _keep_shortest(self._bounded.evaluate(pattern, syntactic_max))
+            return _keep_shortest(
+                _restrict_sources(
+                    self._bounded.evaluate(pattern, syntactic_max), restriction
+                )
+            )
         # Unbounded: iterative deepening guided by the regular abstraction.
         nfa = self.plan.abstraction(pattern)
         candidates = pairs_and_distances(self._view, nfa)
+        if restriction is not None:
+            # Deepening only needs to resolve pairs whose source is in
+            # the restriction; the rest can never contribute answers.
+            candidates = {
+                pair: dist
+                for pair, dist in candidates.items()
+                if pair[0] in restriction
+            }
         if not candidates:
             return frozenset()
         limit = self.config.shortest_deepening_limit
@@ -454,10 +539,12 @@ class Evaluator:
             found_pairs = {(m[0].src, m[0].tgt) for m in results}
             remaining = set(candidates) - found_pairs
             if not remaining:
-                return _keep_shortest(results)
+                return _keep_shortest(_restrict_sources(results, restriction))
             if length >= limit:
                 if self.config.lenient_shortest:
-                    return _keep_shortest(results)
+                    return _keep_shortest(
+                        _restrict_sources(results, restriction)
+                    )
                 raise EvaluationLimitError(
                     f"shortest: {len(remaining)} candidate endpoint pair(s) "
                     f"unresolved at deepening limit {limit}; they may be "
@@ -520,6 +607,15 @@ def _hash_join(
             if combined is not None:
                 out.append(combined)
     return frozenset(out)
+
+
+def _restrict_sources(
+    matches: frozenset[Match], restriction: frozenset[NodeId] | None
+) -> frozenset[Match]:
+    """Drop matches whose path starts outside the restriction."""
+    if restriction is None:
+        return matches
+    return frozenset(m for m in matches if m[0].src in restriction)
 
 
 def _keep_shortest(matches: frozenset[Match]) -> frozenset[Match]:

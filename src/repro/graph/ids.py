@@ -61,6 +61,12 @@ class _Id:
     def __le__(self, other: "_Id") -> bool:
         return self == other or self < other
 
+    def __reduce__(self):
+        # The immutability guard (__setattr__ raises) defeats the
+        # default slots pickling path; rebuild through __init__ instead.
+        # Ids must pickle: snapshots ship to process-pool workers.
+        return (type(self), (self.key,))
+
     def __repr__(self) -> str:
         return f"{self._tag}({self.key!r})"
 

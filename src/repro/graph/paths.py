@@ -46,6 +46,12 @@ class Path:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Path is immutable")
 
+    def __reduce__(self):
+        # The immutability guard defeats default slots pickling;
+        # rebuild through __init__ (paths travel to process-pool
+        # workers inside answers).
+        return (type(self), (self._elements,))
+
     # -- constructors ---------------------------------------------------
 
     @classmethod

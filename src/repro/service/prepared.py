@@ -50,15 +50,25 @@ class PreparedQuery:
         self.plan.precompile(self.query)
 
     def execute(
-        self, graph: PropertyGraph | GraphSnapshot
+        self,
+        graph: PropertyGraph | GraphSnapshot,
+        *,
+        start_restriction=None,
     ) -> frozenset[Answer]:
         """Evaluate against ``graph`` reusing the compiled plan.
 
         Equivalent to ``Evaluator(graph, config).evaluate(query)`` —
         same answers, none of the per-call compilation.
+
+        ``start_restriction`` (a collection of node ids) keeps only the
+        answers whose first path starts at one of the given nodes,
+        evaluated natively by the engine — the scatter/gather seam used
+        by :mod:`repro.cluster` to shard evaluation across workers.
         """
         evaluator = Evaluator(graph, self.config, plan=self.plan)
-        return evaluator.evaluate(self.query, typecheck=False)
+        return evaluator.evaluate(
+            self.query, typecheck=False, start_restriction=start_restriction
+        )
 
     def explain(self, graph: PropertyGraph | GraphSnapshot | None = None) -> str:
         """The planner's strategy summary for this query.

@@ -243,6 +243,7 @@ class GraphService:
         config: EngineConfig | None = None,
         *,
         use_cache: bool = True,
+        return_exceptions: bool = False,
     ) -> list[frozenset[Answer]]:
         """Evaluate independent queries concurrently.
 
@@ -250,6 +251,13 @@ class GraphService:
         against the same graph snapshot semantics as
         :meth:`evaluate` (answers are frozensets, so the outcome is
         deterministic regardless of thread scheduling).
+
+        A raising query never takes its siblings down: every future is
+        drained before anything is re-raised, so sibling queries run to
+        completion, their results are cached and their stats recorded.
+        With ``return_exceptions=True`` the failing positions hold the
+        exception object (so callers keep sibling results); otherwise
+        the first failure is raised after the full drain.
         """
         with self._lock:
             self.stats.batches += 1
@@ -260,7 +268,17 @@ class GraphService:
             executor.submit(self.evaluate, query, config, use_cache=use_cache)
             for query in queries
         ]
-        return [future.result() for future in futures]
+        outcomes: list = []
+        for future in futures:
+            try:
+                outcomes.append(future.result())
+            except Exception as exc:
+                outcomes.append(exc)
+        if not return_exceptions:
+            for outcome in outcomes:
+                if isinstance(outcome, Exception):
+                    raise outcome
+        return outcomes
 
     # ------------------------------------------------------------------
     # Lifecycle / maintenance

@@ -1,0 +1,268 @@
+"""ClusterService: GraphService parity, merge losslessness, failure
+surfacing, stats, mutation-driven re-sharding."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster import ClusterService, SeedPartitioner, SerialBackend
+from repro.errors import ClusterError, GPCTypeError, ParseError
+from repro.gpc.engine import EngineConfig, Evaluator
+from repro.gpc.parser import parse_query
+from repro.graph.builder import GraphBuilder
+from repro.graph.generators import social_network
+from repro.graph.property_graph import PropertyGraph
+from repro.service import GraphService
+
+QUERIES = [
+    "TRAIL (x:Person) -[e:knows]-> (y:Person)",
+    "SIMPLE (x:Person) ~[:married]~ (y:Person)",
+    "SHORTEST (x:Person) -[:knows]->{1,} (y:Person)",
+    "SHORTEST TRAIL (x) -> () -> (y)",
+    "TRAIL (x:Person) -[:knows]-> (y:Person), TRAIL (y:Person) -[:lives_in]-> (c:City)",
+]
+
+
+def _graph():
+    return social_network(num_people=14, friend_degree=2, seed=9)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    graph = _graph()
+    return {
+        text: Evaluator(graph).evaluate(parse_query(text))
+        for text in QUERIES
+    }
+
+
+class TestBackendParity:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_answers_identical_across_backends(self, backend, reference):
+        with ClusterService(
+            _graph(), backend=backend, num_workers=2
+        ) as cluster:
+            for text in QUERIES:
+                assert cluster.evaluate(text) == reference[text]
+
+    @pytest.mark.parametrize("workers", [1, 2, 5])
+    def test_shard_count_never_changes_answers(self, workers, reference):
+        with ClusterService(
+            _graph(), backend="serial", num_workers=workers
+        ) as cluster:
+            for text in QUERIES:
+                assert cluster.evaluate(text) == reference[text]
+
+    def test_matches_graph_service_surface(self, reference):
+        service = GraphService(_graph())
+        with ClusterService(_graph(), backend="serial") as cluster:
+            for text in QUERIES:
+                assert cluster.evaluate(text) == service.evaluate(text)
+            assert cluster.evaluate_batch(QUERIES) == (
+                service.evaluate_batch(QUERIES)
+            )
+        service.close()
+
+    def test_ast_queries_accepted(self, reference):
+        with ClusterService(_graph(), backend="serial") as cluster:
+            query = parse_query(QUERIES[0])
+            assert cluster.evaluate(query) == reference[QUERIES[0]]
+
+    def test_empty_graph(self):
+        with ClusterService(PropertyGraph(), backend="serial") as cluster:
+            assert cluster.evaluate("TRAIL (x) -> (y)") == frozenset()
+
+
+class TestBatch:
+    def test_order_preserved(self, reference):
+        with ClusterService(_graph(), backend="serial") as cluster:
+            batch = cluster.evaluate_batch(list(reversed(QUERIES)))
+            assert batch == [reference[t] for t in reversed(QUERIES)]
+
+    def test_empty_batch(self):
+        with ClusterService(_graph(), backend="serial") as cluster:
+            assert cluster.evaluate_batch([]) == []
+
+    def test_prepare_failure_keeps_siblings(self, reference):
+        workload = [QUERIES[0], "TRAIL (x", QUERIES[1]]
+        with ClusterService(_graph(), backend="serial") as cluster:
+            results = cluster.evaluate_batch(
+                workload, return_exceptions=True
+            )
+            assert results[0] == reference[QUERIES[0]]
+            assert isinstance(results[1], ParseError)
+            assert results[2] == reference[QUERIES[1]]
+            # Default mode raises the failure — after siblings finished.
+            with pytest.raises(ParseError):
+                cluster.evaluate_batch(workload)
+            # The parse-failing query never evaluated: only the two
+            # siblings count per round (same accounting as evaluate,
+            # which raises before recording).
+            assert cluster.stats.queries == 2 * 2
+
+
+class TestResultCache:
+    """Surface parity with GraphService: (query, config, version)
+    keyed result cache with use_cache bypass."""
+
+    def test_hit_on_repeat_returns_same_frozenset(self):
+        with ClusterService(_graph(), backend="serial") as cluster:
+            first = cluster.evaluate(QUERIES[0])
+            second = cluster.evaluate(QUERIES[0])
+            assert second is first  # the cached frozenset itself
+            assert cluster.stats.result_cache.hits == 1
+            assert cluster.stats.result_cache.misses == 1
+
+    def test_mutation_invalidates(self):
+        with ClusterService(_graph(), backend="serial") as cluster:
+            before = cluster.evaluate(QUERIES[0])
+            cluster.remove_edge(next(cluster.graph.iter_directed_edges()))
+            after = cluster.evaluate(QUERIES[0])
+            assert after != before
+            assert after == Evaluator(cluster.graph).evaluate(
+                parse_query(QUERIES[0])
+            )
+            assert cluster.stats.result_cache.hits == 0
+
+    def test_use_cache_false_recomputes(self):
+        with ClusterService(_graph(), backend="serial") as cluster:
+            first = cluster.evaluate(QUERIES[0], use_cache=False)
+            second = cluster.evaluate(QUERIES[0], use_cache=False)
+            assert first == second and first is not second
+            assert cluster.stats.result_cache.hits == 0
+            assert cluster.stats.result_cache.bypasses == 2
+
+    def test_batch_populates_and_hits_cache(self):
+        with ClusterService(_graph(), backend="serial") as cluster:
+            batch = cluster.evaluate_batch(QUERIES[:2])
+            assert cluster.evaluate(QUERIES[0]) is batch[0]
+            repeat = cluster.evaluate_batch(QUERIES[:2])
+            assert repeat == batch
+            # Second batch round was served entirely from cache.
+            assert cluster.stats.result_cache.hits >= 2
+
+
+class TestFailureSurfacing:
+    def test_shard_failure_raises_cluster_error(self):
+        tiny = EngineConfig(max_intermediate_results=1)
+        with ClusterService(
+            _graph(), tiny, backend="serial", num_workers=3
+        ) as cluster:
+            with pytest.raises(ClusterError) as excinfo:
+                cluster.evaluate(QUERIES[0])
+        error = excinfo.value
+        assert error.failures, "failures must carry per-shard context"
+        for failure in error.failures:
+            assert "intermediate result" in str(failure.error)
+            assert failure.describe()
+        assert error.__cause__ is error.failures[0].error
+        assert cluster.stats.shard_failures == len(error.failures)
+        # The failed query is still counted and timed — error rates
+        # derived from queries/shard_failures must stay honest.
+        assert cluster.stats.queries == 1
+        assert cluster.stats.latency.count == 1
+
+    def test_prepare_errors_propagate_directly(self):
+        with ClusterService(_graph(), backend="serial") as cluster:
+            with pytest.raises(GPCTypeError):
+                cluster.evaluate("TRAIL [ -[e]->{1,3} ] << e.k = 1 >>")
+
+
+class TestMutationAndVersions:
+    def test_mutations_reshard_and_refresh(self):
+        graph = (
+            GraphBuilder()
+            .node("a", "P").node("b", "P")
+            .edge("a", "b", "r")
+            .build()
+        )
+        with ClusterService(graph, backend="serial", num_workers=2) as cluster:
+            before = cluster.evaluate("TRAIL (x:P) -[:r]-> (y:P)")
+            assert len(before) == 1
+            version = cluster.version
+            c = cluster.add_node("c", ["P"])
+            cluster.add_edge("e2", c, next(iter(graph.nodes_with_label("P"))), ["r"])
+            assert cluster.version > version
+            after = cluster.evaluate("TRAIL (x:P) -[:r]-> (y:P)")
+            assert after == Evaluator(cluster.graph).evaluate(
+                parse_query("TRAIL (x:P) -[:r]-> (y:P)")
+            )
+            assert len(after) == 2
+            edge = next(cluster.graph.iter_directed_edges())
+            cluster.remove_edge(edge)
+            assert cluster.evaluate("TRAIL (x:P) -[:r]-> (y:P)") == (
+                Evaluator(cluster.graph).evaluate(
+                    parse_query("TRAIL (x:P) -[:r]-> (y:P)")
+                )
+            )
+
+    def test_process_backend_reships_on_mutation(self):
+        with ClusterService(
+            _graph(), backend="process", num_workers=2
+        ) as cluster:
+            cluster.evaluate(QUERIES[0])
+            cluster.evaluate(QUERIES[1])
+            assert cluster.stats.snapshots_shipped == 1
+            cluster.add_node("fresh", ["Person"])
+            cluster.evaluate(QUERIES[0])
+            assert cluster.stats.snapshots_shipped == 2
+
+
+class TestStatsAndExplain:
+    def test_stats_accumulate(self):
+        with ClusterService(
+            _graph(), backend="serial", num_workers=3
+        ) as cluster:
+            cluster.evaluate(QUERIES[0], use_cache=False)
+            cluster.evaluate_batch(QUERIES[:2], use_cache=False)
+            stats = cluster.stats
+            assert stats.queries == 3
+            assert stats.batches == 1
+            assert stats.scatters >= 3
+            assert stats.latency.count == 2  # one per call, one per batch
+            assert stats.shard_latency.count == stats.scatters
+            assert "serial" in stats.per_worker
+            assert stats.result_cache.bypasses == 3
+
+    def test_as_dict_is_json_serialisable(self):
+        with ClusterService(_graph(), backend="serial") as cluster:
+            cluster.evaluate(QUERIES[0])
+            encoded = json.dumps(cluster.stats.as_dict())
+            assert "per_worker" in encoded and "shard_latency" in encoded
+
+    def test_plan_cache_memoises(self):
+        with ClusterService(_graph(), backend="serial") as cluster:
+            first = cluster.prepare(QUERIES[0])
+            assert cluster.prepare(QUERIES[0]) is first
+            assert cluster.stats.plan_cache.hits == 1
+
+    def test_explain_includes_cluster_line(self):
+        with ClusterService(
+            _graph(), backend="serial", num_workers=2
+        ) as cluster:
+            text = cluster.explain(QUERIES[2])
+            assert "plan:" in text
+            assert "cluster: backend=serial" in text
+            assert "shard" in text
+
+    def test_repr(self):
+        with ClusterService(_graph(), backend="serial") as cluster:
+            assert "backend=serial" in repr(cluster)
+
+
+class TestCustomInjection:
+    def test_custom_backend_and_partitioner(self, reference):
+        backend = SerialBackend()
+        partitioner = SeedPartitioner(7)
+        with ClusterService(
+            _graph(), backend=backend, partitioner=partitioner
+        ) as cluster:
+            assert cluster.backend is backend
+            assert cluster.partitioner is partitioner
+            assert cluster.evaluate(QUERIES[0]) == reference[QUERIES[0]]
+
+    def test_worker_validation(self):
+        with pytest.raises(ValueError):
+            ClusterService(_graph(), num_workers=0, backend="serial")

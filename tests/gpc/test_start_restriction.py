@@ -1,0 +1,173 @@
+"""The engine's ``start_restriction`` seam (scatter/gather soundness).
+
+The contract under test, for every query ``q`` and node set ``R``::
+
+    evaluate(q, start_restriction=R)
+      == {a in evaluate(q) : a.paths[0].src in R}
+
+and hence, for any partition ``R_1 | ... | R_k`` of the node set, the
+union of the restricted answer sets is exactly the full answer set —
+the property that makes :mod:`repro.cluster`'s partitioned evaluation
+lossless.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpc.engine import EngineConfig, Evaluator
+from repro.gpc.parser import parse_query
+from repro.graph.builder import GraphBuilder
+from repro.graph.generators import random_multigraph, social_network
+from repro.service import PreparedQuery
+
+#: Queries covering every evaluation route the restriction threads
+#: through: trail/simple filters, register-NFA shortest, shortest
+#: trail, the bounded shortest fallback, and both join sides.
+QUERIES = [
+    "TRAIL (x:Person) -[e:knows]-> (y:Person)",
+    "SIMPLE (x) ->{1,2} (y)",
+    "SHORTEST (x:Person) -[:knows]->{1,} (y:Person)",
+    "SHORTEST TRAIL (x) -> () -> (y)",
+    "TRAIL (x:Person) -[:knows]-> (y:Person), TRAIL (y:Person) -[:lives_in]-> (c:City)",
+    "p = TRAIL [ (x:Person) -[e:knows]->{1,2} (y:Person) ] << x.team = y.team >>",
+]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    g = social_network(num_people=12, friend_degree=2, seed=7)
+    # Give the join queries property fodder.
+    for i, node in enumerate(sorted(g.nodes_with_label("Person"))):
+        g.set_property(node, "team", "db" if i % 2 else "ml")
+    return g
+
+
+def _full_and_restricted(graph, text, restriction, config=None):
+    query = parse_query(text)
+    full = Evaluator(graph, config).evaluate(query)
+    restricted = Evaluator(graph, config).evaluate(
+        query, start_restriction=restriction
+    )
+    return full, restricted
+
+
+class TestRestrictionIsAFilter:
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_matches_post_filter(self, graph, text):
+        nodes = sorted(graph.nodes)
+        restriction = frozenset(nodes[: len(nodes) // 2])
+        full, restricted = _full_and_restricted(graph, text, restriction)
+        assert restricted == frozenset(
+            a for a in full if a.paths[0].src in restriction
+        )
+
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_matches_post_filter_without_planner(self, graph, text):
+        nodes = sorted(graph.nodes)
+        restriction = frozenset(nodes[len(nodes) // 3:])
+        config = EngineConfig(use_planner=False)
+        full, restricted = _full_and_restricted(
+            graph, text, restriction, config
+        )
+        assert restricted == frozenset(
+            a for a in full if a.paths[0].src in restriction
+        )
+
+    def test_empty_restriction_is_empty(self, graph):
+        for text in QUERIES:
+            _, restricted = _full_and_restricted(graph, text, frozenset())
+            assert restricted == frozenset()
+
+    def test_full_restriction_is_identity(self, graph):
+        restriction = frozenset(graph.nodes)
+        for text in QUERIES:
+            full, restricted = _full_and_restricted(graph, text, restriction)
+            assert restricted == full
+
+
+class TestPartitionUnion:
+    @pytest.mark.parametrize("parts", [2, 3, 5])
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_union_over_partition_is_lossless(self, graph, text, parts):
+        nodes = sorted(graph.nodes)
+        cells = [frozenset(nodes[i::parts]) for i in range(parts)]
+        query = parse_query(text)
+        full = Evaluator(graph).evaluate(query)
+        shards = [
+            Evaluator(graph).evaluate(query, start_restriction=cell)
+            for cell in cells
+        ]
+        assert frozenset().union(*shards) == full
+        # Disjoint seed cells produce disjoint answer sets.
+        for i in range(parts):
+            for j in range(i + 1, parts):
+                assert not (shards[i] & shards[j])
+
+    def test_random_graphs(self):
+        for seed in range(3):
+            graph = random_multigraph(
+                num_nodes=8, num_directed=14, num_undirected=4, seed=seed
+            )
+            nodes = sorted(graph.nodes)
+            cells = [frozenset(nodes[0::2]), frozenset(nodes[1::2])]
+            for text in ["TRAIL (x) -> (y)", "SHORTEST (x) ->{1,} (y)"]:
+                query = parse_query(text)
+                full = Evaluator(graph).evaluate(query)
+                union = frozenset().union(
+                    *(
+                        Evaluator(graph).evaluate(
+                            query, start_restriction=cell
+                        )
+                        for cell in cells
+                    )
+                )
+                assert union == full
+
+
+class TestJoinRestriction:
+    def test_restriction_applies_to_leftmost_side_only(self):
+        graph = (
+            GraphBuilder()
+            .node("a", "P")
+            .node("b", "P")
+            .node("c", "Q")
+            .edge("a", "b", "r")
+            .edge("b", "c", "s")
+            .build()
+        )
+        query = parse_query("TRAIL (x:P) -[:r]-> (y:P), TRAIL (y:P) -[:s]-> (z:Q)")
+        full = Evaluator(graph).evaluate(query)
+        assert len(full) == 1
+        (answer,) = full
+        left_src = answer.paths[0].src
+        right_src = answer.paths[1].src
+        assert left_src != right_src
+        # Restricting to the left source keeps the answer...
+        kept = Evaluator(graph).evaluate(
+            query, start_restriction=frozenset([left_src])
+        )
+        assert kept == full
+        # ...restricting to the right side's source alone drops it.
+        dropped = Evaluator(graph).evaluate(
+            query, start_restriction=frozenset([right_src])
+        )
+        assert dropped == frozenset()
+
+
+class TestPreparedPassthrough:
+    def test_prepared_execute_restricts(self, graph):
+        prepared = PreparedQuery(QUERIES[2])
+        nodes = sorted(graph.nodes)
+        restriction = frozenset(nodes[::2])
+        full = prepared.execute(graph)
+        restricted = prepared.execute(graph, start_restriction=restriction)
+        assert restricted == frozenset(
+            a for a in full if a.paths[0].src in restriction
+        )
+
+    def test_restriction_accepts_any_collection(self, graph):
+        prepared = PreparedQuery(QUERIES[0])
+        nodes = sorted(graph.nodes)
+        as_list = prepared.execute(graph, start_restriction=list(nodes))
+        assert as_list == prepared.execute(graph)

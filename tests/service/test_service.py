@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import GPCTypeError
+from repro.errors import GPCError, GPCTypeError
 from repro.gpc.engine import EngineConfig, Evaluator
 from repro.gpc.parser import parse_query
 from repro.graph.builder import GraphBuilder
@@ -209,6 +209,99 @@ class TestBatchEvaluation:
             service.evaluate_batch(QUERIES[:2])
             assert service._executor is not None
         assert social._executor is None
+
+    def test_raising_query_keeps_sibling_results(self, social):
+        """Regression: one bad query must not lose its siblings."""
+        workload = [QUERIES[0], "TRAIL (x", QUERIES[1]]
+        results = social.evaluate_batch(workload, return_exceptions=True)
+        assert results[0] == social.evaluate(QUERIES[0])
+        assert isinstance(results[1], GPCError)
+        assert results[2] == social.evaluate(QUERIES[1])
+
+    def test_raising_query_raises_after_full_drain(self, social):
+        workload = ["TRAIL (x", QUERIES[0], QUERIES[1]]
+        with pytest.raises(GPCError):
+            social.evaluate_batch(workload)
+        # The siblings ran to completion despite the leading failure:
+        # their stats were recorded and their results cached.
+        assert social.stats.queries == 2
+        social.evaluate(QUERIES[0])
+        social.evaluate(QUERIES[1])
+        assert social.stats.result_cache.hits == 2
+
+    def test_exception_positions_preserve_input_order(self, social):
+        workload = [QUERIES[0], "TRAIL (x", QUERIES[1], "SIMPLE )y("]
+        results = social.evaluate_batch(workload, return_exceptions=True)
+        assert [isinstance(r, Exception) for r in results] == (
+            [False, True, False, True]
+        )
+
+
+class TestRemovalInvalidation:
+    """Each remove_* delegation bumps the version, invalidates cached
+    results, and forces a snapshot rebuild — symmetric with the
+    add-path coverage above."""
+
+    def _warm(self, service, text=QUERIES[0]):
+        result = service.evaluate(text)
+        assert service.evaluate(text) is result  # cached
+        return result
+
+    def test_remove_edge(self, social):
+        before = self._warm(social)
+        version = social.version
+        snapshots = social.stats.snapshots_built
+        social.remove_edge(next(social.graph.iter_directed_edges()))
+        assert social.version == version + 1
+        after = social.evaluate(QUERIES[0])
+        assert after != before
+        assert after == Evaluator(social.graph).evaluate(
+            parse_query(QUERIES[0])
+        )
+        assert social.stats.snapshots_built == snapshots + 1
+
+    def test_remove_undirected_edge(self, social):
+        text = "TRAIL (x) ~[:married]~ (y)"
+        before = self._warm(social, text)
+        version = social.version
+        social.remove_undirected_edge(
+            next(social.graph.iter_undirected_edges())
+        )
+        assert social.version == version + 1
+        after = social.evaluate(text)
+        assert after != before
+        assert after == Evaluator(social.graph).evaluate(parse_query(text))
+
+    def test_remove_node_cascades(self, social):
+        before = self._warm(social)
+        version = social.version
+        victim = next(social.graph.iter_nodes())
+        social.remove_node(victim)
+        # One version bump for the whole cascade (node + incident edges).
+        assert social.version == version + 1
+        after = social.evaluate(QUERIES[0])
+        assert after != before
+        assert all(
+            victim not in answer.paths[0].elements for answer in after
+        )
+        assert after == Evaluator(social.graph).evaluate(
+            parse_query(QUERIES[0])
+        )
+
+    def test_removal_round_trip_restores_cache_keying(self, social):
+        """Removing and re-adding identical data yields a *new* version:
+        stale entries must still miss even though answers coincide."""
+        before = self._warm(social)
+        edge = next(social.graph.iter_directed_edges())
+        source, target = social.graph.source(edge), social.graph.target(edge)
+        labels = social.graph.labels(edge)
+        properties = dict(social.graph.properties(edge))
+        social.remove_edge(edge)
+        social.add_edge(edge.key, source, target, labels, properties)
+        restored = social.evaluate(QUERIES[0])
+        assert restored == before
+        # Equal answers, but recomputed under the new version key.
+        assert social.stats.result_cache.misses == 2
 
 
 class TestStats:
