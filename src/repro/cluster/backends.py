@@ -14,10 +14,17 @@ of :class:`ShardOutcome`\\ s in the same order. Three implementations:
   the GIL and keeps shipping costs at zero.
 - :class:`ProcessBackend` — a :class:`~concurrent.futures.ProcessPoolExecutor`
   for genuine CPU parallelism. Snapshots are immutable and picklable,
-  so the backend ships one pickled snapshot per **graph version** into
-  every worker via the pool initializer — a warm-worker snapshot cache:
-  while the version is unchanged (the mutation-light serving case),
-  queries ship only their text and seed restriction, never the graph.
+  so the backend ships one pickled snapshot into every worker via the
+  pool initializer — a warm-worker snapshot cache: while the version
+  is unchanged (the mutation-light serving case), queries ship only
+  their text and seed restriction, never the graph. When the version
+  *advances by a small delta chain* (the mutation-heavy case), the
+  backend ships the pickled :class:`~repro.graph.delta.GraphDelta`
+  chain alongside the calls instead of rebuilding the pool: each
+  warm worker patches its held snapshot with
+  :meth:`~repro.graph.snapshot.GraphSnapshot.derive` on first sight of
+  the new version and caches the result. Only a large chain (or a
+  missing delta log) forces a full pool rebuild + snapshot re-ship.
   Workers also keep per-process prepared-plan caches, so a repeated
   query is parsed/typechecked/compiled once per worker, not per call.
 
@@ -40,12 +47,20 @@ from typing import TYPE_CHECKING, Optional, Sequence
 from repro.gpc import ast
 from repro.gpc.answers import Answer
 from repro.gpc.engine import EngineConfig
+from repro.graph.delta import DEFAULT_SNAPSHOT_DELTA_THRESHOLD, GraphDelta
 from repro.graph.ids import NodeId
 from repro.service.prepared import PreparedQuery
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from typing import Callable
+
     from repro.cluster.stats import ClusterStats
     from repro.graph.snapshot import GraphSnapshot
+
+    #: ``version -> contiguous delta chain to the current version``
+    #: (``None`` when the bounded log no longer covers it); usually
+    #: :meth:`repro.graph.property_graph.PropertyGraph.deltas_since`.
+    DeltaSource = Callable[[int], Optional[tuple[GraphDelta, ...]]]
 
 __all__ = [
     "ShardCall",
@@ -152,11 +167,19 @@ class ExecutorBackend(ABC):
 
     @abstractmethod
     def run(
-        self, snapshot: "GraphSnapshot", calls: Sequence[ShardCall]
+        self,
+        snapshot: "GraphSnapshot",
+        calls: Sequence[ShardCall],
+        delta_source: "Optional[DeltaSource]" = None,
     ) -> list[ShardOutcome]:
         """Evaluate every call against ``snapshot``; outcomes align
         positionally with ``calls`` and failures are captured, never
-        raised."""
+        raised.
+
+        ``delta_source`` (optional) lets shipping backends fetch the
+        delta chain between the version their warm workers hold and
+        ``snapshot.version``; in-process backends ignore it.
+        """
 
     def close(self) -> None:
         """Release executor resources (idempotent)."""
@@ -184,7 +207,7 @@ class SerialBackend(ExecutorBackend):
     def __init__(self):
         self._plans: dict = {}
 
-    def run(self, snapshot, calls):
+    def run(self, snapshot, calls, delta_source=None):
         return [
             _evaluate_shard(snapshot, self._plans, call, self.name)
             for call in calls
@@ -222,7 +245,7 @@ class ThreadBackend(ExecutorBackend):
             self._plans_lock,
         )
 
-    def run(self, snapshot, calls):
+    def run(self, snapshot, calls, delta_source=None):
         with self._lock:
             executor = self._ensure_executor()
             futures = [
@@ -242,50 +265,114 @@ class ThreadBackend(ExecutorBackend):
 # ---------------------------------------------------------------------------
 
 #: Per-worker-process state, installed by the pool initializer: the
-#: unpickled snapshot for the pool's graph version, and prepared plans
-#: keyed by (query, config). Living at module level makes it reachable
-#: from the picklable top-level task function.
+#: unpickled snapshot for the pool's *base* graph version, prepared
+#: plans keyed by (query, config), and the latest snapshot derived
+#: from a shipped delta chain (``(version, snapshot)``). Living at
+#: module level makes it reachable from the picklable top-level task
+#: function.
 _WORKER_SNAPSHOT: "Optional[GraphSnapshot]" = None
+_WORKER_DERIVED: "Optional[tuple[int, GraphSnapshot]]" = None
 _WORKER_PLANS: dict = {}
 
 
 def _init_process_worker(snapshot_blob: bytes) -> None:
-    global _WORKER_SNAPSHOT
+    global _WORKER_SNAPSHOT, _WORKER_DERIVED
     _WORKER_SNAPSHOT = pickle.loads(snapshot_blob)
+    _WORKER_DERIVED = None
     _WORKER_PLANS.clear()
 
 
-def _run_process_shard(call: ShardCall) -> ShardOutcome:
-    return _evaluate_shard(
-        _WORKER_SNAPSHOT, _WORKER_PLANS, call, f"pid-{os.getpid()}"
-    )
+def _resolve_worker_snapshot(ship) -> "GraphSnapshot":
+    """The snapshot a shard task should evaluate against.
+
+    ``ship`` is ``None`` (use the pool's base snapshot) or a
+    ``(target_version, chain_blob)`` pair: the worker derives the
+    target snapshot by applying the pickled delta chain, memoising the
+    result so every subsequent task at that version reuses it. The
+    chain is always anchored at the pool's base version, so a fresh
+    worker can always derive from its base; a worker already holding
+    an intermediate derived version applies only the chain *suffix*
+    past it — successive small advances then cost O(step), not
+    O(distance from base).
+    """
+    base = _WORKER_SNAPSHOT
+    if ship is None:
+        return base
+    target_version, chain_blob = ship
+    if base.version == target_version:
+        return base
+    global _WORKER_DERIVED
+    derived = _WORKER_DERIVED
+    if derived is not None and derived[0] == target_version:
+        return derived[1]
+    from repro.graph.snapshot import GraphSnapshot
+
+    chain = pickle.loads(chain_blob)
+    if derived is not None and base.version < derived[0] < target_version:
+        suffix = tuple(d for d in chain if d.version > derived[0])
+        snapshot = GraphSnapshot.derive(derived[1], suffix)
+    else:
+        snapshot = GraphSnapshot.derive(base, chain)
+    _WORKER_DERIVED = (target_version, snapshot)
+    return snapshot
+
+
+def _run_process_shard(call: ShardCall, ship=None) -> ShardOutcome:
+    worker = f"pid-{os.getpid()}"
+    try:
+        snapshot = _resolve_worker_snapshot(ship)
+    except Exception as exc:  # pragma: no cover - defensive
+        return ShardOutcome(None, exc, worker, 0.0)
+    return _evaluate_shard(snapshot, _WORKER_PLANS, call, worker)
 
 
 class ProcessBackend(ExecutorBackend):
-    """Process-pool execution with version-keyed snapshot shipping.
+    """Process-pool execution with version-keyed snapshot shipping
+    and delta shipping for small version advances.
 
-    The pool is (re)created whenever the snapshot's version differs
-    from the one the current pool was warmed with; the pickled snapshot
-    travels once per worker through the pool initializer. While the
-    version is stable, ``run`` ships only calls — the warm workers
-    already hold the snapshot and their compiled plans.
+    A pool is warmed by shipping one pickled snapshot per worker
+    through the initializer. While the version is stable, ``run``
+    ships only calls. When the version *advances* and the caller
+    supplies a ``delta_source``, the backend first tries the cheap
+    path: ship the pickled delta chain (anchored at the pool's base
+    version) alongside the calls and let each warm worker derive the
+    new snapshot in place. Only when the chain is unavailable, too
+    large relative to the graph (``delta_ship_threshold``), or belongs
+    to a different graph does the pool rebuild with a fresh snapshot.
     """
 
     name = "process"
 
     def __init__(
-        self, max_workers: int = 4, stats: "Optional[ClusterStats]" = None
+        self,
+        max_workers: int = 4,
+        stats: "Optional[ClusterStats]" = None,
+        *,
+        delta_ship_threshold: float = DEFAULT_SNAPSHOT_DELTA_THRESHOLD,
     ):
         self._max_workers = max_workers
         self._stats = stats
+        self.delta_ship_threshold = delta_ship_threshold
         self._executor: Optional[ProcessPoolExecutor] = None
-        #: The exact snapshot object the warm workers hold. Identity
-        #: (not just the version number) keys the cache: a backend
-        #: instance shared between services over *different* graphs at
-        #: coincidentally equal versions must rebuild, and per-graph
-        #: snapshots are memoised per version, so an unchanged graph
-        #: always presents the identical object.
+        #: The snapshot shipped through the pool initializer (the
+        #: version every worker is guaranteed to hold).
+        self._base_snapshot: "Optional[GraphSnapshot]" = None
+        #: The owner of the delta chains the pool was warmed from
+        #: (``delta_source.__self__``, i.e. the graph). Delta shipping
+        #: is refused when a later call's source has a different owner:
+        #: another graph's deltas must never patch this pool's base.
+        self._base_owner: object = None
+        #: The exact snapshot object the warm workers can currently
+        #: reach (the base, or the target of the last delta ship).
+        #: Identity (not just the version number) keys the cache: a
+        #: backend instance shared between services over *different*
+        #: graphs at coincidentally equal versions must rebuild, and
+        #: per-graph snapshots are memoised per version, so an
+        #: unchanged graph always presents the identical object.
         self._pool_snapshot: "Optional[GraphSnapshot]" = None
+        #: The ship riding along with every task: ``None`` (evaluate
+        #: on the base) or ``(target_version, pickled delta chain)``.
+        self._ship: Optional[tuple[int, bytes]] = None
         #: Pickled-bytes memo for the same snapshot: re-pickling is the
         #: expensive half of a pool rebuild.
         self._blob_snapshot: "Optional[GraphSnapshot]" = None
@@ -302,13 +389,57 @@ class ProcessBackend(ExecutorBackend):
 
     @property
     def pool_version(self) -> Optional[int]:
-        """The graph version the warm workers currently hold."""
+        """The graph version the warm workers currently serve."""
         snapshot = self._pool_snapshot
         return None if snapshot is None else snapshot.version
 
-    def _ensure_executor(self, snapshot) -> ProcessPoolExecutor:
+    def _delta_chain(
+        self, snapshot, delta_source
+    ) -> Optional[tuple[GraphDelta, ...]]:
+        """The shippable chain from the pool base to ``snapshot``, or
+        ``None`` when rebuilding is required (chain unavailable, too
+        big, or from another graph)."""
+        base = self._base_snapshot
+        if base is None or delta_source is None:
+            return None
+        owner = getattr(delta_source, "__self__", None)
+        if owner is None or owner is not self._base_owner:
+            return None
+        if snapshot.version <= base.version:
+            return None
+        deltas = delta_source(base.version)
+        if deltas is None:
+            return None
+        # The graph may already have moved past the snapshot we were
+        # handed; ship only the prefix up to the snapshot's version.
+        chain = tuple(d for d in deltas if d.version <= snapshot.version)
+        if (
+            not chain
+            or chain[0].version != base.version + 1
+            or chain[-1].version != snapshot.version
+        ):
+            return None
+        size = snapshot.num_nodes + snapshot.num_edges
+        if sum(d.size for d in chain) > max(
+            1.0, self.delta_ship_threshold * size
+        ):
+            return None
+        return chain
+
+    def _ensure_executor(self, snapshot, delta_source) -> ProcessPoolExecutor:
         if self._executor is not None and self._pool_snapshot is snapshot:
             return self._executor
+        if self._executor is not None:
+            chain = self._delta_chain(snapshot, delta_source)
+            if chain is not None:
+                self._ship = (
+                    snapshot.version,
+                    pickle.dumps(chain, protocol=pickle.HIGHEST_PROTOCOL),
+                )
+                self._pool_snapshot = snapshot
+                if self._stats is not None:
+                    self._stats.count(deltas_shipped=1)
+                return self._executor
         self.close()
         if self._blob_snapshot is not snapshot:
             self._blob = pickle.dumps(
@@ -320,16 +451,21 @@ class ProcessBackend(ExecutorBackend):
             initializer=_init_process_worker,
             initargs=(self._blob,),
         )
+        self._base_snapshot = snapshot
+        self._base_owner = getattr(delta_source, "__self__", None)
         self._pool_snapshot = snapshot
+        self._ship = None
         if self._stats is not None:
             self._stats.count(snapshots_shipped=1)
         return self._executor
 
-    def run(self, snapshot, calls):
+    def run(self, snapshot, calls, delta_source=None):
         with self._lock:
-            executor = self._ensure_executor(snapshot)
+            executor = self._ensure_executor(snapshot, delta_source)
+            ship = self._ship
             futures: list[Future] = [
-                executor.submit(_run_process_shard, call) for call in calls
+                executor.submit(_run_process_shard, call, ship)
+                for call in calls
             ]
         outcomes: list[ShardOutcome] = []
         for future in futures:
@@ -344,7 +480,10 @@ class ProcessBackend(ExecutorBackend):
     def close(self) -> None:
         with self._lock:
             executor, self._executor = self._executor, None
+            self._base_snapshot = None
+            self._base_owner = None
             self._pool_snapshot = None
+            self._ship = None
         if executor is not None:
             executor.shutdown(wait=True)
 

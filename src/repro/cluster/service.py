@@ -44,7 +44,7 @@ from repro.graph.ids import (
 )
 from repro.graph.property_graph import Constant, PropertyGraph
 from repro.graph.snapshot import GraphSnapshot
-from repro.service.cache import LRUCache
+from repro.service.cache import LRUCache, SemanticResultCache
 from repro.service.prepared import PreparedQuery
 
 __all__ = ["ClusterService"]
@@ -89,8 +89,10 @@ class ClusterService:
         )
         self.router = ScatterGatherRouter(self.stats)
         self._plan_cache = LRUCache(plan_cache_size, self.stats.plan_cache)
-        self._result_cache = LRUCache(
-            result_cache_size, self.stats.result_cache
+        self._result_cache = SemanticResultCache(
+            result_cache_size,
+            self.stats.result_cache,
+            delta_source=self._graph.deltas_since,
         )
         self._lock = threading.RLock()
 
@@ -215,22 +217,24 @@ class ClusterService:
 
         Results are frozenset-identical to
         :meth:`GraphService.evaluate` on the same graph version,
-        whatever the backend — including the ``(query, config,
-        version)``-keyed result cache and its ``use_cache`` bypass.
+        whatever the backend — including the footprint-aware result
+        cache (entries survive footprint-disjoint mutations) and its
+        ``use_cache`` bypass.
         """
         config = config or self.config
         started = time.perf_counter()
         snap = self.snapshot()
-        result_key = (query, config, snap.version)
+        result_key = (query, config)
         if use_cache:
-            cached = self._result_cache.get(result_key)
+            cached = self._result_cache.get(result_key, snap.version)
             if cached is not None:
                 self._record_query(started)
                 return cached
         else:
             self._count_bypass()
+        prepared, calls = self._scatter_one(query, config, snap)
         outcomes = self.backend.run(
-            snap, self._scatter_one(query, config, snap)
+            snap, calls, delta_source=self._graph.deltas_since
         )
         try:
             result = self.router.gather(outcomes)
@@ -241,7 +245,9 @@ class ClusterService:
             self._record_query(started)
             raise
         if use_cache:
-            self._result_cache.put(result_key, result)
+            self._result_cache.put(
+                result_key, snap.version, prepared.footprint, result
+            )
         self._record_query(started)
         return result
 
@@ -271,26 +277,30 @@ class ClusterService:
         started = time.perf_counter()
         snap = self.snapshot()
         calls: list = []
-        # Per query: a (start, end) span in calls, a cached frozenset,
-        # or a pre-scatter exception.
+        # Per query: a (start, end, footprint) span in calls, a cached
+        # frozenset, or a pre-scatter exception.
         spans: list = []
         for query in queries:
-            result_key = (query, config, snap.version)
             if use_cache:
-                cached = self._result_cache.get(result_key)
+                cached = self._result_cache.get((query, config), snap.version)
                 if cached is not None:
                     spans.append(cached)
                     continue
             else:
                 self._count_bypass()
             try:
-                shard_calls = self._scatter_one(query, config, snap)
+                prepared, shard_calls = self._scatter_one(query, config, snap)
             except Exception as exc:
                 spans.append(exc)
                 continue
-            spans.append((len(calls), len(calls) + len(shard_calls)))
+            spans.append(
+                (len(calls), len(calls) + len(shard_calls),
+                 prepared.footprint)
+            )
             calls.extend(shard_calls)
-        outcomes = self.backend.run(snap, calls)
+        outcomes = self.backend.run(
+            snap, calls, delta_source=self._graph.deltas_since
+        )
         results: list = []
         evaluated = 0
         for query, span in zip(queries, spans):
@@ -301,7 +311,7 @@ class ClusterService:
                 results.append(span)
                 evaluated += 1
                 continue
-            begin, end = span
+            begin, end, footprint = span
             evaluated += 1
             try:
                 merged = self.router.gather(outcomes[begin:end])
@@ -309,7 +319,9 @@ class ClusterService:
                 results.append(exc)
                 continue
             if use_cache:
-                self._result_cache.put((query, config, snap.version), merged)
+                self._result_cache.put(
+                    (query, config), snap.version, footprint, merged
+                )
             results.append(merged)
         # One latency sample for the whole pipelined batch (per-query
         # wall clock is not separable once shards interleave). Queries
@@ -344,11 +356,15 @@ class ClusterService:
 
     # ------------------------------------------------------------------
 
-    def _scatter_one(self, query, config: EngineConfig, snap: GraphSnapshot):
-        """Prepare, partition and build the shard calls for one query."""
+    def _scatter_one(
+        self, query, config: EngineConfig, snap: GraphSnapshot
+    ) -> "tuple[PreparedQuery, list]":
+        """Prepare, partition and build the shard calls for one query;
+        the prepared query rides along so callers can stamp cached
+        results with its footprint."""
         prepared = self.prepare(query, config)
         cells = self.partitioner.partition(snap, prepared)
-        return self.router.scatter(query, config, cells)
+        return prepared, self.router.scatter(query, config, cells)
 
     def _record_query(self, started: float) -> None:
         self.stats.latency.record(time.perf_counter() - started)

@@ -39,6 +39,9 @@ class ClusterStats:
     scatters: int = 0
     shard_failures: int = 0
     snapshots_shipped: int = 0
+    #: Version advances served by shipping a pickled delta chain to the
+    #: warm workers instead of rebuilding the pool with a new snapshot.
+    deltas_shipped: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, init=False, repr=False, compare=False
     )
@@ -68,6 +71,7 @@ class ClusterStats:
             "scatters": self.scatters,
             "shard_failures": self.shard_failures,
             "snapshots_shipped": self.snapshots_shipped,
+            "deltas_shipped": self.deltas_shipped,
             "plan_cache": self.plan_cache.as_dict(),
             "result_cache": self.result_cache.as_dict(),
             "latency": self.latency.summary(),

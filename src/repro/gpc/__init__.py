@@ -62,6 +62,11 @@ from repro.gpc.planner import (
     join_shared_variables,
     plan_shortest,
 )
+from repro.gpc.footprint import (
+    QueryFootprint,
+    pattern_footprint,
+    query_footprint,
+)
 from repro.gpc.gpc_plus import GPCPlusQuery, Rule
 from repro.gpc.parser import parse_pattern, parse_query
 from repro.gpc.pretty import pretty
@@ -132,6 +137,10 @@ __all__ = [
     "estimate_pattern_cardinality",
     "estimate_query_cardinality",
     "explain_plan",
+    # Footprints
+    "QueryFootprint",
+    "pattern_footprint",
+    "query_footprint",
     # GPC+
     "GPCPlusQuery",
     "Rule",

@@ -1,0 +1,270 @@
+"""Per-query read footprints for semantic cache invalidation.
+
+The service layer caches query answers per graph version; a mutation
+bumps the version, and — before this module — flushed *every* cached
+answer, even when the mutation could not possibly change it. The
+paper's static machinery says when that is provable: the Figure 2
+typing rules fix exactly which variables a query binds, every answer's
+path is matched atom by atom against the pattern, and conditions are
+the only construct that reads property values. From those facts a
+query's *read footprint* can be bounded syntactically:
+
+- **node labels**: a node add/remove can only affect answers when the
+  pattern can match a length-0 path — every node of a length >= 1 path
+  is incident to an edge of the path, an added node has no incident
+  edges yet, and a removed node's incident edges are removed in the
+  same cascade delta (so the edge classes below already cover it).
+  When length-0 matches are possible, the boundary node patterns (and
+  zero-iteration repetitions, which match *any* single node) determine
+  which labels are observable.
+- **directed / undirected edge labels**: every edge of a matched path
+  is consumed by exactly one edge-pattern atom, so the union of the
+  atoms' label constraints bounds the observable edges; forward and
+  backward traversals both read directed edges, ``~`` reads undirected
+  ones. An unlabelled atom observes the whole class.
+- **property keys**: answers bind identifiers, never values, so
+  property mutations are observable only through conditions; the keys
+  mentioned in a query's conditions bound the observable keys.
+
+Constructs the analysis cannot see through (Section 7 extensions,
+non-core queries) collapse to :data:`BOTTOM` — "reads everything" —
+which reproduces the old per-version flush exactly.
+
+:meth:`QueryFootprint.affected_by` intersects a footprint with the
+:class:`~repro.graph.delta.DeltaSummary` of the mutations between two
+versions: disjointness proves the cached answer is still exact, so the
+cache re-stamps the entry to the new version instead of dropping it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.direction import Direction
+from repro.gpc import ast
+from repro.gpc.conditions_ast import (
+    And,
+    Not,
+    Or,
+    PropertyEqualsConst,
+    PropertyEqualsProperty,
+)
+from repro.gpc.minlength import min_path_length
+from repro.graph.delta import DeltaSummary
+
+__all__ = [
+    "QueryFootprint",
+    "BOTTOM",
+    "pattern_footprint",
+    "query_footprint",
+]
+
+
+@dataclass(frozen=True)
+class QueryFootprint:
+    """What a query can observe, per element class.
+
+    Each label set is either a ``frozenset`` (only elements carrying
+    one of these labels are observable; the empty set means *no*
+    mutation of that class alone can change the answers) or ``None``
+    (the whole class is observable). ``property_keys`` works the same
+    way for condition-read keys.
+    """
+
+    node_labels: Optional[frozenset[str]] = frozenset()
+    dedge_labels: Optional[frozenset[str]] = frozenset()
+    uedge_labels: Optional[frozenset[str]] = frozenset()
+    property_keys: Optional[frozenset[str]] = frozenset()
+
+    @property
+    def is_bottom(self) -> bool:
+        """Whether this footprint reads everything (no pruning)."""
+        return (
+            self.node_labels is None
+            and self.dedge_labels is None
+            and self.uedge_labels is None
+            and self.property_keys is None
+        )
+
+    def merge(self, other: "QueryFootprint") -> "QueryFootprint":
+        """Pointwise union (``None`` — the whole class — absorbs)."""
+        return QueryFootprint(
+            node_labels=_union(self.node_labels, other.node_labels),
+            dedge_labels=_union(self.dedge_labels, other.dedge_labels),
+            uedge_labels=_union(self.uedge_labels, other.uedge_labels),
+            property_keys=_union(self.property_keys, other.property_keys),
+        )
+
+    def affected_by(self, summary: DeltaSummary) -> bool:
+        """Whether mutations with this summary could change answers.
+
+        ``False`` is a guarantee (the cached answer set is still
+        exact); ``True`` is conservative.
+        """
+        if summary.is_empty:
+            return False
+        if _intersects(
+            self.node_labels, summary.nodes_changed, summary.node_labels
+        ):
+            return True
+        if _intersects(
+            self.dedge_labels, summary.dedges_changed, summary.dedge_labels
+        ):
+            return True
+        if _intersects(
+            self.uedge_labels, summary.uedges_changed, summary.uedge_labels
+        ):
+            return True
+        if summary.property_keys:
+            if self.property_keys is None:
+                return True
+            if not self.property_keys.isdisjoint(summary.property_keys):
+                return True
+        return False
+
+    def describe(self) -> str:
+        def _render(name: str, values: Optional[frozenset[str]]) -> str:
+            if values is None:
+                return f"{name}=*"
+            if not values:
+                return f"{name}=-"
+            return f"{name}={{{', '.join(sorted(values))}}}"
+
+        return " ".join(
+            (
+                _render("nodes", self.node_labels),
+                _render("directed", self.dedge_labels),
+                _render("undirected", self.uedge_labels),
+                _render("keys", self.property_keys),
+            )
+        )
+
+
+#: The conservative "reads everything" footprint: every mutation
+#: invalidates, which is exactly the old global per-version flush.
+BOTTOM = QueryFootprint(None, None, None, None)
+
+_EMPTY = QueryFootprint()
+
+
+def _union(
+    left: Optional[frozenset[str]], right: Optional[frozenset[str]]
+) -> Optional[frozenset[str]]:
+    if left is None or right is None:
+        return None
+    return left | right
+
+
+def _intersects(
+    footprint_labels: Optional[frozenset[str]],
+    class_changed: bool,
+    delta_labels: frozenset[str],
+) -> bool:
+    if not class_changed:
+        return False
+    if footprint_labels is None:
+        return True
+    return not footprint_labels.isdisjoint(delta_labels)
+
+
+# ---------------------------------------------------------------------------
+# Derivation
+# ---------------------------------------------------------------------------
+
+
+def _condition_footprint(condition) -> QueryFootprint:
+    """Property keys a condition reads (``BOTTOM`` for unknown nodes)."""
+    keys: set[str] = set()
+    stack = [condition]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, PropertyEqualsConst):
+            keys.add(current.key)
+        elif isinstance(current, PropertyEqualsProperty):
+            keys.add(current.left_key)
+            keys.add(current.right_key)
+        elif isinstance(current, (And, Or)):
+            stack.append(current.left)
+            stack.append(current.right)
+        elif isinstance(current, Not):
+            stack.append(current.inner)
+        else:  # an extension condition we cannot see through
+            return BOTTOM
+    return QueryFootprint(property_keys=frozenset(keys))
+
+
+def _walk_pattern(pattern: ast.Pattern) -> QueryFootprint:
+    if isinstance(pattern, ast.NodePattern):
+        if pattern.label is not None:
+            return QueryFootprint(node_labels=frozenset((pattern.label,)))
+        return QueryFootprint(node_labels=None)
+    if isinstance(pattern, ast.EdgePattern):
+        labels = (
+            frozenset((pattern.label,)) if pattern.label is not None else None
+        )
+        if pattern.direction is Direction.UNDIRECTED:
+            return QueryFootprint(uedge_labels=labels)
+        return QueryFootprint(dedge_labels=labels)
+    if isinstance(pattern, (ast.Union, ast.Concat)):
+        return _walk_pattern(pattern.left).merge(_walk_pattern(pattern.right))
+    if isinstance(pattern, ast.Conditioned):
+        return _walk_pattern(pattern.pattern).merge(
+            _condition_footprint(pattern.condition)
+        )
+    if isinstance(pattern, ast.Repeat):
+        inner = _walk_pattern(pattern.pattern)
+        if pattern.lower == 0:
+            # Zero iterations match a single-node path at *any* node.
+            inner = inner.merge(QueryFootprint(node_labels=None))
+        return inner
+    # Extension constructs (Section 7): no syntactic bound.
+    return BOTTOM
+
+
+def pattern_footprint(pattern: ast.Pattern) -> QueryFootprint:
+    """The read footprint of one restricted pattern.
+
+    Applies the length-0 refinement from the module docstring: when the
+    pattern cannot match a length-0 path, node additions/removals alone
+    can never change its answers (their incident-edge deltas are what
+    the edge classes observe), so the node-label set collapses to the
+    empty — maximally prunable — set. The refinement is skipped when
+    the walk hit a construct it cannot bound.
+    """
+    footprint = _walk_pattern(pattern)
+    if footprint.is_bottom:
+        # Some construct defeated the analysis (merging BOTTOM floods
+        # every class); the length-0 refinement is not justified then.
+        return footprint
+    try:
+        edgeless_possible = min_path_length(pattern) == 0
+    except Exception:  # pragma: no cover - defensive (odd extensions)
+        edgeless_possible = True
+    if not edgeless_possible:
+        footprint = QueryFootprint(
+            node_labels=frozenset(),
+            dedge_labels=footprint.dedge_labels,
+            uedge_labels=footprint.uedge_labels,
+            property_keys=footprint.property_keys,
+        )
+    return footprint
+
+
+def query_footprint(query: ast.Query) -> QueryFootprint:
+    """The read footprint of a whole query (joins merge their sides).
+
+    Total: anything unrecognised yields :data:`BOTTOM`, never an
+    exception — a wrong footprint would serve stale answers, an
+    over-wide one only costs a recomputation.
+    """
+    try:
+        if isinstance(query, ast.PatternQuery):
+            return pattern_footprint(query.pattern)
+        if isinstance(query, ast.Join):
+            return query_footprint(query.left).merge(
+                query_footprint(query.right)
+            )
+    except Exception:  # pragma: no cover - defensive
+        return BOTTOM
+    return BOTTOM

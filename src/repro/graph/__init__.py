@@ -18,6 +18,7 @@ This package implements the data model the calculus is defined over:
 """
 
 from repro.graph.ids import EdgeId, NodeId, UndirectedEdgeId, DirectedEdgeId
+from repro.graph.delta import DeltaSummary, GraphDelta, summarize_deltas
 from repro.graph.property_graph import PropertyGraph
 from repro.graph.snapshot import GraphSnapshot
 from repro.graph.builder import GraphBuilder
@@ -30,6 +31,9 @@ __all__ = [
     "UndirectedEdgeId",
     "PropertyGraph",
     "GraphSnapshot",
+    "GraphDelta",
+    "DeltaSummary",
+    "summarize_deltas",
     "GraphBuilder",
     "Path",
     "concat_paths",

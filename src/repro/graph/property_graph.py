@@ -20,12 +20,23 @@ at mutation time so that evaluation code can rely on them.
 
 from __future__ import annotations
 
+import threading
+from collections import deque
 from typing import TYPE_CHECKING, Hashable, Iterable, Iterator, Mapping
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.graph.snapshot import GraphSnapshot
 
 from repro.errors import DuplicateIdError, GraphError, UnknownIdError
+from repro.graph.delta import (
+    DEFAULT_DELTA_LOG_CAPACITY,
+    DEFAULT_SNAPSHOT_DELTA_THRESHOLD,
+    DirectedEdgeRecord,
+    GraphDelta,
+    NodeRecord,
+    UndirectedEdgeRecord,
+    freeze_properties,
+)
 from repro.graph.ids import (
     DirectedEdgeId,
     EdgeId,
@@ -78,7 +89,12 @@ class PropertyGraph:
     True
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        *,
+        delta_log_capacity: int = DEFAULT_DELTA_LOG_CAPACITY,
+        snapshot_delta_threshold: float = DEFAULT_SNAPSHOT_DELTA_THRESHOLD,
+    ) -> None:
         self._node_labels: dict[NodeId, frozenset[str]] = {}
         self._dedge_labels: dict[DirectedEdgeId, frozenset[str]] = {}
         self._uedge_labels: dict[UndirectedEdgeId, frozenset[str]] = {}
@@ -91,12 +107,26 @@ class PropertyGraph:
         self._in: dict[NodeId, set[DirectedEdgeId]] = {}
         self._undirected_at: dict[NodeId, set[UndirectedEdgeId]] = {}
         # Monotonic mutation counter; drives snapshot memoisation and
-        # cache invalidation in the service layer.
+        # cache invalidation in the service layer. Every bump appends
+        # one GraphDelta to the bounded log below.
         self._version = 0
         self._snapshot_cache: "GraphSnapshot | None" = None
+        self._snapshot_lock = threading.Lock()
+        #: Guards the delta log (and the version/log pair) against
+        #: concurrent readers: deltas_since may be called from cache
+        #: lookups on other threads while a mutator appends, and a
+        #: bounded deque mutated mid-iteration raises RuntimeError.
+        self._delta_lock = threading.Lock()
+        self._delta_log: deque[GraphDelta] = deque(maxlen=delta_log_capacity)
+        #: Fraction of graph size a delta chain may reach before
+        #: :meth:`snapshot` rebuilds instead of deriving incrementally.
+        self.snapshot_delta_threshold = snapshot_delta_threshold
+        #: Observability counters for the two snapshot paths.
+        self.snapshot_rebuilds = 0
+        self.snapshot_derivations = 0
 
     # ------------------------------------------------------------------
-    # Versioning and snapshots
+    # Versioning, deltas and snapshots
     # ------------------------------------------------------------------
 
     @property
@@ -109,24 +139,82 @@ class PropertyGraph:
         """
         return self._version
 
-    def _bump(self) -> None:
-        self._version += 1
-        self._snapshot_cache = None
+    def _bump(self, delta: GraphDelta) -> None:
+        # The previous version's snapshot memo is deliberately *kept*:
+        # it is the base the next snapshot() call patches with `delta`.
+        with self._delta_lock:
+            self._version = delta.version
+            self._delta_log.append(delta)
+
+    def deltas_since(self, version: int) -> "tuple[GraphDelta, ...] | None":
+        """The contiguous delta chain from ``version`` (exclusive) to
+        the current version, or ``None`` when the bounded log no longer
+        covers it (or ``version`` is from the future / another graph).
+
+        An empty tuple means ``version`` *is* the current version.
+        Thread-safe against concurrent mutators: the version/log pair
+        is read atomically (semantic cache lookups call this from
+        serving threads while writers bump).
+        """
+        with self._delta_lock:
+            current = self._version
+            if version >= current:
+                return () if version == current else None
+            log = tuple(self._delta_log)
+        chain: list[GraphDelta] = []
+        for delta in reversed(log):
+            if delta.version <= version:
+                break
+            chain.append(delta)
+        chain.reverse()
+        if not chain or chain[0].version != version + 1:
+            return None  # the log has dropped part of the chain
+        if chain[-1].version != current:  # pragma: no cover - defensive
+            return None
+        return tuple(chain)
+
+    def _delta_budget(self) -> float:
+        """Op budget below which incremental derivation is worthwhile.
+
+        Proportional to graph size, with a small absolute floor: a
+        handful of operations is always cheaper to patch than a full
+        re-index, however small the graph.
+        """
+        size = self.num_nodes + self.num_edges
+        return max(16.0, self.snapshot_delta_threshold * size)
 
     def snapshot(self) -> "GraphSnapshot":
         """An immutable, fully indexed view of the current version.
 
-        The snapshot is memoised: repeated calls between mutations
-        return the same object, so evaluators share one set of
-        materialised indexes until the graph changes.
+        The snapshot is memoised per version. When the graph has moved
+        past the memoised version by a *small* delta chain (relative to
+        graph size, see :attr:`snapshot_delta_threshold`), the new
+        snapshot is **derived** by patching the previous one
+        (:meth:`GraphSnapshot.derive`) instead of rebuilding every
+        index from scratch; large chains fall back to a full rebuild.
+        The whole check-and-build runs under a lock, so concurrent
+        callers racing a version bump share one build instead of
+        interleaving two.
         """
-        cached = self._snapshot_cache
-        if cached is None or cached.version != self._version:
+        with self._snapshot_lock:
+            cached = self._snapshot_cache
+            if cached is not None and cached.version == self._version:
+                return cached
             from repro.graph.snapshot import GraphSnapshot
 
-            cached = GraphSnapshot(self)
-            self._snapshot_cache = cached
-        return cached
+            snap: "GraphSnapshot | None" = None
+            if cached is not None:
+                deltas = self.deltas_since(cached.version)
+                if deltas is not None and (
+                    sum(d.size for d in deltas) <= self._delta_budget()
+                ):
+                    snap = GraphSnapshot.derive(cached, deltas)
+                    self.snapshot_derivations += 1
+            if snap is None:
+                snap = GraphSnapshot(self)
+                self.snapshot_rebuilds += 1
+            self._snapshot_cache = snap
+            return snap
 
     # ------------------------------------------------------------------
     # Mutation
@@ -151,7 +239,12 @@ class PropertyGraph:
         self._undirected_at[node] = set()
         if properties:
             self._set_properties(node, properties)
-        self._bump()
+        self._bump(
+            GraphDelta(
+                version=self._version + 1,
+                nodes_added=(self._node_record(node),),
+            )
+        )
         return node
 
     def add_edge(
@@ -175,7 +268,12 @@ class PropertyGraph:
         self._in[target].add(edge)
         if properties:
             self._set_properties(edge, properties)
-        self._bump()
+        self._bump(
+            GraphDelta(
+                version=self._version + 1,
+                dedges_added=(self._dedge_record(edge),),
+            )
+        )
         return edge
 
     def add_undirected_edge(
@@ -202,7 +300,12 @@ class PropertyGraph:
         self._undirected_at[endpoint_b].add(edge)
         if properties:
             self._set_properties(edge, properties)
-        self._bump()
+        self._bump(
+            GraphDelta(
+                version=self._version + 1,
+                uedges_added=(self._uedge_record(edge),),
+            )
+        )
         return edge
 
     def set_property(self, element: GraphElementId, key: str, value: Constant) -> None:
@@ -210,7 +313,12 @@ class PropertyGraph:
         self._require_element(element)
         _check_constant(value)
         self._properties.setdefault(element, {})[key] = value
-        self._bump()
+        self._bump(
+            GraphDelta(
+                version=self._version + 1,
+                properties_set=((element, key, value),),
+            )
+        )
 
     def remove_property(self, element: GraphElementId, key: str) -> None:
         """Make ``delta(element, key)`` undefined again."""
@@ -221,42 +329,58 @@ class PropertyGraph:
         del props[key]
         if not props:
             del self._properties[element]
-        self._bump()
+        self._bump(
+            GraphDelta(
+                version=self._version + 1,
+                properties_removed=((element, key),),
+            )
+        )
 
     def remove_edge(self, edge: DirectedEdgeId) -> None:
         """Remove a directed edge, its properties, and its adjacency
         entries."""
         if edge not in self._dedge_labels:
             raise UnknownIdError(f"unknown directed edge {edge!r}")
+        record = self._dedge_record(edge)
         self._out[self._src[edge]].discard(edge)
         self._in[self._tgt[edge]].discard(edge)
         del self._dedge_labels[edge]
         del self._src[edge]
         del self._tgt[edge]
         self._properties.pop(edge, None)
-        self._bump()
+        self._bump(
+            GraphDelta(version=self._version + 1, dedges_removed=(record,))
+        )
 
     def remove_undirected_edge(self, edge: UndirectedEdgeId) -> None:
         """Remove an undirected edge, its properties, and its adjacency
         entries."""
         if edge not in self._uedge_labels:
             raise UnknownIdError(f"unknown undirected edge {edge!r}")
+        record = self._uedge_record(edge)
         for endpoint in self._endpoints[edge]:
             self._undirected_at[endpoint].discard(edge)
         del self._uedge_labels[edge]
         del self._endpoints[edge]
         self._properties.pop(edge, None)
-        self._bump()
+        self._bump(
+            GraphDelta(version=self._version + 1, uedges_removed=(record,))
+        )
 
     def remove_node(self, node: NodeId) -> None:
         """Remove a node together with every incident edge (cascade).
 
         All adjacency and property indexes are kept consistent; the
-        version counter is bumped exactly once for the whole cascade.
+        version counter is bumped exactly once for the whole cascade,
+        recording one delta that lists the node and every removed edge.
         """
         self._require_node(node)
+        node_record = self._node_record(node)
+        dedge_records: list[DirectedEdgeRecord] = []
+        uedge_records: list[UndirectedEdgeRecord] = []
         for edge in tuple(self._out[node]) + tuple(self._in[node]):
             if edge in self._dedge_labels:  # self-loops appear in both
+                dedge_records.append(self._dedge_record(edge))
                 self._out[self._src[edge]].discard(edge)
                 self._in[self._tgt[edge]].discard(edge)
                 del self._dedge_labels[edge]
@@ -264,6 +388,7 @@ class PropertyGraph:
                 del self._tgt[edge]
                 self._properties.pop(edge, None)
         for edge in tuple(self._undirected_at[node]):
+            uedge_records.append(self._uedge_record(edge))
             for endpoint in self._endpoints[edge]:
                 self._undirected_at[endpoint].discard(edge)
             del self._uedge_labels[edge]
@@ -274,7 +399,38 @@ class PropertyGraph:
         del self._in[node]
         del self._undirected_at[node]
         self._properties.pop(node, None)
-        self._bump()
+        self._bump(
+            GraphDelta(
+                version=self._version + 1,
+                nodes_removed=(node_record,),
+                dedges_removed=tuple(dedge_records),
+                uedges_removed=tuple(uedge_records),
+            )
+        )
+
+    def _node_record(self, node: NodeId) -> NodeRecord:
+        return NodeRecord(
+            node,
+            self._node_labels[node],
+            freeze_properties(self._properties.get(node)),
+        )
+
+    def _dedge_record(self, edge: DirectedEdgeId) -> DirectedEdgeRecord:
+        return DirectedEdgeRecord(
+            edge,
+            self._src[edge],
+            self._tgt[edge],
+            self._dedge_labels[edge],
+            freeze_properties(self._properties.get(edge)),
+        )
+
+    def _uedge_record(self, edge: UndirectedEdgeId) -> UndirectedEdgeRecord:
+        return UndirectedEdgeRecord(
+            edge,
+            self._endpoints[edge],
+            self._uedge_labels[edge],
+            freeze_properties(self._properties.get(edge)),
+        )
 
     def _set_properties(
         self, element: GraphElementId, properties: Mapping[str, Constant]
@@ -529,8 +685,17 @@ class PropertyGraph:
         )
 
     def copy(self) -> "PropertyGraph":
-        """Return an independent deep copy of this graph."""
-        new = PropertyGraph()
+        """Return an independent deep copy of this graph.
+
+        The copy starts at version 0 with an empty delta log and no
+        snapshot memo (it has no mutation history of its own), but
+        inherits the incremental-snapshot tuning knobs.
+        """
+        new = PropertyGraph(
+            delta_log_capacity=self._delta_log.maxlen
+            or DEFAULT_DELTA_LOG_CAPACITY,
+            snapshot_delta_threshold=self.snapshot_delta_threshold,
+        )
         new._node_labels = dict(self._node_labels)
         new._dedge_labels = dict(self._dedge_labels)
         new._uedge_labels = dict(self._uedge_labels)

@@ -15,12 +15,16 @@ concurrency and metrics:
   latency percentiles).
 
 Cache correctness hinges on :attr:`PropertyGraph.version`: every
-mutation bumps it, result keys embed it, and
-:meth:`PropertyGraph.snapshot` memoises per version — so cached state
-is never served across a mutation.
+mutation bumps it and records a :class:`~repro.graph.delta.GraphDelta`,
+result entries are stamped with it, and
+:meth:`PropertyGraph.snapshot` memoises per version (deriving small
+steps incrementally from the recorded deltas). A stale result entry is
+served again only when the footprint/delta intersection *proves* the
+interleaving mutations could not change its answers; otherwise it is
+invalidated.
 """
 
-from repro.service.cache import LRUCache
+from repro.service.cache import LRUCache, SemanticResultCache
 from repro.service.prepared import PreparedQuery
 from repro.service.service import GraphService
 from repro.service.stats import CacheStats, LatencyRecorder, ServiceStats
@@ -29,6 +33,7 @@ __all__ = [
     "GraphService",
     "PreparedQuery",
     "LRUCache",
+    "SemanticResultCache",
     "CacheStats",
     "LatencyRecorder",
     "ServiceStats",

@@ -1,10 +1,32 @@
-"""A small thread-safe LRU cache used for plans and results.
+"""Caches for the serving layer: a thread-safe LRU and the
+footprint-aware result cache.
 
-Keys must be hashable; the service layer keys plan entries by
-``(query, config)`` and result entries by ``(query, config,
-graph_version)``, so a graph mutation (version bump) makes every stale
-result key simply miss, and the LRU policy eventually evicts the dead
-entries without any explicit invalidation walk.
+:class:`LRUCache` is the generic building block (used for prepared
+plans). ``get_or_create`` is *single-flight*: concurrent misses on the
+same key share one factory run — the first caller compiles, the rest
+wait on a per-key event and read the published value — so a thundering
+herd of identical cold queries compiles the plan once, not once per
+thread.
+
+:class:`SemanticResultCache` keys entries by ``(query, config)`` and
+stores the graph version, the query's read footprint
+(:class:`~repro.gpc.footprint.QueryFootprint`) and the answer set
+together. On lookup at a newer version it fetches the delta chain the
+graph recorded since the entry's version
+(:meth:`~repro.graph.property_graph.PropertyGraph.deltas_since`) and
+intersects the footprint with the chain's
+:class:`~repro.graph.delta.DeltaSummary`:
+
+- **disjoint** — the mutations provably cannot change this query's
+  answers; the entry is *re-stamped* to the new version and served (a
+  hit that survives the mutation);
+- **intersecting** (or the chain is no longer available, or the
+  footprint is unbounded) — the entry is invalidated and the caller
+  recomputes.
+
+Invalidation is lazy (checked at lookup) which is observably
+equivalent to an eager walk on every version bump, but costs nothing
+for entries never asked about again.
 """
 
 from __future__ import annotations
@@ -13,9 +35,10 @@ import threading
 from collections import OrderedDict
 from typing import Callable, Hashable, TypeVar
 
+from repro.graph.delta import summarize_deltas
 from repro.service.stats import CacheStats
 
-__all__ = ["LRUCache"]
+__all__ = ["LRUCache", "SemanticResultCache"]
 
 V = TypeVar("V")
 
@@ -32,6 +55,8 @@ class LRUCache:
         self.stats = stats if stats is not None else CacheStats()
         self._entries: OrderedDict[Hashable, object] = OrderedDict()
         self._lock = threading.Lock()
+        #: Per-key in-flight markers for single-flight get_or_create.
+        self._inflight: dict[Hashable, threading.Event] = {}
 
     def get(self, key: Hashable, default: V = None) -> V:  # type: ignore[assignment]
         with self._lock:
@@ -55,17 +80,45 @@ class LRUCache:
     def get_or_create(self, key: Hashable, factory: Callable[[], V]) -> V:
         """Return the cached value, creating and caching it on miss.
 
-        The factory runs outside the lock (it may be expensive, e.g. a
-        query compilation); concurrent misses on the same key may both
-        run it, and the last writer wins — acceptable because cached
-        values are idempotently recomputable.
+        Single-flight per key: the first thread to miss becomes the
+        creator and runs ``factory`` outside the lock (it may be an
+        expensive compilation); concurrent misses on the same key wait
+        for the creator and then read the published value, counted as
+        ``dedup_waits`` (plus the eventual hit). If the factory raises,
+        the error propagates to the creator and one of the waiters
+        retries as the new creator.
         """
-        value = self.get(key, _MISSING)
-        if value is not _MISSING:
-            return value  # type: ignore[return-value]
-        created = factory()
-        self.put(key, created)
-        return created
+        while True:
+            with self._lock:
+                value = self._entries.get(key, _MISSING)
+                if value is not _MISSING:
+                    self._entries.move_to_end(key)
+                    self.stats.hits += 1
+                    return value  # type: ignore[return-value]
+                event = self._inflight.get(key)
+                if event is None:
+                    event = threading.Event()
+                    self._inflight[key] = event
+                    self.stats.misses += 1
+                    creating = True
+                else:
+                    self.stats.dedup_waits += 1
+                    creating = False
+            if not creating:
+                event.wait()
+                continue  # re-probe: value published, or factory failed
+            try:
+                created = factory()
+            except BaseException:
+                with self._lock:
+                    self._inflight.pop(key, None)
+                event.set()
+                raise
+            self.put(key, created)
+            with self._lock:
+                self._inflight.pop(key, None)
+            event.set()
+            return created
 
     def clear(self) -> None:
         with self._lock:
@@ -84,4 +137,156 @@ class LRUCache:
             f"LRUCache(capacity={self.capacity}, size={len(self)}, "
             f"hits={self.stats.hits}, misses={self.stats.misses}, "
             f"evictions={self.stats.evictions})"
+        )
+
+
+class _ResultEntry:
+    """One cached answer set with its version stamp and footprint."""
+
+    __slots__ = ("version", "footprint", "result")
+
+    def __init__(self, version: int, footprint, result):
+        self.version = version
+        self.footprint = footprint
+        self.result = result
+
+
+class SemanticResultCache:
+    """LRU result cache with footprint-based invalidation.
+
+    ``delta_source`` is
+    :meth:`~repro.graph.property_graph.PropertyGraph.deltas_since` (or
+    any ``version -> chain | None`` callable); without one — or when it
+    returns ``None`` because the bounded delta log no longer covers the
+    entry's version — a stale entry simply invalidates, reproducing
+    the old global per-version flush.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        stats: CacheStats | None = None,
+        *,
+        delta_source=None,
+    ):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.stats = stats if stats is not None else CacheStats()
+        self._delta_source = delta_source
+        self._entries: OrderedDict[Hashable, _ResultEntry] = OrderedDict()
+        self._lock = threading.Lock()
+        #: Memoised chain summaries keyed by (from_version, to_version).
+        #: Versions are monotonic, so entries never go stale; the dict
+        #: is bounded FIFO. One mutation followed by K stale-entry
+        #: lookups summarises the chain once, not K times.
+        self._summary_memo: OrderedDict = OrderedDict()
+
+    _SUMMARY_MEMO_CAPACITY = 32
+
+    def _chain_summary(self, from_version: int):
+        """The (memoised) summary of the deltas since ``from_version``,
+        or ``None`` when the log no longer covers them."""
+        deltas = self._delta_source(from_version)
+        if deltas is None:
+            return None
+        to_version = deltas[-1].version if deltas else from_version
+        memo_key = (from_version, to_version)
+        with self._lock:
+            summary = self._summary_memo.get(memo_key)
+        if summary is not None:
+            return summary
+        summary = summarize_deltas(deltas)
+        with self._lock:
+            self._summary_memo[memo_key] = summary
+            while len(self._summary_memo) > self._SUMMARY_MEMO_CAPACITY:
+                self._summary_memo.popitem(last=False)
+        return summary
+
+    def get(self, key: Hashable, version: int):
+        """The cached answers valid at ``version``, or ``None``.
+
+        Exact version match is a plain hit. An older stamp triggers the
+        semantic check; surviving entries are re-stamped to ``version``
+        so the next lookup is exact again. A *newer* stamp (a reader
+        holding an older snapshot than a concurrent writer) is treated
+        as a miss — recomputing against the older snapshot is always
+        sound.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            if entry.version == version:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return entry.result
+            if entry.version > version or self._delta_source is None:
+                self.stats.misses += 1
+                return None
+            footprint = entry.footprint
+            entry_version = entry.version
+        # Delta fetch and footprint intersection run outside the lock;
+        # the chain may extend past `version` if the graph has moved on
+        # — a superset of the relevant mutations, so disjointness is
+        # still a proof.
+        summary = None
+        if footprint is not None:
+            summary = self._chain_summary(entry_version)
+        with self._lock:
+            current = self._entries.get(key)
+            if current is not entry or entry.version != entry_version:
+                self.stats.misses += 1  # raced with a concurrent update
+                return None
+            if (
+                summary is not None
+                and footprint is not None
+                and not footprint.affected_by(summary)
+            ):
+                entry.version = version
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                self.stats.restamps += 1
+                return entry.result
+            del self._entries[key]
+            self.stats.misses += 1
+            self.stats.invalidations += 1
+            return None
+
+    def put(self, key: Hashable, version: int, footprint, result) -> None:
+        """Store ``result`` computed at ``version`` with ``footprint``.
+
+        A racing writer with an older snapshot never downgrades a
+        newer stamp.
+        """
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                if existing.version > version:
+                    return
+                self._entries.move_to_end(key)
+            self._entries[key] = _ResultEntry(version, footprint, result)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __repr__(self) -> str:
+        return (
+            f"SemanticResultCache(capacity={self.capacity}, "
+            f"size={len(self)}, hits={self.stats.hits}, "
+            f"misses={self.stats.misses}, restamps={self.stats.restamps}, "
+            f"invalidations={self.stats.invalidations})"
         )

@@ -20,6 +20,7 @@ from __future__ import annotations
 from repro.gpc import ast
 from repro.gpc.answers import Answer
 from repro.gpc.engine import EngineConfig, Evaluator, QueryPlan
+from repro.gpc.footprint import QueryFootprint, query_footprint
 from repro.gpc.parser import parse_query
 from repro.graph.property_graph import PropertyGraph
 from repro.graph.snapshot import GraphSnapshot
@@ -30,7 +31,7 @@ __all__ = ["PreparedQuery"]
 class PreparedQuery:
     """A parsed, typechecked, compiled — and re-executable — query."""
 
-    __slots__ = ("text", "query", "config", "plan")
+    __slots__ = ("text", "query", "config", "plan", "_footprint")
 
     def __init__(
         self,
@@ -45,9 +46,21 @@ class PreparedQuery:
             self.query = query
         self.plan = QueryPlan(config)
         self.config = self.plan.config
+        self._footprint: QueryFootprint | None = None
         # Typechecks and compiles every automaton the query can need;
         # raises the same errors one-shot evaluation would.
         self.plan.precompile(self.query)
+
+    @property
+    def footprint(self) -> QueryFootprint:
+        """The query's read footprint (memoised; see
+        :mod:`repro.gpc.footprint`). Drives semantic result-cache
+        invalidation in the service layer."""
+        footprint = self._footprint
+        if footprint is None:
+            footprint = query_footprint(self.query)
+            self._footprint = footprint
+        return footprint
 
     def execute(
         self,

@@ -10,9 +10,12 @@ supports:
   memoised per-version :class:`~repro.graph.snapshot.GraphSnapshot`,
   so adjacency indexes are materialised once per version, not per
   call;
-- **result cache**: answers are memoised per ``(query, config,
-  graph_version)`` — any mutation bumps the version, so stale entries
-  can never be served;
+- **footprint-aware result cache**: answers are memoised per
+  ``(query, config)`` and stamped with the graph version they were
+  computed at. A mutation bumps the version, but only entries whose
+  read footprint (:mod:`repro.gpc.footprint`) intersects the recorded
+  mutation deltas are invalidated — footprint-disjoint entries are
+  re-stamped and keep hitting across mutations;
 - **concurrent batches**: :meth:`evaluate_batch` fans independent
   queries out over a thread pool (snapshots and precompiled plans are
   immutable, hence safely shared).
@@ -39,7 +42,7 @@ from repro.graph.ids import (
 )
 from repro.graph.property_graph import Constant, PropertyGraph
 from repro.graph.snapshot import GraphSnapshot
-from repro.service.cache import LRUCache
+from repro.service.cache import LRUCache, SemanticResultCache
 from repro.service.prepared import PreparedQuery
 from repro.service.stats import ServiceStats
 
@@ -78,7 +81,11 @@ class GraphService:
         self.config = config or DEFAULT_CONFIG
         self.stats = ServiceStats()
         self._plan_cache = LRUCache(plan_cache_size, self.stats.plan_cache)
-        self._result_cache = LRUCache(result_cache_size, self.stats.result_cache)
+        self._result_cache = SemanticResultCache(
+            result_cache_size,
+            self.stats.result_cache,
+            delta_source=self._graph.deltas_since,
+        )
         self._max_workers = max_workers
         self._executor: ThreadPoolExecutor | None = None
         self._lock = threading.RLock()
@@ -106,12 +113,19 @@ class GraphService:
         return self._graph.version
 
     def snapshot(self) -> GraphSnapshot:
-        """The memoised snapshot of the current graph version."""
+        """The memoised snapshot of the current graph version.
+
+        Small version steps are served by incremental delta derivation
+        (:meth:`GraphSnapshot.derive`); ``stats.snapshots_derived``
+        counts how many of the ``snapshots_built`` took that path.
+        """
         with self._lock:
             snap = self._graph.snapshot()
             if snap.version != self._last_snapshot_version:
                 self._last_snapshot_version = snap.version
                 self.stats.snapshots_built += 1
+                if snap.derived:
+                    self.stats.snapshots_derived += 1
             return snap
 
     def add_node(
@@ -211,17 +225,20 @@ class GraphService:
         ``Evaluator(graph, config).evaluate(parse_query(query))``; the
         service merely amortises compilation (plan cache), adjacency
         materialisation (snapshot memo) and repeated evaluation
-        (result cache).
+        (result cache). Cached entries survive mutations whose deltas
+        are disjoint from the query's read footprint — the semantic
+        check proves the answers unchanged before re-serving them.
         """
         config = config or self.config
         started = time.perf_counter()
-        # Snapshot first and key the result by the snapshot's own
-        # version: a concurrent mutation then yields a different key
-        # rather than a stale entry under the new version.
+        # Snapshot first and validate cached entries against the
+        # snapshot's own version: a concurrent mutation then yields a
+        # version mismatch (resolved by the delta/footprint check)
+        # rather than a stale entry served as current.
         snap = self.snapshot()
-        result_key = (query, config, snap.version)
+        result_key = (query, config)
         if use_cache:
-            cached = self._result_cache.get(result_key)
+            cached = self._result_cache.get(result_key, snap.version)
             if cached is not None:
                 self._record_query(started)
                 return cached
@@ -233,7 +250,9 @@ class GraphService:
         prepared = self.prepare(query, config)
         result = prepared.execute(snap)
         if use_cache:
-            self._result_cache.put(result_key, result)
+            self._result_cache.put(
+                result_key, snap.version, prepared.footprint, result
+            )
         self._record_query(started)
         return result
 

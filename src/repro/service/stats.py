@@ -25,12 +25,23 @@ class CacheStats:
     (e.g. ``evaluate(use_cache=False)``). They are *not* lookups: a
     bypass never probed the cache, so counting it as a miss would
     silently drag ``hit_rate`` down.
+
+    The footprint-aware result cache adds three counters:
+    ``restamps`` — stale entries proven untouched by the interleaving
+    mutations and re-stamped to the new version (these also count as
+    hits); ``invalidations`` — stale entries dropped because their
+    footprint intersected the mutations (these also count as misses);
+    ``dedup_waits`` — ``get_or_create`` callers that waited on another
+    thread's in-flight factory instead of running it again.
     """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     bypasses: int = 0
+    restamps: int = 0
+    invalidations: int = 0
+    dedup_waits: int = 0
 
     @property
     def lookups(self) -> int:
@@ -48,6 +59,9 @@ class CacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "bypasses": self.bypasses,
+            "restamps": self.restamps,
+            "invalidations": self.invalidations,
+            "dedup_waits": self.dedup_waits,
             "hit_rate": self.hit_rate,
         }
 
@@ -130,6 +144,9 @@ class ServiceStats:
     queries: int = 0
     batches: int = 0
     snapshots_built: int = 0
+    #: Of the ``snapshots_built``, how many were derived incrementally
+    #: from the previous version's snapshot instead of rebuilt.
+    snapshots_derived: int = 0
 
     def as_dict(self) -> dict[str, object]:
         """A JSON-serialisable flattening of every metric."""
@@ -137,6 +154,7 @@ class ServiceStats:
             "queries": self.queries,
             "batches": self.batches,
             "snapshots_built": self.snapshots_built,
+            "snapshots_derived": self.snapshots_derived,
             "plan_cache": self.plan_cache.as_dict(),
             "result_cache": self.result_cache.as_dict(),
             "latency": self.latency.summary(),

@@ -198,16 +198,32 @@ class TestMutationAndVersions:
                 )
             )
 
-    def test_process_backend_reships_on_mutation(self):
+    def test_process_backend_delta_ships_on_small_mutation(self):
+        """A one-op mutation no longer rebuilds the worker pool: the
+        delta chain ships with the calls and warm workers derive the
+        new snapshot in place (the full snapshot shipped only once)."""
         with ClusterService(
             _graph(), backend="process", num_workers=2
         ) as cluster:
             cluster.evaluate(QUERIES[0])
             cluster.evaluate(QUERIES[1])
             assert cluster.stats.snapshots_shipped == 1
+            # Touch the footprint of QUERIES[0] so the cached result is
+            # invalidated and the shards genuinely re-run.
+            people = sorted(cluster.graph.nodes_with_label("Person"))
             cluster.add_node("fresh", ["Person"])
-            cluster.evaluate(QUERIES[0])
-            assert cluster.stats.snapshots_shipped == 2
+            cluster.add_edge(
+                "efresh",
+                people[0],
+                next(iter(cluster.graph.nodes_with_label("Person"))),
+                ["knows"],
+            )
+            after = cluster.evaluate(QUERIES[0])
+            assert cluster.stats.snapshots_shipped == 1
+            assert cluster.stats.deltas_shipped == 1
+            assert after == Evaluator(cluster.graph).evaluate(
+                parse_query(QUERIES[0])
+            )
 
 
 class TestStatsAndExplain:

@@ -1,0 +1,224 @@
+"""QueryFootprint derivation and its soundness against delta summaries.
+
+The contract under test: ``footprint.affected_by(summary) is False``
+must imply the query's answers are identical before and after the
+mutations the summary fingerprints. The randomized suite checks that
+implication directly against the engine.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.extensions import ArithConditioned, PropertyTerm, TermConst
+from repro.gpc import ast
+from repro.gpc.engine import Evaluator
+from repro.gpc.footprint import (
+    BOTTOM,
+    QueryFootprint,
+    pattern_footprint,
+    query_footprint,
+)
+from repro.gpc.parser import parse_query
+from repro.graph.delta import DeltaSummary, summarize_deltas
+from repro.graph.property_graph import PropertyGraph
+
+
+def fp(text: str) -> QueryFootprint:
+    return query_footprint(parse_query(text))
+
+
+class TestDerivation:
+    def test_labelled_edge_query(self):
+        footprint = fp("TRAIL (x:Person) -[e:knows]-> (y:Person)")
+        # min length 1 => node mutations alone can never matter.
+        assert footprint.node_labels == frozenset()
+        assert footprint.dedge_labels == {"knows"}
+        assert footprint.uedge_labels == frozenset()
+        assert footprint.property_keys == frozenset()
+
+    def test_single_node_query_reads_its_label(self):
+        footprint = fp("TRAIL (x:Person)")
+        assert footprint.node_labels == {"Person"}
+        assert footprint.dedge_labels == frozenset()
+
+    def test_unlabelled_patterns_read_whole_classes(self):
+        footprint = fp("SIMPLE (x) ->{1,} (y)")
+        assert footprint.node_labels == frozenset()  # min length 1
+        assert footprint.dedge_labels is None
+        footprint = fp("TRAIL (x)")
+        assert footprint.node_labels is None
+
+    def test_backward_edges_read_directed_class(self):
+        footprint = fp("TRAIL (x) <-[:knows]- (y)")
+        assert footprint.dedge_labels == {"knows"}
+        assert footprint.uedge_labels == frozenset()
+
+    def test_undirected_edges_read_undirected_class(self):
+        footprint = fp("TRAIL (x) ~[:married]~ (y)")
+        assert footprint.uedge_labels == {"married"}
+        assert footprint.dedge_labels == frozenset()
+
+    def test_conditions_contribute_property_keys(self):
+        footprint = fp(
+            "p = TRAIL [ (x:A) -[e:r]-> (y:B) ] << x.team = y.team >>"
+        )
+        assert footprint.property_keys == {"team"}
+        footprint = fp("TRAIL [ (x:A) ] << x.a = 1 >>")
+        assert footprint.property_keys == {"a"}
+
+    def test_zero_repetition_reads_all_nodes(self):
+        footprint = fp("SHORTEST (x:A) ->{0,3} (y:B)")
+        assert footprint.node_labels is None  # {0,..} matches any node
+
+    def test_join_merges_sides(self):
+        footprint = fp("TRAIL (a:A) -[:r]-> (b), TRAIL (b) ~[:m]~ (c)")
+        assert footprint.dedge_labels == {"r"}
+        assert footprint.uedge_labels == {"m"}
+
+    def test_union_merges_branches(self):
+        footprint = fp("SIMPLE (x:P) + [(y:Q) -[:r]-> (z:Q)]")
+        assert footprint.node_labels == {"P", "Q"}
+        assert footprint.dedge_labels == {"r"}
+
+    def test_extension_patterns_collapse_to_bottom(self):
+        pattern = ArithConditioned(
+            ast.forward("e", "r"),
+            left=PropertyTerm("e", "w"),
+            right=TermConst(1),
+        )
+        assert pattern_footprint(pattern).is_bottom
+        query = ast.PatternQuery(ast.Restrictor.TRAIL, pattern)
+        assert query_footprint(query).is_bottom
+
+    def test_non_query_input_is_bottom(self):
+        assert query_footprint(object()) is BOTTOM
+
+
+class TestAffectedBy:
+    summary_knows = DeltaSummary(
+        dedges_changed=True, dedge_labels=frozenset({"knows"})
+    )
+    summary_node_p = DeltaSummary(
+        nodes_changed=True, node_labels=frozenset({"P"})
+    )
+    summary_props = DeltaSummary(property_keys=frozenset({"age"}))
+
+    def test_disjoint_labels_do_not_affect(self):
+        footprint = fp("TRAIL (x) -[:likes]-> (y)")
+        assert not footprint.affected_by(self.summary_knows)
+        assert not footprint.affected_by(self.summary_node_p)
+        assert not footprint.affected_by(self.summary_props)
+
+    def test_intersecting_labels_affect(self):
+        footprint = fp("TRAIL (x) -[:knows]-> (y)")
+        assert footprint.affected_by(self.summary_knows)
+
+    def test_unbounded_class_affected_by_any_change_in_class(self):
+        footprint = fp("TRAIL (x) -> (y)")
+        assert footprint.affected_by(self.summary_knows)
+        unlabelled = DeltaSummary(dedges_changed=True)
+        assert footprint.affected_by(unlabelled)
+
+    def test_bottom_affected_by_everything(self):
+        assert BOTTOM.affected_by(self.summary_props)
+        assert BOTTOM.affected_by(self.summary_node_p)
+
+    def test_empty_summary_affects_nothing(self):
+        assert not BOTTOM.affected_by(DeltaSummary())
+
+    def test_property_keys_matter_only_when_read(self):
+        reader = fp("TRAIL [ (x:P) ] << x.age = 3 >>")
+        assert reader.affected_by(self.summary_props)
+        other = fp("TRAIL [ (x:P) ] << x.name = 'a' >>")
+        assert not other.affected_by(self.summary_props)
+
+
+# ---------------------------------------------------------------------------
+# Randomized soundness: disjoint footprint => identical answers
+# ---------------------------------------------------------------------------
+
+SOUNDNESS_QUERIES = [
+    "TRAIL (x:P) -[e:r]-> (y:P)",
+    "TRAIL (x:P)",
+    "TRAIL (x)",
+    "SIMPLE (x) ~[:m]~ (y)",
+    "SHORTEST (x:P) -[:r]->{1,3} (y)",
+    "TRAIL [ (x:P) -[e:r]-> (y:P) ] << x.k = 1 >>",
+    "TRAIL (a:P) -[:r]-> (b), TRAIL (b:P) -[:s]-> (c)",
+    "SIMPLE (x:Q) + [(y:P) -[:r]-> (z)]",
+]
+
+
+def _random_mutation(rng: random.Random, graph: PropertyGraph) -> None:
+    nodes = sorted(graph.nodes)
+    op = rng.randrange(6)
+    if op == 0:
+        graph.add_node(
+            f"n{graph.version}",
+            labels=rng.choice([(), ("P",), ("Q",)]),
+            properties=rng.choice([None, {"k": 1}]),
+        )
+    elif op == 1:
+        graph.add_edge(
+            f"e{graph.version}",
+            rng.choice(nodes),
+            rng.choice(nodes),
+            labels=rng.choice([(), ("r",), ("s",)]),
+        )
+    elif op == 2:
+        graph.add_undirected_edge(
+            f"u{graph.version}",
+            rng.choice(nodes),
+            rng.choice(nodes),
+            labels=rng.choice([(), ("m",)]),
+        )
+    elif op == 3:
+        graph.set_property(
+            rng.choice(nodes), rng.choice(["k", "z"]), rng.randrange(3)
+        )
+    elif op == 4:
+        edges = sorted(graph.directed_edges)
+        if edges:
+            graph.remove_edge(rng.choice(edges))
+    else:
+        if len(nodes) > 3:
+            graph.remove_node(rng.choice(nodes))
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_disjoint_footprint_implies_equal_answers(seed):
+    """The invariant the semantic cache relies on, checked end to end:
+    if the footprint does not intersect the mutation summary, the
+    answer sets before and after must be frozenset-identical."""
+    rng = random.Random(seed)
+    graph = PropertyGraph()
+    for i in range(6):
+        graph.add_node(f"b{i}", labels=("P",) if i % 2 else ("Q",),
+                       properties={"k": i % 2})
+    nodes = sorted(graph.nodes)
+    for i in range(6):
+        graph.add_edge(f"be{i}", rng.choice(nodes), rng.choice(nodes),
+                       labels=("r",) if i % 2 else ("s",))
+    graph.add_undirected_edge("bu", nodes[0], nodes[1], labels=("m",))
+
+    queries = [parse_query(text) for text in SOUNDNESS_QUERIES]
+    footprints = [query_footprint(query) for query in queries]
+    before = [Evaluator(graph).evaluate(query) for query in queries]
+
+    for _ in range(15):
+        start = graph.version
+        _random_mutation(rng, graph)
+        summary = summarize_deltas(graph.deltas_since(start))
+        after = [Evaluator(graph).evaluate(query) for query in queries]
+        for query, footprint, old, new in zip(
+            queries, footprints, before, after
+        ):
+            if not footprint.affected_by(summary):
+                assert old == new, (
+                    f"footprint claimed {query} unaffected by "
+                    f"{summary.describe()} but answers changed"
+                )
+        before = after

@@ -1,0 +1,376 @@
+"""GraphDelta recording, the bounded delta log, and incremental
+snapshot derivation (derived snapshot == fresh rebuild)."""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph import (
+    DeltaSummary,
+    GraphDelta,
+    GraphSnapshot,
+    PropertyGraph,
+    summarize_deltas,
+)
+from repro.graph.builder import GraphBuilder
+from repro.graph.generators import social_network
+
+
+def build_mixed() -> PropertyGraph:
+    return (
+        GraphBuilder()
+        .node("a", "P", name="Ann")
+        .node("b", "P", name="Bob")
+        .node("c", "Q")
+        .edge("a", "b", "knows", key="e1", since=2015)
+        .edge("b", "c", "likes", key="e2")
+        .undirected("a", "c", "married", key="u1")
+        .build()
+    )
+
+
+def assert_snapshots_identical(left: GraphSnapshot, right: GraphSnapshot):
+    """Structural equality over every index a snapshot materialises."""
+    assert left.version == right.version
+    for slot in GraphSnapshot.__slots__:
+        if slot in ("version", "derived", "_label_cards"):
+            continue
+        assert getattr(left, slot) == getattr(right, slot), slot
+    assert left.label_cardinalities() == right.label_cardinalities()
+
+
+class TestDeltaRecording:
+    def test_every_mutation_appends_one_delta(self):
+        graph = PropertyGraph()
+        a = graph.add_node("a", ["P"], {"k": 1})
+        b = graph.add_node("b")
+        e = graph.add_edge("e", a, b, ["r"])
+        u = graph.add_undirected_edge("u", a, b, ["m"])
+        graph.set_property(a, "k", 2)
+        graph.remove_property(a, "k")
+        graph.remove_edge(e)
+        graph.remove_undirected_edge(u)
+        graph.remove_node(b)
+        deltas = graph.deltas_since(0)
+        assert deltas is not None
+        assert [d.version for d in deltas] == list(range(1, 10))
+        assert all(isinstance(d, GraphDelta) for d in deltas)
+
+    def test_delta_contents_and_summary(self):
+        graph = PropertyGraph()
+        a = graph.add_node("a", ["P"], {"k": 1})
+        (delta,) = graph.deltas_since(0)
+        (record,) = delta.nodes_added
+        assert record.id == a
+        assert record.labels == frozenset({"P"})
+        assert record.properties == (("k", 1),)
+        summary = delta.summary()
+        assert summary.nodes_changed and summary.node_labels == {"P"}
+        assert not summary.dedges_changed and not summary.uedges_changed
+        # Properties riding on an added element are covered by the
+        # element class, not the property-key set.
+        assert summary.property_keys == frozenset()
+
+    def test_property_mutations_summarise_keys(self):
+        graph = build_mixed()
+        start = graph.version
+        node = next(graph.iter_nodes())
+        graph.set_property(node, "age", 44)
+        graph.remove_property(node, "age")
+        summary = summarize_deltas(graph.deltas_since(start))
+        assert summary.property_keys == {"age"}
+        assert not summary.nodes_changed
+
+    def test_deltas_since_bounds(self):
+        graph = build_mixed()
+        assert graph.deltas_since(graph.version) == ()
+        assert graph.deltas_since(graph.version + 1) is None
+        full = graph.deltas_since(0)
+        assert full is not None and len(full) == graph.version
+
+    def test_bounded_log_forgets_old_versions(self):
+        graph = PropertyGraph(delta_log_capacity=4)
+        for i in range(10):
+            graph.add_node(f"n{i}")
+        assert graph.deltas_since(0) is None  # dropped
+        chain = graph.deltas_since(6)
+        assert chain is not None and len(chain) == 4
+
+    def test_deltas_pickle(self):
+        graph = build_mixed()
+        graph.remove_node(next(graph.iter_nodes()))
+        chain = graph.deltas_since(0)
+        assert pickle.loads(pickle.dumps(chain)) == chain
+
+
+class TestRemovalCascade:
+    """The satellite case: remove_node with incident directed and
+    undirected edges is one version bump, one coherent delta, and the
+    incrementally derived snapshot agrees with a fresh rebuild —
+    including LabelCardinalities."""
+
+    def test_cascade_is_one_delta(self):
+        graph = build_mixed()
+        base = graph.snapshot()
+        base.label_cardinalities()  # force, so derive must patch them
+        version = graph.version
+        from repro.graph import NodeId
+
+        victim = NodeId("a")  # incident: e1 (directed), u1 (undirected)
+        graph.remove_node(victim)
+        assert graph.version == version + 1
+        (delta,) = graph.deltas_since(version)
+        (node_record,) = delta.nodes_removed
+        assert node_record.id == victim
+        assert {r.id.key for r in delta.dedges_removed} == {"e1"}
+        assert {r.id.key for r in delta.uedges_removed} == {"u1"}
+        summary = delta.summary()
+        assert summary.nodes_changed and summary.node_labels == {"P"}
+        assert summary.dedges_changed and summary.dedge_labels == {"knows"}
+        assert summary.uedges_changed and summary.uedge_labels == {"married"}
+
+    def test_cascade_derivation_matches_rebuild(self):
+        graph = build_mixed()
+        base = graph.snapshot()
+        base.label_cardinalities()
+        from repro.graph import NodeId
+
+        victim = NodeId("a")
+        graph.remove_node(victim)
+        derived = graph.snapshot()
+        assert graph.snapshot_derivations == 1
+        assert derived is not base
+        rebuilt = GraphSnapshot(graph)
+        assert_snapshots_identical(derived, rebuilt)
+        cards = derived.label_cardinalities()
+        assert cards.nodes_with_label("P") == 1
+        assert cards.directed_edges_with_label("knows") == 0
+        assert cards.undirected_edges_with_label("married") == 0
+        assert not derived.has_node(victim)
+        assert base.has_node(victim)  # the base snapshot is untouched
+
+
+class TestDerivation:
+    def test_empty_chain_is_identity(self):
+        graph = build_mixed()
+        snap = graph.snapshot()
+        assert GraphSnapshot.derive(snap, ()) is snap
+
+    def test_non_contiguous_chain_raises(self):
+        graph = build_mixed()
+        snap = graph.snapshot()
+        graph.add_node("x")
+        graph.add_node("y")
+        chain = graph.deltas_since(snap.version)
+        with pytest.raises(GraphError):
+            GraphSnapshot.derive(snap, chain[1:])  # gap
+
+    def test_untouched_structures_are_shared_with_base(self):
+        graph = build_mixed()
+        base = graph.snapshot()
+        nodes = sorted(graph.nodes)
+        graph.add_edge("enew", nodes[0], nodes[1], ["knows"])
+        derived = graph.snapshot()
+        # Node-side structures were untouched by an edge-only delta.
+        assert derived._node_labels is base._node_labels
+        assert derived._nodes is base._nodes
+        assert derived._undirected_at is base._undirected_at
+        # Directed-edge structures were copied, not mutated in place.
+        assert derived._src is not base._src
+        assert len(base._dedges) + 1 == len(derived._dedges)
+
+    def test_large_chain_falls_back_to_rebuild(self):
+        graph = PropertyGraph(snapshot_delta_threshold=0.25)
+        for i in range(8):
+            graph.add_node(f"n{i}")
+        graph.snapshot()
+        rebuilds = graph.snapshot_rebuilds
+        for i in range(8, 38):  # 30 ops > max(16, 0.25 * 38)
+            graph.add_node(f"n{i}")
+        graph.snapshot()
+        assert graph.snapshot_rebuilds == rebuilds + 1
+        assert graph.snapshot_derivations == 0
+
+    def test_derived_snapshots_pickle(self):
+        graph = build_mixed()
+        graph.snapshot()
+        graph.add_node("zz", ["P"])
+        derived = graph.snapshot()
+        assert graph.snapshot_derivations == 1
+        clone = pickle.loads(pickle.dumps(derived))
+        assert_snapshots_identical(clone, GraphSnapshot(graph))
+
+    def test_deltas_since_safe_against_concurrent_mutators(self):
+        """Regression: reading the bounded delta log while another
+        thread bumps the version must never raise (deque mutated
+        during iteration) — semantic cache lookups read it from
+        serving threads."""
+        import threading
+
+        graph = PropertyGraph(delta_log_capacity=64)
+        for i in range(30):
+            graph.add_node(f"n{i}")
+        errors: list = []
+        stop = threading.Event()
+
+        def writer():
+            i = 30
+            while not stop.is_set():
+                graph.add_node(f"w{i}")
+                i += 1
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    graph.deltas_since(max(0, graph.version - 8))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader) for _ in range(3)
+        ]
+        for t in threads:
+            t.start()
+        import time
+
+        time.sleep(0.3)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert errors == []
+
+    def test_snapshot_lock_single_build_under_races(self):
+        import threading
+
+        graph = social_network(num_people=20, friend_degree=2, seed=4)
+        results: list = []
+
+        def worker():
+            results.append(graph.snapshot())
+
+        for round_ in range(5):
+            graph.add_node(f"r{round_}")
+            threads = [threading.Thread(target=worker) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            # All racers share the one snapshot built for this version.
+            assert len({id(s) for s in results}) == 1
+            results.clear()
+
+
+# ---------------------------------------------------------------------------
+# Property-based: derived == rebuilt over random mutation sequences
+# ---------------------------------------------------------------------------
+
+_OPS = (
+    "add_node",
+    "add_edge",
+    "add_uedge",
+    "set_property",
+    "remove_property",
+    "remove_edge",
+    "remove_uedge",
+    "remove_node",
+)
+
+
+def _apply_random_mutation(rng: random.Random, graph: PropertyGraph) -> None:
+    op = rng.choice(_OPS)
+    nodes = sorted(graph.nodes)
+    dedges = sorted(graph.directed_edges)
+    uedges = sorted(graph.undirected_edges)
+    if op == "add_node" or len(nodes) < 2:
+        graph.add_node(
+            f"n{graph.version}",
+            labels=rng.choice([(), ("P",), ("Q",), ("P", "Q")]),
+            properties=rng.choice([None, {"k": rng.randrange(4)}]),
+        )
+    elif op == "add_edge":
+        graph.add_edge(
+            f"e{graph.version}",
+            rng.choice(nodes),
+            rng.choice(nodes),
+            labels=rng.choice([(), ("r",), ("s",)]),
+            properties=rng.choice([None, {"w": rng.randrange(4)}]),
+        )
+    elif op == "add_uedge":
+        graph.add_undirected_edge(
+            f"u{graph.version}",
+            rng.choice(nodes),
+            rng.choice(nodes),
+            labels=rng.choice([(), ("m",)]),
+        )
+    elif op == "set_property":
+        element = rng.choice(nodes + dedges + uedges)
+        graph.set_property(element, rng.choice(["k", "w", "z"]), rng.randrange(4))
+    elif op == "remove_property":
+        candidates = [
+            element
+            for element in nodes + dedges + uedges
+            if graph.properties(element)
+        ]
+        if candidates:
+            element = rng.choice(candidates)
+            graph.remove_property(
+                element, rng.choice(sorted(graph.properties(element)))
+            )
+    elif op == "remove_edge" and dedges:
+        graph.remove_edge(rng.choice(dedges))
+    elif op == "remove_uedge" and uedges:
+        graph.remove_undirected_edge(rng.choice(uedges))
+    elif op == "remove_node" and len(nodes) > 2:
+        graph.remove_node(rng.choice(nodes))
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None)
+def test_derived_equals_rebuild_on_random_mutation_sequences(seed):
+    rng = random.Random(seed)
+    graph = PropertyGraph()
+    for i in range(rng.randrange(2, 6)):
+        graph.add_node(f"seed{i}", labels=("P",) if i % 2 else ())
+    graph.snapshot().label_cardinalities()
+    for _ in range(rng.randrange(5, 25)):
+        _apply_random_mutation(rng, graph)
+        # Sometimes skip the snapshot so chains of length > 1 derive.
+        if rng.random() < 0.5:
+            continue
+        assert_snapshots_identical(graph.snapshot(), GraphSnapshot(graph))
+    assert_snapshots_identical(graph.snapshot(), GraphSnapshot(graph))
+    assert graph.snapshot_derivations > 0
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=20, deadline=None)
+def test_summary_is_sound_for_label_observers(seed):
+    """Whenever a label's member set changes between two versions, the
+    chain summary must flag that label (the guarantee the footprint
+    cache builds on)."""
+    rng = random.Random(seed)
+    graph = PropertyGraph()
+    for i in range(4):
+        graph.add_node(f"seed{i}", labels=("P",) if i % 2 else ())
+    start = graph.version
+    before = {
+        "P": graph.nodes_with_label("P"),
+        "r": graph.directed_edges_with_label("r"),
+        "m": graph.undirected_edges_with_label("m"),
+    }
+    for _ in range(rng.randrange(1, 12)):
+        _apply_random_mutation(rng, graph)
+    summary = summarize_deltas(graph.deltas_since(start))
+    assert isinstance(summary, DeltaSummary)
+    if graph.nodes_with_label("P") != before["P"]:
+        assert summary.nodes_changed and "P" in summary.node_labels
+    if graph.directed_edges_with_label("r") != before["r"]:
+        assert summary.dedges_changed and "r" in summary.dedge_labels
+    if graph.undirected_edges_with_label("m") != before["m"]:
+        assert summary.uedges_changed and "m" in summary.uedge_labels

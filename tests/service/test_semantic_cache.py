@@ -1,0 +1,221 @@
+"""SemanticResultCache behaviour and LRUCache single-flight."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.gpc.engine import Evaluator
+from repro.gpc.parser import parse_query
+from repro.graph.builder import GraphBuilder
+from repro.service import GraphService, LRUCache, SemanticResultCache
+from repro.service.stats import CacheStats
+
+
+def two_worlds_service() -> GraphService:
+    """Two label-disjoint subgraphs: mutations in one provably cannot
+    affect queries over the other."""
+    graph = (
+        GraphBuilder()
+        .node("p1", "Person", team="db")
+        .node("p2", "Person", team="db")
+        .node("d1", "Device")
+        .node("d2", "Device")
+        .edge("p1", "p2", "knows", key="k1")
+        .edge("d1", "d2", "pings", key="g1")
+        .build()
+    )
+    return GraphService(graph)
+
+
+PERSON_QUERY = "TRAIL (x:Person) -[e:knows]-> (y:Person)"
+DEVICE_QUERY = "TRAIL (x:Device) -[e:pings]-> (y:Device)"
+
+
+class TestSemanticInvalidation:
+    def test_disjoint_mutation_keeps_hits_coming(self):
+        service = two_worlds_service()
+        person_before = service.evaluate(PERSON_QUERY)
+        for i in range(5):  # a stream of device-world mutations
+            d = service.add_node(f"dev{i}", ["Device"])
+            service.add_edge(
+                f"dp{i}", d, next(iter(service.graph.nodes_with_label("Device"))),
+                ["pings"],
+            )
+            assert service.evaluate(PERSON_QUERY) is person_before
+        stats = service.stats.result_cache
+        assert stats.hits == 5
+        assert stats.restamps == 5
+        assert stats.invalidations == 0
+        assert stats.misses == 1
+
+    def test_intersecting_mutation_invalidates_and_recomputes(self):
+        service = two_worlds_service()
+        before = service.evaluate(PERSON_QUERY)
+        people = sorted(service.graph.nodes_with_label("Person"))
+        service.add_edge("k2", people[1], people[0], ["knows"])
+        after = service.evaluate(PERSON_QUERY)
+        assert after != before
+        assert after == Evaluator(service.graph).evaluate(
+            parse_query(PERSON_QUERY)
+        )
+        stats = service.stats.result_cache
+        assert stats.invalidations == 1
+        assert stats.restamps == 0
+
+    def test_each_entry_checked_against_its_own_footprint(self):
+        service = two_worlds_service()
+        person = service.evaluate(PERSON_QUERY)
+        device = service.evaluate(DEVICE_QUERY)
+        devices = sorted(service.graph.nodes_with_label("Device"))
+        service.add_edge("g2", devices[1], devices[0], ["pings"])
+        # Person entry survives, device entry is invalidated.
+        assert service.evaluate(PERSON_QUERY) is person
+        fresh_device = service.evaluate(DEVICE_QUERY)
+        assert fresh_device != device
+        stats = service.stats.result_cache
+        assert stats.restamps == 1
+        assert stats.invalidations == 1
+
+    def test_restamped_entry_hits_exactly_afterwards(self):
+        service = two_worlds_service()
+        service.evaluate(PERSON_QUERY)
+        service.add_node("lone", ["Device"])
+        assert service.evaluate(PERSON_QUERY) is not None  # restamp
+        service.evaluate(PERSON_QUERY)  # exact version hit now
+        stats = service.stats.result_cache
+        assert stats.hits == 2
+        assert stats.restamps == 1
+
+    def test_overflowed_delta_log_invalidates(self):
+        graph = (
+            GraphBuilder()
+            .node("p1", "Person")
+            .node("p2", "Person")
+            .edge("p1", "p2", "knows", key="k1")
+            .build()
+        )
+        service = GraphService(graph)
+        service.graph._delta_log = type(service.graph._delta_log)(maxlen=2)
+        service.evaluate(PERSON_QUERY)
+        for i in range(4):  # more mutations than the log retains
+            service.add_node(f"x{i}", ["Device"])
+        service.evaluate(PERSON_QUERY)
+        stats = service.stats.result_cache
+        # Disjoint mutations, but the chain is gone: must recompute.
+        assert stats.hits == 0
+        assert stats.invalidations == 1
+
+    def test_cache_without_delta_source_flushes_per_version(self):
+        cache = SemanticResultCache(8, CacheStats())
+        cache.put("q", 1, None, frozenset({1}))
+        assert cache.get("q", 1) == frozenset({1})
+        assert cache.get("q", 2) is None  # no semantics available
+        assert cache.stats.misses == 1
+
+    def test_put_never_downgrades_newer_stamp(self):
+        cache = SemanticResultCache(8, CacheStats())
+        cache.put("q", 5, None, frozenset({"new"}))
+        cache.put("q", 3, None, frozenset({"old"}))  # racing old writer
+        assert cache.get("q", 5) == frozenset({"new"})
+
+    def test_eviction_counted(self):
+        cache = SemanticResultCache(2, CacheStats())
+        for i in range(4):
+            cache.put(f"q{i}", 1, None, frozenset())
+        assert len(cache) == 2
+        assert cache.stats.evictions == 2
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SemanticResultCache(0)
+
+
+class TestSingleFlight:
+    def test_concurrent_misses_share_one_factory_run(self):
+        cache = LRUCache(8)
+        calls: list[int] = []
+        barrier = threading.Barrier(6)
+
+        def factory():
+            calls.append(1)
+            time.sleep(0.05)  # long enough for every waiter to queue
+            return "value"
+
+        results: list[str] = []
+
+        def worker():
+            barrier.wait()
+            results.append(cache.get_or_create("key", factory))
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert results == ["value"] * 6
+        assert len(calls) == 1  # the whole point
+        assert cache.stats.misses == 1
+        assert cache.stats.dedup_waits == 5
+        assert cache.stats.hits == 5  # waiters re-probe and hit
+
+    def test_failing_factory_releases_waiters(self):
+        cache = LRUCache(8)
+        attempts: list[int] = []
+        barrier = threading.Barrier(3)
+
+        def factory():
+            attempts.append(1)
+            time.sleep(0.02)
+            if len(attempts) == 1:
+                raise RuntimeError("first build fails")
+            return "second-time-lucky"
+
+        outcomes: list[object] = []
+
+        def worker():
+            barrier.wait()
+            try:
+                outcomes.append(cache.get_or_create("key", factory))
+            except RuntimeError as exc:
+                outcomes.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Exactly one caller saw the failure; the others retried and
+        # got the second factory run's value.
+        errors = [o for o in outcomes if isinstance(o, RuntimeError)]
+        values = [o for o in outcomes if o == "second-time-lucky"]
+        assert len(errors) == 1
+        assert len(values) == 2
+        assert len(attempts) == 2
+
+    def test_sequential_behaviour_unchanged(self):
+        cache = LRUCache(4)
+        assert cache.get_or_create("k", lambda: 1) == 1
+        assert cache.get_or_create("k", lambda: 2) == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.dedup_waits == 0
+
+    def test_service_prepare_is_single_flight(self):
+        service = two_worlds_service()
+        barrier = threading.Barrier(4)
+        prepared: list[object] = []
+
+        def worker():
+            barrier.wait()
+            prepared.append(service.prepare(PERSON_QUERY))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({id(p) for p in prepared}) == 1
+        assert service.stats.plan_cache.misses == 1

@@ -99,29 +99,66 @@ class TestResultCache:
     @pytest.mark.parametrize(
         "mutate",
         [
-            lambda s: s.add_node("zed", ["Person"], {"team": "db"}),
-            lambda s: s.set_property(
-                next(iter(s.graph.nodes_with_label("Person"))), "age", 30
-            ),
             lambda s: s.remove_edge(next(s.graph.iter_directed_edges())),
             lambda s: s.remove_node(next(s.graph.iter_nodes())),
-            lambda s: s.remove_undirected_edge(
-                next(s.graph.iter_undirected_edges())
+            lambda s: s.add_edge(
+                "extra",
+                *sorted(s.graph.nodes_with_label("Person"))[:2],
+                ["knows"],
             ),
         ],
-        ids=["add_node", "set_property", "remove_edge", "remove_node",
-             "remove_undirected_edge"],
+        ids=["remove_edge", "remove_node", "add_edge"],
     )
-    def test_every_mutation_invalidates(self, social, mutate):
+    def test_footprint_intersecting_mutation_invalidates(
+        self, social, mutate
+    ):
+        """QUERIES[0] reads `knows` directed edges; any mutation
+        touching them must invalidate the cached entry and recompute
+        under the bumped version."""
         social.evaluate(QUERIES[0])
         version = social.version
         mutate(social)
         assert social.version > version
-        social.evaluate(QUERIES[0])
-        # Second evaluation may not be equal (the graph changed) but
-        # must be a miss: the key embeds the bumped version.
+        after = social.evaluate(QUERIES[0])
         assert social.stats.result_cache.misses == 2
         assert social.stats.result_cache.hits == 0
+        assert social.stats.result_cache.invalidations == 1
+        assert after == Evaluator(social.graph).evaluate(
+            parse_query(QUERIES[0])
+        )
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda s: s.add_node("zed", ["Person"], {"team": "db"}),
+            lambda s: s.set_property(
+                next(iter(s.graph.nodes_with_label("Person"))), "age", 30
+            ),
+            lambda s: s.remove_undirected_edge(
+                next(s.graph.iter_undirected_edges())
+            ),
+        ],
+        ids=["add_isolated_node", "set_unread_property",
+             "remove_undirected_edge"],
+    )
+    def test_footprint_disjoint_mutation_restamps(self, social, mutate):
+        """Mutations provably outside QUERIES[0]'s read footprint (an
+        isolated node, an unread property key, an undirected edge) keep
+        the cached entry alive: it is re-stamped to the new version and
+        served as a hit — and the served answers still equal a fresh
+        one-shot evaluation of the mutated graph."""
+        before = social.evaluate(QUERIES[0])
+        version = social.version
+        mutate(social)
+        assert social.version > version
+        after = social.evaluate(QUERIES[0])
+        assert after is before  # the cached frozenset itself
+        assert social.stats.result_cache.hits == 1
+        assert social.stats.result_cache.misses == 1
+        assert social.stats.result_cache.restamps == 1
+        assert after == Evaluator(social.graph).evaluate(
+            parse_query(QUERIES[0])
+        )
 
     def test_stale_entries_never_served(self, social):
         q = QUERIES[0]
