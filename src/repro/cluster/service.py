@@ -95,6 +95,7 @@ class ClusterService:
             delta_source=self._graph.deltas_since,
         )
         self._lock = threading.RLock()
+        self._last_snapshot_version: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Graph access and mutation (same contract as GraphService)
@@ -111,8 +112,22 @@ class ClusterService:
         return self._graph.version
 
     def snapshot(self) -> GraphSnapshot:
+        """The memoised snapshot of the current graph version.
+
+        Tracks ``stats.snapshots_built`` / ``stats.snapshots_derived``
+        exactly as :meth:`GraphService.snapshot` does, so cluster
+        dashboards see the same build/derive ratio as single-service
+        ones.
+        """
         with self._lock:
-            return self._graph.snapshot()
+            snap = self._graph.snapshot()
+            if snap.version != self._last_snapshot_version:
+                self._last_snapshot_version = snap.version
+                self.stats.count(
+                    snapshots_built=1,
+                    snapshots_derived=1 if snap.derived else 0,
+                )
+            return snap
 
     def add_node(
         self,
@@ -233,8 +248,16 @@ class ClusterService:
         else:
             self._count_bypass()
         prepared, calls = self._scatter_one(query, config, snap)
-        outcomes = self.backend.run(
-            snap, calls, delta_source=self._graph.deltas_since
+        # The partitioner guarantees at least one cell today, but an
+        # empty scatter must never reach the backend regardless: on the
+        # process backend run() warms the pool and ships the snapshot
+        # even for zero calls.
+        outcomes = (
+            self.backend.run(
+                snap, calls, delta_source=self._graph.deltas_since
+            )
+            if calls
+            else []
         )
         try:
             result = self.router.gather(outcomes)
@@ -298,8 +321,15 @@ class ClusterService:
                  prepared.footprint)
             )
             calls.extend(shard_calls)
-        outcomes = self.backend.run(
-            snap, calls, delta_source=self._graph.deltas_since
+        # All-hit (or all-failed-pre-scatter) batches scatter nothing:
+        # skip the backend entirely rather than paying a process-pool
+        # spin-up / snapshot ship for an empty call list.
+        outcomes = (
+            self.backend.run(
+                snap, calls, delta_source=self._graph.deltas_since
+            )
+            if calls
+            else []
         )
         results: list = []
         evaluated = 0

@@ -42,6 +42,11 @@ class ClusterStats:
     #: Version advances served by shipping a pickled delta chain to the
     #: warm workers instead of rebuilding the pool with a new snapshot.
     deltas_shipped: int = 0
+    #: Router-side snapshot materialisations, with the same meaning as
+    #: :attr:`ServiceStats.snapshots_built` / ``snapshots_derived`` —
+    #: of the versions snapshotted, how many were derived incrementally.
+    snapshots_built: int = 0
+    snapshots_derived: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, init=False, repr=False, compare=False
     )
@@ -72,6 +77,8 @@ class ClusterStats:
             "shard_failures": self.shard_failures,
             "snapshots_shipped": self.snapshots_shipped,
             "deltas_shipped": self.deltas_shipped,
+            "snapshots_built": self.snapshots_built,
+            "snapshots_derived": self.snapshots_derived,
             "plan_cache": self.plan_cache.as_dict(),
             "result_cache": self.result_cache.as_dict(),
             "latency": self.latency.summary(),

@@ -26,6 +26,7 @@ __all__ = [
     "DatalogError",
     "WorkloadError",
     "ClusterError",
+    "WireError",
 ]
 
 
@@ -161,3 +162,12 @@ class ClusterError(GPCError):
     def __init__(self, message: str, failures=()):
         super().__init__(message)
         self.failures = tuple(failures)
+
+
+class WireError(GPCError):
+    """A wire payload cannot be encoded or decoded.
+
+    Raised by :mod:`repro.server.wire` when an answer contains a value
+    the JSON encoding cannot represent, or when an incoming payload is
+    malformed (bad tag, broken path alternation, wrong shape).
+    """

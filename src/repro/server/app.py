@@ -1,0 +1,669 @@
+"""The asyncio HTTP serving front end.
+
+:class:`GraphServer` wraps a :class:`~repro.service.GraphService` or
+:class:`~repro.cluster.ClusterService` behind a JSON-over-HTTP API
+(stdlib only — :func:`asyncio.start_server` plus the minimal HTTP/1.1
+layer in :mod:`repro.server.protocol`):
+
+==============  ======================================================
+``POST /query``   evaluate one query (coalesced, see below)
+``POST /batch``   evaluate a list of queries in one service batch
+``POST /mutate``  apply a list of graph mutations in order
+``GET /explain``  the planner's strategy summary (``?query=...``)
+``GET /stats``    transport + service metrics (one composed payload)
+``GET /healthz``  liveness, version, drain state
+==============  ======================================================
+
+Three behaviours make it a *server* rather than plumbing:
+
+- **admission control** — a bounded in-flight semaphore caps
+  concurrent evaluations and a queue-depth limit sheds overload with
+  ``429`` (``503`` while draining); sheds are counted in
+  :class:`~repro.server.stats.ServerStats` and never touch the
+  service;
+- **micro-batch coalescing** — concurrent ``POST /query`` arrivals
+  are folded into one :meth:`evaluate_batch` call. The coalescer is a
+  group-commit loop: it waits ``coalesce_window_s`` after the first
+  arrival (and naturally accumulates arrivals while a previous batch
+  is evaluating), then dispatches up to ``coalesce_max`` queries at
+  once — one thread hop and one snapshot pin per batch instead of per
+  request;
+- **graceful drain** — :meth:`drain` stops accepting connections,
+  answers new requests with ``503``, lets every admitted request
+  finish (including queued coalesced queries), then closes the
+  underlying service.
+
+Answers travel in the canonical :mod:`repro.server.wire` encoding, so
+an HTTP client can reconstruct the exact ``frozenset[Answer]`` the
+service computed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import GPCError
+from repro.server import wire
+from repro.server.protocol import (
+    HttpRequest,
+    PreRendered,
+    ProtocolError,
+    json_body,
+    read_request,
+    render_response,
+)
+from repro.server.stats import ServerStats
+from repro.graph.ids import DirectedEdgeId, NodeId, UndirectedEdgeId
+
+__all__ = ["GraphServer", "ServerHandle", "serve_background"]
+
+
+#: Sentinel shutting the coalescer loop down after the queue drains.
+_STOP = object()
+
+#: Answer sets up to this size are JSON-encoded inline on the event
+#: loop (cheaper than a thread hop); larger ones serialise in a
+#: worker thread so one fat response never stalls other connections.
+ENCODE_INLINE_LIMIT = 64
+
+
+@dataclass
+class _Pending:
+    """One admitted ``/query`` request waiting in the coalescing queue."""
+
+    query: str
+    use_cache: bool
+    future: asyncio.Future
+
+
+class GraphServer:
+    """Serve a graph service over HTTP with admission control,
+    micro-batch coalescing and graceful drain.
+
+    ``service`` is anything with the ``GraphService`` surface —
+    ``evaluate_batch`` / ``explain`` / ``stats`` / ``version`` / the
+    mutation delegations / ``close`` — so :class:`ClusterService`
+    plugs in unchanged.
+
+    Example
+    -------
+    >>> from repro.graph.generators import social_network
+    >>> from repro.server import serve_background, HttpServiceClient
+    >>> from repro.service import GraphService
+    >>> with serve_background(GraphService(social_network(8))) as handle:
+    ...     client = HttpServiceClient(*handle.address)
+    ...     answers = client.query("TRAIL (x:Person) -[:knows]-> (y:Person)")
+    ...     client.close()
+    >>> isinstance(answers, frozenset)
+    True
+    """
+
+    #: Endpoints and the methods they answer to (else 405).
+    ROUTES = {
+        "/query": ("POST",),
+        "/batch": ("POST",),
+        "/mutate": ("POST",),
+        "/explain": ("GET",),
+        "/stats": ("GET",),
+        "/healthz": ("GET",),
+    }
+
+    def __init__(
+        self,
+        service,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_in_flight: int = 8,
+        max_queue_depth: int = 64,
+        coalesce_window_s: float = 0.001,
+        coalesce_max: int = 16,
+        close_service: bool = True,
+    ):
+        if max_in_flight < 1:
+            raise ValueError(f"max_in_flight must be >= 1, got {max_in_flight}")
+        if max_queue_depth < 0:
+            raise ValueError(
+                f"max_queue_depth must be >= 0, got {max_queue_depth}"
+            )
+        if coalesce_max < 1:
+            raise ValueError(f"coalesce_max must be >= 1, got {coalesce_max}")
+        self.service = service
+        self.stats = ServerStats()
+        self.max_in_flight = max_in_flight
+        self.max_queue_depth = max_queue_depth
+        self.coalesce_window_s = coalesce_window_s
+        self.coalesce_max = coalesce_max
+        self._host = host
+        self._port = port
+        self._close_service = close_service
+        self._server: asyncio.base_events.Server | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._queue: asyncio.Queue | None = None
+        self._semaphore: asyncio.Semaphore | None = None
+        self._coalescer: asyncio.Task | None = None
+        self._dispatch_tasks: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._active_requests = 0
+        self._all_idle: asyncio.Event | None = None
+        self._waiting_slots = 0
+        self._draining = False
+        self._drained = False
+        self.address: tuple[str, int] | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the bound ``(host, port)``."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue()
+        self._semaphore = asyncio.Semaphore(self.max_in_flight)
+        self._all_idle = asyncio.Event()
+        self._all_idle.set()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+        # Only after the bind succeeded: a failed start must not leave
+        # an orphaned coalescer task behind.
+        self._coalescer = self._loop.create_task(self._coalesce_loop())
+        self.address = self._server.sockets[0].getsockname()[:2]
+        return self.address
+
+    async def drain(self) -> None:
+        """Graceful shutdown: stop accepting, finish in-flight
+        requests (queued coalesced queries included), then close the
+        underlying service. Idempotent."""
+        if self._server is None or self._drained:
+            return
+        self._draining = True
+        self.stats.draining = True
+        self._server.close()
+        await self._server.wait_closed()
+        # Every admitted request completes: /query futures are resolved
+        # by the still-running coalescer, so the idle wait cannot hang.
+        await self._all_idle.wait()
+        self._queue.put_nowait(_STOP)
+        await self._coalescer
+        if self._dispatch_tasks:
+            await asyncio.gather(
+                *list(self._dispatch_tasks), return_exceptions=True
+            )
+        for writer in list(self._writers):
+            writer.close()
+        self._drained = True
+        if self._close_service:
+            await asyncio.to_thread(self.service.close)
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (the asyncio-native entry point)."""
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.stats.count(connections=1)
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except ProtocolError as exc:
+                    self.stats.count(requests=1, responses=1, client_errors=1)
+                    writer.write(
+                        render_response(
+                            exc.status, {"error": str(exc)}, keep_alive=False
+                        )
+                    )
+                    await writer.drain()
+                    return
+                if request is None:
+                    return
+                status, payload = await self._handle_request(request)
+                keep_alive = request.keep_alive and not self._draining
+                writer.write(
+                    render_response(status, payload, keep_alive=keep_alive)
+                )
+                await writer.drain()
+                if not keep_alive:
+                    return
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _handle_request(
+        self, request: HttpRequest
+    ) -> tuple[int, Any]:
+        started = time.perf_counter()
+        self.stats.count(requests=1)
+        self._active_requests += 1
+        self._all_idle.clear()
+        try:
+            status, payload = await self._route(request)
+        except ProtocolError as exc:
+            status, payload = exc.status, {"error": str(exc)}
+        except GPCError as exc:
+            # Library errors are the client's: bad syntax, unknown ids,
+            # type errors. The message names the exception class so the
+            # caller can tell a ParseError from an UnknownIdError.
+            status, payload = 400, {
+                "error": f"{type(exc).__name__}: {exc}"
+            }
+        except Exception as exc:  # pragma: no cover - defensive
+            status, payload = 500, {
+                "error": f"internal error: {type(exc).__name__}: {exc}"
+            }
+        finally:
+            self._active_requests -= 1
+            if self._active_requests == 0:
+                self._all_idle.set()
+        if status == 200:
+            self.stats.count(responses=1)
+        elif status in (429, 503):
+            self.stats.count(responses=1, rejected=1)
+        elif status < 500:
+            self.stats.count(responses=1, client_errors=1)
+        else:
+            self.stats.count(responses=1, server_errors=1)
+        self.stats.latency.record(time.perf_counter() - started)
+        return status, payload
+
+    async def _route(self, request: HttpRequest) -> tuple[int, Any]:
+        methods = self.ROUTES.get(request.path)
+        if methods is None:
+            raise ProtocolError(404, f"no such endpoint {request.path!r}")
+        if request.method not in methods:
+            raise ProtocolError(
+                405, f"{request.path} expects {' or '.join(methods)}"
+            )
+        if request.path == "/healthz":
+            return 200, {
+                "status": "draining" if self._draining else "ok",
+                "version": self.service.version,
+                "draining": self._draining,
+            }
+        if request.path == "/stats":
+            return 200, self.stats.as_dict(self.service.stats)
+        if self._draining:
+            raise ProtocolError(503, "server is draining")
+        if request.path == "/query":
+            return await self._handle_query(request)
+        if request.path == "/batch":
+            return await self._handle_batch(request)
+        if request.path == "/mutate":
+            return await self._handle_mutate(request)
+        return await self._handle_explain(request)
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+
+    async def _handle_query(self, request: HttpRequest) -> tuple[int, Any]:
+        body = json_body(request)
+        if not isinstance(body, dict) or not isinstance(
+            body.get("query"), str
+        ):
+            raise ProtocolError(400, 'body must be {"query": "<gpc>", ...}')
+        if self._queue.qsize() >= self.max_queue_depth:
+            raise ProtocolError(429, "query queue is full, retry later")
+        future = self._loop.create_future()
+        self.stats.count(queries=1)
+        self._queue.put_nowait(
+            _Pending(body["query"], bool(body.get("use_cache", True)), future)
+        )
+        result = await future
+        version = self.service.version
+        # Small payloads encode inline; big answer sets hop to a
+        # worker thread so serialisation never stalls the event loop
+        # (and every other connection) for milliseconds.
+        if len(result) <= ENCODE_INLINE_LIMIT:
+            payload = wire.encode_answers(result)
+            payload["version"] = version
+            return 200, payload
+        return 200, await asyncio.to_thread(
+            self._render_answers, result, version
+        )
+
+    async def _handle_batch(self, request: HttpRequest) -> tuple[int, Any]:
+        body = json_body(request)
+        queries = body.get("queries") if isinstance(body, dict) else None
+        if not isinstance(queries, list) or not all(
+            isinstance(query, str) for query in queries
+        ):
+            raise ProtocolError(400, 'body must be {"queries": ["<gpc>", ...]}')
+        use_cache = bool(body.get("use_cache", True))
+        async with self._slot():
+            outcomes = await asyncio.to_thread(
+                self.service.evaluate_batch,
+                queries,
+                use_cache=use_cache,
+                return_exceptions=True,
+            )
+        self.stats.count(batches=1)
+        version = self.service.version
+        # Batches can carry arbitrarily many answer sets: always
+        # serialise off the event loop.
+        return 200, await asyncio.to_thread(
+            self._render_batch, outcomes, version
+        )
+
+    async def _handle_mutate(self, request: HttpRequest) -> tuple[int, Any]:
+        body = json_body(request)
+        ops = body.get("ops") if isinstance(body, dict) else None
+        if not isinstance(ops, list):
+            raise ProtocolError(400, 'body must be {"ops": [{...}, ...]}')
+        async with self._slot():
+            results = await asyncio.to_thread(self._apply_mutations, ops)
+        self.stats.count(mutations=len(ops))
+        return 200, {"results": results, "version": self.service.version}
+
+    async def _handle_explain(self, request: HttpRequest) -> tuple[int, Any]:
+        query = request.params.get("query")
+        if not query:
+            raise ProtocolError(400, "/explain expects ?query=<gpc>")
+        async with self._slot():
+            text = await asyncio.to_thread(self.service.explain, query)
+        return 200, {"explain": text, "version": self.service.version}
+
+    def _render_answers(self, result, version: int) -> PreRendered:
+        payload = wire.encode_answers(result)
+        payload["version"] = version
+        return PreRendered(
+            json.dumps(payload, sort_keys=True).encode("utf-8")
+        )
+
+    def _render_batch(self, outcomes, version: int) -> PreRendered:
+        results: list[Any] = []
+        for outcome in outcomes:
+            if isinstance(outcome, Exception):
+                results.append(
+                    {"error": f"{type(outcome).__name__}: {outcome}"}
+                )
+            else:
+                results.append(wire.encode_answers(outcome))
+        return PreRendered(
+            json.dumps(
+                {"results": results, "version": version}, sort_keys=True
+            ).encode("utf-8")
+        )
+
+    # ------------------------------------------------------------------
+    # Admission control
+    # ------------------------------------------------------------------
+
+    def _slot(self) -> "_SlotContext":
+        """One bounded in-flight evaluation slot; sheds with 429 when
+        ``max_queue_depth`` requests are already waiting for one."""
+        return _SlotContext(self)
+
+    # ------------------------------------------------------------------
+    # The micro-batch coalescer
+    # ------------------------------------------------------------------
+
+    async def _coalesce_loop(self) -> None:
+        while True:
+            item = await self._queue.get()
+            if item is _STOP:
+                return
+            if self.coalesce_window_s > 0 and not self._draining:
+                # The coalescing window: linger briefly so concurrent
+                # arrivals land in this batch instead of the next.
+                await asyncio.sleep(self.coalesce_window_s)
+            batch = [item]
+            stop_seen = False
+            while len(batch) < self.coalesce_max:
+                try:
+                    extra = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if extra is _STOP:
+                    stop_seen = True
+                    break
+                batch.append(extra)
+            # Acquiring the slot *before* spawning keeps dispatches
+            # bounded by max_in_flight; arrivals during the wait pile
+            # up in the queue and coalesce into the next batch.
+            await self._semaphore.acquire()
+            task = self._loop.create_task(self._dispatch(batch))
+            self._dispatch_tasks.add(task)
+            task.add_done_callback(self._dispatch_tasks.discard)
+            if stop_seen:
+                return
+
+    async def _dispatch(self, batch: list[_Pending]) -> None:
+        try:
+            self.stats.record_dispatch(len(batch))
+            for flag in (True, False):
+                group = [p for p in batch if p.use_cache is flag]
+                if not group:
+                    continue
+                queries = [pending.query for pending in group]
+                try:
+                    outcomes = await asyncio.to_thread(
+                        self.service.evaluate_batch,
+                        queries,
+                        use_cache=flag,
+                        return_exceptions=True,
+                    )
+                except Exception as exc:
+                    outcomes = [exc] * len(group)
+                for pending, outcome in zip(group, outcomes):
+                    if pending.future.done():
+                        continue
+                    if isinstance(outcome, Exception):
+                        pending.future.set_exception(outcome)
+                    else:
+                        pending.future.set_result(outcome)
+        finally:
+            self._semaphore.release()
+
+    # ------------------------------------------------------------------
+    # Mutations (run in a worker thread)
+    # ------------------------------------------------------------------
+
+    def _apply_mutations(self, ops: list) -> list:
+        """Apply ops in order through the service's locking
+        delegations. Non-transactional: a failing op stops the run and
+        surfaces as 400, earlier ops stay applied (the response's
+        ``applied`` count says how many)."""
+        results: list = []
+        for index, op in enumerate(ops):
+            try:
+                results.append(self._apply_one(op))
+            except ProtocolError:
+                raise
+            except GPCError as exc:
+                raise ProtocolError(
+                    400,
+                    f"op {index} failed after {index} applied: "
+                    f"{type(exc).__name__}: {exc}",
+                ) from exc
+        return results
+
+    def _apply_one(self, op: Any) -> Any:
+        if not isinstance(op, dict) or not isinstance(op.get("op"), str):
+            raise ProtocolError(400, f'malformed op {op!r}: expected {{"op": ...}}')
+        kind = op["op"]
+        service = self.service
+        if kind == "add_node":
+            node = service.add_node(
+                wire._decode_key(op.get("key")),
+                op.get("labels", ()),
+                op.get("properties") or None,
+            )
+            return wire.encode_id(node)
+        if kind == "add_edge":
+            edge = service.add_edge(
+                wire._decode_key(op.get("key")),
+                NodeId(wire._decode_key(op.get("source"))),
+                NodeId(wire._decode_key(op.get("target"))),
+                op.get("labels", ()),
+                op.get("properties") or None,
+            )
+            return wire.encode_id(edge)
+        if kind == "add_undirected_edge":
+            edge = service.add_undirected_edge(
+                wire._decode_key(op.get("key")),
+                NodeId(wire._decode_key(op.get("endpoint_a"))),
+                NodeId(wire._decode_key(op.get("endpoint_b"))),
+                op.get("labels", ()),
+                op.get("properties") or None,
+            )
+            return wire.encode_id(edge)
+        if kind == "set_property":
+            service.set_property(
+                wire.decode_id(op.get("element")),
+                op.get("key"),
+                op.get("value"),
+            )
+            return None
+        if kind == "remove_node":
+            service.remove_node(NodeId(wire._decode_key(op.get("key"))))
+            return None
+        if kind == "remove_edge":
+            service.remove_edge(
+                DirectedEdgeId(wire._decode_key(op.get("key")))
+            )
+            return None
+        if kind == "remove_undirected_edge":
+            service.remove_undirected_edge(
+                UndirectedEdgeId(wire._decode_key(op.get("key")))
+            )
+            return None
+        raise ProtocolError(400, f"unknown mutation op {kind!r}")
+
+    def __repr__(self) -> str:
+        where = f"{self.address[0]}:{self.address[1]}" if self.address else "unbound"
+        return (
+            f"GraphServer({where}, service={type(self.service).__name__}, "
+            f"draining={self._draining})"
+        )
+
+
+class _SlotContext:
+    """``async with`` admission into the bounded in-flight semaphore."""
+
+    __slots__ = ("_server",)
+
+    def __init__(self, server: GraphServer):
+        self._server = server
+
+    async def __aenter__(self) -> None:
+        server = self._server
+        if server._waiting_slots >= server.max_queue_depth:
+            raise ProtocolError(429, "server is saturated, retry later")
+        server._waiting_slots += 1
+        try:
+            await server._semaphore.acquire()
+        finally:
+            server._waiting_slots -= 1
+
+    async def __aexit__(self, *exc_info) -> None:
+        self._server._semaphore.release()
+
+
+# ---------------------------------------------------------------------------
+# Background serving for synchronous callers (tests, benches, demos)
+# ---------------------------------------------------------------------------
+
+
+class ServerHandle:
+    """A :class:`GraphServer` running on a dedicated event-loop thread.
+
+    ``stop()`` drains gracefully and joins the thread; the handle is a
+    context manager so tests and demos cannot leak the loop.
+    """
+
+    def __init__(
+        self,
+        server: GraphServer,
+        loop: asyncio.AbstractEventLoop,
+        thread: threading.Thread,
+    ):
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.server.address
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Drain the server, stop the loop, join the thread (idempotent)."""
+        if self._thread.is_alive():
+            asyncio.run_coroutine_threadsafe(
+                self.server.drain(), self._loop
+            ).result(timeout)
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve_background(service, **kwargs) -> ServerHandle:
+    """Start a :class:`GraphServer` on its own daemon thread.
+
+    Blocks until the socket is bound and returns a
+    :class:`ServerHandle` whose ``address`` is ready to connect to.
+    Startup failures (e.g. a taken port) re-raise in the caller.
+    """
+    server = GraphServer(service, **kwargs)
+    started = threading.Event()
+    holder: dict[str, Any] = {}
+
+    def run() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        holder["loop"] = loop
+        try:
+            loop.run_until_complete(server.start())
+        except BaseException as exc:  # startup failed: surface it
+            holder["error"] = exc
+            started.set()
+            loop.close()
+            return
+        started.set()
+        try:
+            loop.run_forever()
+        finally:
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            loop.close()
+
+    thread = threading.Thread(target=run, daemon=True, name="gpc-server")
+    thread.start()
+    started.wait()
+    error = holder.get("error")
+    if error is not None:
+        thread.join()
+        raise error
+    return ServerHandle(server, holder["loop"], thread)

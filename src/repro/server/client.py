@@ -1,0 +1,136 @@
+"""A minimal blocking HTTP client for the serving front end.
+
+Used by the benchmarks, examples and tests; also the reference for
+what a real client must do: POST JSON, check the status, and decode
+answer payloads back into ``frozenset[Answer]`` with
+:func:`repro.server.wire.decode_answers` — after which results compare
+``==`` against a local :meth:`GraphService.evaluate`.
+
+Built on :mod:`http.client` (stdlib), one keep-alive connection per
+instance. Not thread-safe: give each client thread its own instance
+(connections are cheap; the server multiplexes them all).
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection
+from typing import Any
+
+from repro.errors import WireError
+from repro.gpc.answers import Answer
+from repro.server import wire
+
+__all__ = ["HttpServiceClient", "ServerReply", "HttpServiceError"]
+
+
+class HttpServiceError(WireError):
+    """A non-2xx reply; carries the HTTP status and decoded body."""
+
+    def __init__(self, status: int, payload: Any):
+        message = payload.get("error") if isinstance(payload, dict) else None
+        super().__init__(f"HTTP {status}: {message or payload!r}")
+        self.status = status
+        self.payload = payload
+
+
+class ServerReply:
+    """One decoded reply: status plus the JSON payload."""
+
+    __slots__ = ("status", "payload")
+
+    def __init__(self, status: int, payload: Any):
+        self.status = status
+        self.payload = payload
+
+    def raise_for_status(self) -> "ServerReply":
+        if not 200 <= self.status < 300:
+            raise HttpServiceError(self.status, self.payload)
+        return self
+
+
+class HttpServiceClient:
+    """Talk to one :class:`~repro.server.app.GraphServer`."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self._conn = HTTPConnection(host, port, timeout=timeout)
+
+    # -- transport ------------------------------------------------------
+
+    def request(
+        self, method: str, path: str, body: Any | None = None
+    ) -> ServerReply:
+        """One round trip; GETs reconnect once if the keep-alive
+        connection was closed server-side (e.g. after a drain notice).
+
+        Non-idempotent requests are never replayed: once a POST may
+        have reached the server (the connection died mid-exchange), a
+        blind retry could apply ``/mutate`` ops twice — the caller
+        gets the connection error and decides.
+        """
+        encoded = None if body is None else json.dumps(body).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if encoded else {}
+        try:
+            self._conn.request(method, path, body=encoded, headers=headers)
+            response = self._conn.getresponse()
+        except (ConnectionError, BrokenPipeError, OSError):
+            self._conn.close()
+            if method != "GET":
+                raise
+            self._conn.connect()
+            self._conn.request(method, path, body=encoded, headers=headers)
+            response = self._conn.getresponse()
+        raw = response.read()
+        payload = json.loads(raw) if raw else None
+        return ServerReply(response.status, payload)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "HttpServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- endpoints ------------------------------------------------------
+
+    def query(self, text: str, *, use_cache: bool = True) -> frozenset[Answer]:
+        """``POST /query`` decoded back to the exact answer frozenset."""
+        reply = self.request(
+            "POST", "/query", {"query": text, "use_cache": use_cache}
+        ).raise_for_status()
+        return wire.decode_answers(reply.payload)
+
+    def batch(
+        self, queries: list[str], *, use_cache: bool = True
+    ) -> "list[frozenset[Answer] | HttpServiceError]":
+        """``POST /batch``; failing positions hold the error object."""
+        reply = self.request(
+            "POST", "/batch", {"queries": queries, "use_cache": use_cache}
+        ).raise_for_status()
+        results: list = []
+        for item in reply.payload["results"]:
+            if "error" in item:
+                results.append(HttpServiceError(400, item))
+            else:
+                results.append(wire.decode_answers(item))
+        return results
+
+    def mutate(self, ops: list[dict]) -> ServerReply:
+        """``POST /mutate`` (ops apply in order; see the server docs)."""
+        return self.request("POST", "/mutate", {"ops": ops}).raise_for_status()
+
+    def explain(self, text: str) -> str:
+        from urllib.parse import quote
+
+        reply = self.request(
+            "GET", f"/explain?query={quote(text)}"
+        ).raise_for_status()
+        return reply.payload["explain"]
+
+    def stats(self) -> dict:
+        return self.request("GET", "/stats").raise_for_status().payload
+
+    def healthz(self) -> dict:
+        return self.request("GET", "/healthz").raise_for_status().payload

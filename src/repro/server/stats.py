@@ -1,0 +1,104 @@
+"""Serving metrics for the HTTP front end.
+
+:class:`ServerStats` covers what the transport layer adds on top of
+the service runtime: request/response counts per endpoint outcome,
+admission-control sheds, micro-batch coalescing effectiveness, and
+end-to-end request latency (queueing + coalescing + evaluation +
+serialisation — a superset of the service-level evaluation latency).
+
+``as_dict()`` composes the owning service's own
+:meth:`~repro.service.stats.ServiceStats.as_dict` /
+:meth:`~repro.cluster.stats.ClusterStats.as_dict` payload under the
+``"service"`` key, so one ``GET /stats`` scrape carries the whole
+serving stack.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.service.stats import LatencyRecorder
+
+__all__ = ["ServerStats"]
+
+
+@dataclass
+class ServerStats:
+    """Aggregate metrics exposed by :class:`~repro.server.app.GraphServer`.
+
+    ``rejected`` counts requests shed by admission control (429 queue
+    overflow and 503 draining) — they never reach the service, so the
+    service-level counters stay clean. ``coalesced`` counts ``/query``
+    requests that shared an ``evaluate_batch`` dispatch with at least
+    one concurrent sibling; ``dispatches`` is the number of batch
+    dispatches, so ``queries / dispatches`` is the mean coalesce factor.
+    """
+
+    connections: int = 0
+    requests: int = 0
+    responses: int = 0
+    #: Admission-control sheds (429 queue-depth overflow + 503 drain).
+    rejected: int = 0
+    #: 4xx answers that reached a handler (bad JSON, parse errors, ...).
+    client_errors: int = 0
+    #: Unexpected 5xx answers.
+    server_errors: int = 0
+    #: ``/query`` requests admitted into the coalescing queue.
+    queries: int = 0
+    #: ``evaluate_batch`` dispatches issued by the coalescer.
+    dispatches: int = 0
+    #: Queries that rode a dispatch with >= 2 members.
+    coalesced: int = 0
+    #: Size of the largest coalesced dispatch so far.
+    max_batch: int = 0
+    batches: int = 0
+    mutations: int = 0
+    draining: bool = False
+    latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
+
+    def count(self, **deltas: int) -> None:
+        """Atomically bump the named integer counters."""
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
+    def record_dispatch(self, size: int) -> None:
+        """Account one coalesced ``evaluate_batch`` dispatch of ``size``."""
+        with self._lock:
+            self.dispatches += 1
+            if size > 1:
+                self.coalesced += size
+            if size > self.max_batch:
+                self.max_batch = size
+
+    def as_dict(self, service_stats: "object | None" = None) -> dict[str, object]:
+        """A JSON-serialisable flattening of every transport metric.
+
+        Pass the owning service's stats object (anything with an
+        ``as_dict()``) to compose its payload under ``"service"`` —
+        the shape ``GET /stats`` serves.
+        """
+        with self._lock:
+            payload: dict[str, object] = {
+                "connections": self.connections,
+                "requests": self.requests,
+                "responses": self.responses,
+                "rejected": self.rejected,
+                "client_errors": self.client_errors,
+                "server_errors": self.server_errors,
+                "queries": self.queries,
+                "dispatches": self.dispatches,
+                "coalesced": self.coalesced,
+                "max_batch": self.max_batch,
+                "batches": self.batches,
+                "mutations": self.mutations,
+                "draining": self.draining,
+            }
+        payload["latency"] = self.latency.summary()
+        if service_stats is not None:
+            payload["service"] = service_stats.as_dict()
+        return payload

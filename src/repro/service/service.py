@@ -282,11 +282,20 @@ class GraphService:
             self.stats.batches += 1
         if not queries:
             return []
-        executor = self._ensure_executor()
-        futures = [
-            executor.submit(self.evaluate, query, config, use_cache=use_cache)
-            for query in queries
-        ]
+        # Submit inside the same lock window that resolves the
+        # executor: close() swaps the executor out under this lock and
+        # only then shuts it down, so a concurrent close can never
+        # invalidate the pool between _ensure_executor and submit
+        # ("cannot schedule new futures after shutdown"). close(wait=
+        # True) still lets everything submitted here run to completion.
+        with self._lock:
+            executor = self._ensure_executor()
+            futures = [
+                executor.submit(
+                    self.evaluate, query, config, use_cache=use_cache
+                )
+                for query in queries
+            ]
         outcomes: list = []
         for future in futures:
             try:

@@ -112,14 +112,24 @@ class LatencyRecorder:
         the summary is internally consistent even under concurrent
         ``record`` calls (and three times cheaper than re-locking and
         re-sorting per percentile).
+
+        ``mean_s`` and the percentiles all describe the *retained
+        window* — once the reservoir wraps, an all-time mean next to
+        windowed percentiles would mix two populations and drift apart
+        from them. The all-time figures stay available under their own
+        keys: ``count`` / ``total_s`` (with ``window`` saying how many
+        samples the distribution figures summarise).
         """
         with self._lock:
             window = sorted(self._samples)
             count = self._count
             total = self._total
+        retained = len(window)
         return {
             "count": count,
-            "mean_s": total / count if count else 0.0,
+            "total_s": total,
+            "window": retained,
+            "mean_s": sum(window) / retained if retained else 0.0,
             "p50_s": _nearest_rank(window, 50),
             "p90_s": _nearest_rank(window, 90),
             "p99_s": _nearest_rank(window, 99),

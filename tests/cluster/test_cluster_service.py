@@ -282,3 +282,104 @@ class TestCustomInjection:
     def test_worker_validation(self):
         with pytest.raises(ValueError):
             ClusterService(_graph(), num_workers=0, backend="serial")
+
+
+class _CountingBackend(SerialBackend):
+    """A serial backend that records every ``run`` invocation."""
+
+    def __init__(self):
+        super().__init__()
+        self.runs = 0
+        self.call_counts: list[int] = []
+
+    def run(self, snapshot, calls, delta_source=None):
+        self.runs += 1
+        self.call_counts.append(len(calls))
+        return super().run(snapshot, calls, delta_source)
+
+
+class TestEmptyScatter:
+    """Regression: a batch whose every query cache-hits (or fails
+    before scattering) produces zero shard calls — the backend must
+    not be invoked at all, because on the process backend ``run``
+    warms the pool and ships a snapshot even for an empty call list."""
+
+    def test_all_hit_batch_never_invokes_backend(self):
+        backend = _CountingBackend()
+        with ClusterService(
+            _graph(), backend=backend, num_workers=2
+        ) as cluster:
+            expected = [cluster.evaluate(text) for text in QUERIES[:3]]
+            runs_before = backend.runs
+            results = cluster.evaluate_batch(QUERIES[:3])
+            assert backend.runs == runs_before, (
+                "all-hit batch reached the backend"
+            )
+            assert results == expected
+            assert cluster.stats.result_cache.hits >= 3
+
+    def test_all_failed_prescatter_batch_never_invokes_backend(self):
+        backend = _CountingBackend()
+        with ClusterService(_graph(), backend=backend) as cluster:
+            results = cluster.evaluate_batch(
+                ["TRAIL (x", "SIMPLE )y("], return_exceptions=True
+            )
+            assert backend.runs == 0
+            assert all(isinstance(item, Exception) for item in results)
+
+    def test_mixed_batch_scatters_only_the_misses(self):
+        backend = _CountingBackend()
+        with ClusterService(
+            _graph(), backend=backend, num_workers=2
+        ) as cluster:
+            hit = cluster.evaluate(QUERIES[0])
+            runs_before = backend.runs
+            results = cluster.evaluate_batch([QUERIES[0], QUERIES[1]])
+            assert backend.runs == runs_before + 1
+            assert results[0] == hit
+            assert results[1] == cluster.evaluate(QUERIES[1])
+
+
+class TestSnapshotStats:
+    """Regression: ``ClusterService.snapshot()`` used to skip the
+    ``snapshots_built`` / ``snapshots_derived`` accounting that
+    ``GraphService.snapshot()`` performs, so cluster dashboards read 0
+    forever."""
+
+    def test_snapshot_build_and_derive_counters(self):
+        with ClusterService(_graph(), backend="serial") as cluster:
+            assert cluster.stats.snapshots_built == 0
+            cluster.evaluate(QUERIES[0])
+            assert cluster.stats.snapshots_built == 1
+            cluster.evaluate(QUERIES[1])  # same version: memoised
+            assert cluster.stats.snapshots_built == 1
+            cluster.add_node("fresh", ["Person"], {"name": "Fresh"})
+            cluster.evaluate(QUERIES[0])
+            assert cluster.stats.snapshots_built == 2
+            # A one-delta advance takes the incremental derive path.
+            assert cluster.stats.snapshots_derived == 1
+
+    def test_snapshot_counters_in_as_dict(self):
+        with ClusterService(_graph(), backend="serial") as cluster:
+            cluster.evaluate(QUERIES[0])
+            payload = cluster.stats.as_dict()
+            assert payload["snapshots_built"] == 1
+            assert payload["snapshots_derived"] == 0
+
+    def test_parity_with_graph_service(self):
+        service = GraphService(_graph())
+        with ClusterService(_graph(), backend="serial") as cluster:
+            for facade in (service, cluster):
+                facade.evaluate(QUERIES[0])
+                facade.add_node("fresh", ["Person"], {"name": "Fresh"})
+                facade.evaluate(QUERIES[0])
+            assert (
+                cluster.stats.snapshots_built
+                == service.stats.snapshots_built
+                == 2
+            )
+            assert (
+                cluster.stats.snapshots_derived
+                == service.stats.snapshots_derived
+            )
+        service.close()

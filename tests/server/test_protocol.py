@@ -1,0 +1,148 @@
+"""The minimal HTTP/1.1 layer: parsing, limits, response rendering."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.server.protocol import (
+    ProtocolError,
+    json_body,
+    read_request,
+    render_response,
+)
+
+
+def parse(raw: bytes, **kwargs):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, **kwargs)
+
+    return asyncio.run(go())
+
+
+class TestRequestParsing:
+    def test_get_with_query_string(self):
+        request = parse(
+            b"GET /explain?query=TRAIL%20(x)%20-%3E%20(y)&x=1 HTTP/1.1\r\n"
+            b"Host: localhost\r\n\r\n"
+        )
+        assert request.method == "GET"
+        assert request.path == "/explain"
+        assert request.params["query"] == "TRAIL (x) -> (y)"
+        assert request.params["x"] == "1"
+        assert request.body == b""
+        assert request.keep_alive
+
+    def test_post_with_body(self):
+        body = json.dumps({"query": "TRAIL (x) -> (y)"}).encode()
+        request = parse(
+            b"POST /query HTTP/1.1\r\nContent-Type: application/json\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        assert request.method == "POST"
+        assert json_body(request) == {"query": "TRAIL (x) -> (y)"}
+
+    def test_header_names_case_insensitive(self):
+        request = parse(
+            b"GET /healthz HTTP/1.1\r\nCoNnEcTiOn: ClOsE\r\n\r\n"
+        )
+        assert request.headers["connection"] == "ClOsE"
+        assert not request.keep_alive
+
+    def test_http10_defaults_to_close(self):
+        request = parse(b"GET /healthz HTTP/1.0\r\n\r\n")
+        assert not request.keep_alive
+        request = parse(
+            b"GET /healthz HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"
+        )
+        assert request.keep_alive
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_truncated_head_is_400(self):
+        with pytest.raises(ProtocolError) as info:
+            parse(b"GET /healthz HTT")
+        assert info.value.status == 400
+
+    def test_truncated_body_is_400(self):
+        with pytest.raises(ProtocolError) as info:
+            parse(
+                b"POST /query HTTP/1.1\r\nContent-Length: 100\r\n\r\nshort"
+            )
+        assert info.value.status == 400
+
+    @pytest.mark.parametrize(
+        "line",
+        [b"GARBAGE\r\n\r\n", b"GET /x HTTP/2\r\n\r\n", b"GET HTTP/1.1\r\n\r\n"],
+    )
+    def test_malformed_request_lines_are_400(self, line):
+        with pytest.raises(ProtocolError) as info:
+            parse(line)
+        assert info.value.status == 400
+
+    def test_bad_content_length_is_400(self):
+        with pytest.raises(ProtocolError) as info:
+            parse(b"POST /q HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+        assert info.value.status == 400
+
+    def test_oversized_body_is_413(self):
+        with pytest.raises(ProtocolError) as info:
+            parse(
+                b"POST /q HTTP/1.1\r\nContent-Length: 99\r\n\r\n",
+                max_body_bytes=10,
+            )
+        assert info.value.status == 413
+
+    def test_chunked_is_501(self):
+        with pytest.raises(ProtocolError) as info:
+            parse(
+                b"POST /q HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+            )
+        assert info.value.status == 501
+
+    def test_bad_json_body_is_400(self):
+        request = parse(
+            b"POST /q HTTP/1.1\r\nContent-Length: 4\r\n\r\n{oop"
+        )
+        with pytest.raises(ProtocolError) as info:
+            json_body(request)
+        assert info.value.status == 400
+
+    def test_missing_body_is_400(self):
+        request = parse(b"POST /q HTTP/1.1\r\n\r\n")
+        with pytest.raises(ProtocolError) as info:
+            json_body(request)
+        assert info.value.status == 400
+
+
+class TestResponseRendering:
+    def test_shape(self):
+        raw = render_response(200, {"b": 1, "a": 2})
+        head, _, body = raw.partition(b"\r\n\r\n")
+        lines = head.decode().split("\r\n")
+        assert lines[0] == "HTTP/1.1 200 OK"
+        assert "Content-Type: application/json" in lines
+        assert f"Content-Length: {len(body)}" in lines
+        assert "Connection: keep-alive" in lines
+        # Sorted keys: deterministic bytes for equal payloads.
+        assert body == b'{"a": 2, "b": 1}'
+
+    def test_close_and_extra_headers(self):
+        raw = render_response(
+            503, {"error": "draining"}, keep_alive=False,
+            headers={"Retry-After": "1"},
+        )
+        head = raw.partition(b"\r\n\r\n")[0].decode()
+        assert head.startswith("HTTP/1.1 503 Service Unavailable")
+        assert "Connection: close" in head
+        assert "Retry-After: 1" in head
+
+    def test_unknown_status_still_renders(self):
+        assert render_response(418, {}).startswith(b"HTTP/1.1 418 ")

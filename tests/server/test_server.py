@@ -1,0 +1,492 @@
+"""End-to-end tests for the HTTP serving front end.
+
+Covers every endpoint round trip, HTTP-vs-direct answer equality on
+randomized graphs over both service facades, admission-control sheds
+under a saturated semaphore, micro-batch coalescing, and graceful
+drain semantics.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.cluster import ClusterService
+from repro.graph.generators import social_network
+from repro.server import (
+    GraphServer,
+    HttpServiceClient,
+    HttpServiceError,
+    serve_background,
+)
+from repro.service import GraphService
+
+QUERY = "TRAIL (x:Person) -[:knows]-> (y:Person)"
+
+QUERIES = [
+    QUERY,
+    "SIMPLE (x:Person) ~[:married]~ (y:Person)",
+    "SHORTEST (x:Person) -[:knows]->{1,} (y:Person)",
+    "TRAIL (x:Person) [-[e:knows]->]{1,2} (y:Person)",
+    "TRAIL (x:Person) -[:knows]-> (y:Person), "
+    "TRAIL (y:Person) -[:lives_in]-> (c:City)",
+]
+
+
+def _graph(seed: int = 11):
+    return social_network(num_people=12, friend_degree=2, seed=seed)
+
+
+@pytest.fixture
+def served():
+    """A GraphService behind a background server, plus a client."""
+    service = GraphService(_graph())
+    with serve_background(service) as handle:
+        with HttpServiceClient(*handle.address) as client:
+            yield handle, client, service
+
+
+class TestEndpointRoundTrips:
+    def test_healthz(self, served):
+        _, client, service = served
+        payload = client.healthz()
+        assert payload["status"] == "ok"
+        assert payload["version"] == service.version
+        assert payload["draining"] is False
+
+    def test_query_round_trip(self, served):
+        _, client, service = served
+        assert client.query(QUERY) == service.evaluate(QUERY)
+
+    def test_batch_round_trip(self, served):
+        _, client, service = served
+        results = client.batch(QUERIES[:3])
+        for text, result in zip(QUERIES[:3], results):
+            assert result == service.evaluate(text)
+
+    def test_batch_keeps_siblings_on_error(self, served):
+        _, client, service = served
+        results = client.batch([QUERY, "TRAIL (broken", QUERIES[1]])
+        assert results[0] == service.evaluate(QUERY)
+        assert isinstance(results[1], HttpServiceError)
+        assert "ParseError" in str(results[1])
+        assert results[2] == service.evaluate(QUERIES[1])
+
+    def test_mutate_full_surface(self, served):
+        _, client, service = served
+        before = service.version
+        reply = client.mutate(
+            [
+                {"op": "add_node", "key": "n1", "labels": ["Person"],
+                 "properties": {"name": "N1"}},
+                {"op": "add_node", "key": "n2", "labels": ["Person"]},
+                {"op": "add_edge", "key": "k12", "source": "n1",
+                 "target": "n2", "labels": ["knows"]},
+                {"op": "add_undirected_edge", "key": "m12",
+                 "endpoint_a": "n1", "endpoint_b": "n2",
+                 "labels": ["married"]},
+                {"op": "set_property", "element": {"n": "n1"},
+                 "key": "name", "value": "renamed"},
+                {"op": "remove_undirected_edge", "key": "m12"},
+                {"op": "remove_edge", "key": "k12"},
+                {"op": "remove_node", "key": "n2"},
+            ]
+        )
+        assert reply.payload["version"] == service.version > before
+        results = reply.payload["results"]
+        assert results[0] == {"n": "n1"}
+        assert results[2] == {"d": "k12"}
+        assert results[3] == {"u": "m12"}
+        # The mutations really happened (and the caches track them):
+        from repro.graph.ids import NodeId
+
+        assert service.graph.has_node(NodeId("n1"))
+        assert not service.graph.has_node(NodeId("n2"))
+        assert (
+            service.graph.get_property(NodeId("n1"), "name") == "renamed"
+        )
+
+    def test_mutation_visible_to_queries(self, served):
+        _, client, service = served
+        baseline = len(client.query(QUERY))
+        client.mutate(
+            [
+                {"op": "add_node", "key": "x1", "labels": ["Person"]},
+                {"op": "add_node", "key": "x2", "labels": ["Person"]},
+                {"op": "add_edge", "key": "xe", "source": "x1",
+                 "target": "x2", "labels": ["knows"]},
+            ]
+        )
+        assert len(client.query(QUERY)) == baseline + 1
+
+    def test_mutate_failure_reports_applied_prefix(self, served):
+        _, client, service = served
+        reply = client.request(
+            "POST",
+            "/mutate",
+            {"ops": [
+                {"op": "add_node", "key": "ok1", "labels": ["Person"]},
+                {"op": "add_node", "key": "ok1"},  # duplicate: fails
+            ]},
+        )
+        assert reply.status == 400
+        assert "op 1 failed after 1 applied" in reply.payload["error"]
+        from repro.graph.ids import NodeId
+
+        assert service.graph.has_node(NodeId("ok1"))
+
+    def test_unknown_op_is_400(self, served):
+        _, client, _ = served
+        reply = client.request(
+            "POST", "/mutate", {"ops": [{"op": "explode"}]}
+        )
+        assert reply.status == 400
+
+    def test_explain(self, served):
+        _, client, service = served
+        text = client.explain(QUERIES[2])
+        assert text == service.explain(QUERIES[2])
+        assert "plan:" in text
+
+    def test_stats_composed(self, served):
+        _, client, service = served
+        client.query(QUERY)
+        payload = client.stats()
+        assert payload["queries"] >= 1
+        assert payload["dispatches"] >= 1
+        assert payload["rejected"] == 0
+        assert payload["service"]["queries"] == service.stats.queries
+        assert "latency" in payload and "p99_s" in payload["latency"]
+
+    def test_http_errors(self, served):
+        _, client, _ = served
+        assert client.request("GET", "/nope").status == 404
+        assert client.request("GET", "/query").status == 405
+        assert client.request("POST", "/query", {"nope": 1}).status == 400
+        assert client.request("GET", "/explain").status == 400
+        reply = client.request("POST", "/query", {"query": "TRAIL (x"})
+        assert reply.status == 400
+        assert "ParseError" in reply.payload["error"]
+
+    def test_keep_alive_connection_reused(self, served):
+        handle, client, _ = served
+        for _ in range(3):
+            client.healthz()
+        # One client connection serves all three requests.
+        assert handle.server.stats.connections == 1
+
+
+class TestAnswerEquality:
+    """The acceptance bar: HTTP-decoded answers are frozenset-identical
+    to direct evaluation, on randomized graphs, over both facades."""
+
+    @pytest.mark.parametrize("seed", [3, 17, 29])
+    def test_graph_service(self, seed):
+        reference = GraphService(_graph(seed))
+        expected = {
+            text: reference.evaluate(text, use_cache=False)
+            for text in QUERIES
+        }
+        reference.close()
+        with serve_background(GraphService(_graph(seed))) as handle:
+            with HttpServiceClient(*handle.address) as client:
+                for text in QUERIES:
+                    assert client.query(text) == expected[text]
+
+    @pytest.mark.parametrize("seed", [3, 17])
+    def test_cluster_service(self, seed):
+        reference = GraphService(_graph(seed))
+        expected = {
+            text: reference.evaluate(text, use_cache=False)
+            for text in QUERIES
+        }
+        reference.close()
+        cluster = ClusterService(
+            _graph(seed), backend="serial", num_workers=3
+        )
+        with serve_background(cluster) as handle:
+            with HttpServiceClient(*handle.address) as client:
+                for text in QUERIES:
+                    assert client.query(text) == expected[text]
+                results = client.batch(QUERIES)
+                for text, result in zip(QUERIES, results):
+                    assert result == expected[text]
+
+
+class _BlockingService(GraphService):
+    """Evaluation blocks until the gate opens — makes saturation and
+    drain windows deterministic."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.gate = threading.Event()
+
+    def evaluate_batch(self, queries, *args, **kwargs):
+        assert self.gate.wait(30.0), "test gate never opened"
+        return super().evaluate_batch(queries, *args, **kwargs)
+
+
+class TestAdmissionControl:
+    def test_query_queue_overflow_sheds_429(self):
+        service = _BlockingService(_graph())
+        with serve_background(
+            service,
+            max_in_flight=1,
+            max_queue_depth=1,
+            coalesce_max=1,
+            coalesce_window_s=0.0,
+        ) as handle:
+            clients = [HttpServiceClient(*handle.address) for _ in range(4)]
+            try:
+                replies: dict[int, int] = {}
+
+                def fire(index):
+                    replies[index] = clients[index].request(
+                        "POST", "/query", {"query": QUERY}
+                    ).status
+
+                threads = []
+                # 1st: dispatched (blocked on the gate, slot held);
+                # 2nd: popped by the coalescer, waiting for the slot;
+                # 3rd: sits in the queue (depth 1 reached).
+                for index in range(3):
+                    thread = threading.Thread(target=fire, args=(index,))
+                    thread.start()
+                    threads.append(thread)
+                    time.sleep(0.15)
+                # 4th: the queue is full -> shed, never evaluated.
+                shed = clients[3].request(
+                    "POST", "/query", {"query": QUERY}
+                )
+                assert shed.status == 429
+                service.gate.set()
+                for thread in threads:
+                    thread.join(30.0)
+                assert [replies[i] for i in range(3)] == [200, 200, 200]
+                stats = handle.server.stats
+                assert stats.rejected >= 1
+            finally:
+                service.gate.set()
+                for client in clients:
+                    client.close()
+
+    def test_batch_semaphore_saturation_sheds_429(self):
+        service = _BlockingService(_graph())
+        with serve_background(
+            service,
+            max_in_flight=1,
+            max_queue_depth=1,
+            coalesce_window_s=0.0,
+        ) as handle:
+            first = HttpServiceClient(*handle.address)
+            second = HttpServiceClient(*handle.address)
+            third = HttpServiceClient(*handle.address)
+            try:
+                statuses: dict[str, int] = {}
+
+                def fire(name, client):
+                    statuses[name] = client.request(
+                        "POST", "/batch", {"queries": [QUERY]}
+                    ).status
+
+                a = threading.Thread(target=fire, args=("a", first))
+                a.start()
+                time.sleep(0.15)  # a holds the only slot (gate-blocked)
+                b = threading.Thread(target=fire, args=("b", second))
+                b.start()
+                time.sleep(0.15)  # b waits for the slot: depth 1 used
+                shed = third.request("POST", "/batch", {"queries": [QUERY]})
+                assert shed.status == 429
+                assert handle.server.stats.rejected >= 1
+                service.gate.set()
+                a.join(30.0)
+                b.join(30.0)
+                assert statuses == {"a": 200, "b": 200}
+            finally:
+                service.gate.set()
+                for client in (first, second, third):
+                    client.close()
+
+    def test_rejected_never_reaches_the_service(self):
+        service = _BlockingService(_graph())
+        with serve_background(
+            service,
+            max_in_flight=1,
+            max_queue_depth=0,
+            coalesce_window_s=0.0,
+        ) as handle:
+            client = HttpServiceClient(*handle.address)
+            try:
+                # Depth 0: every /query is shed before it is queued.
+                reply = client.request("POST", "/query", {"query": QUERY})
+                assert reply.status == 429
+                assert handle.server.stats.queries == 0
+                assert service.stats.queries == 0
+            finally:
+                service.gate.set()
+                client.close()
+
+
+class TestCoalescing:
+    def test_concurrent_queries_fold_into_one_dispatch(self):
+        service = GraphService(_graph())
+        with serve_background(
+            service, coalesce_window_s=0.25, coalesce_max=16
+        ) as handle:
+            expected = service.evaluate(QUERY)
+            results: list = [None] * 5
+
+            def fire(index):
+                with HttpServiceClient(*handle.address) as client:
+                    results[index] = client.query(QUERY)
+
+            threads = [
+                threading.Thread(target=fire, args=(i,)) for i in range(5)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(30.0)
+            assert all(result == expected for result in results)
+            stats = handle.server.stats
+            # All five arrivals landed inside one coalescing window.
+            assert stats.dispatches == 1
+            assert stats.coalesced == 5
+            assert stats.max_batch == 5
+            # ... and the service saw exactly one evaluate_batch call.
+            assert service.stats.batches == 1
+
+    def test_mixed_use_cache_flags_split_correctly(self):
+        service = GraphService(_graph())
+        with serve_background(
+            service, coalesce_window_s=0.25
+        ) as handle:
+            expected = service.evaluate(QUERY)
+            results: list = [None] * 4
+
+            def fire(index, flag):
+                with HttpServiceClient(*handle.address) as client:
+                    results[index] = client.query(QUERY, use_cache=flag)
+
+            threads = [
+                threading.Thread(target=fire, args=(i, i % 2 == 0))
+                for i in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(30.0)
+            assert all(result == expected for result in results)
+            # One coalesced dispatch, split into two service batches
+            # (one per use_cache flag).
+            assert handle.server.stats.dispatches == 1
+            assert service.stats.batches == 2
+            assert service.stats.result_cache.bypasses == 2
+
+
+class TestGracefulDrain:
+    def test_drain_finishes_in_flight_then_closes_service(self):
+        service = _BlockingService(_graph())
+        handle = serve_background(service, coalesce_window_s=0.0)
+        slow_client = HttpServiceClient(*handle.address)
+        # During drain every response carries Connection: close and the
+        # listener is gone, so each probe needs its own pre-established
+        # connection.
+        probe_client = HttpServiceClient(*handle.address)
+        health_client = HttpServiceClient(*handle.address)
+        outcome: dict = {}
+
+        def slow_query():
+            outcome["reply"] = slow_client.request(
+                "POST", "/query", {"query": QUERY}
+            )
+
+        probe_client.healthz()  # establish the probe connections now
+        health_client.healthz()
+        slow = threading.Thread(target=slow_query)
+        slow.start()
+        deadline = time.time() + 10
+        while handle.server.stats.queries < 1 and time.time() < deadline:
+            time.sleep(0.01)
+
+        stopper = threading.Thread(target=handle.stop)
+        stopper.start()
+        deadline = time.time() + 10
+        while not handle.server.stats.draining and time.time() < deadline:
+            time.sleep(0.01)
+
+        # New work on an established connection is shed with 503...
+        refused = probe_client.request("POST", "/query", {"query": QUERY})
+        assert refused.status == 503
+        # ...while healthz still answers and reports the drain.
+        health = health_client.request("GET", "/healthz")
+        assert health.status == 200
+        assert health.payload["status"] == "draining"
+
+        # The admitted slow request completes once the gate opens.
+        service.gate.set()
+        slow.join(30.0)
+        stopper.join(30.0)
+        assert outcome["reply"].status == 200
+        # Drain closed the underlying service's batch pool.
+        assert service._executor is None
+        assert handle.server.stats.rejected >= 1
+        slow_client.close()
+        probe_client.close()
+        health_client.close()
+
+    def test_stop_is_idempotent(self):
+        service = GraphService(_graph())
+        handle = serve_background(service)
+        with HttpServiceClient(*handle.address) as client:
+            client.query(QUERY)
+        handle.stop()
+        handle.stop()
+
+    def test_queued_queries_survive_drain(self):
+        service = GraphService(_graph())
+        handle = serve_background(service, coalesce_window_s=0.3)
+        results: list = [None] * 3
+
+        def fire(index):
+            with HttpServiceClient(*handle.address) as client:
+                results[index] = client.query(QUERY)
+
+        threads = [
+            threading.Thread(target=fire, args=(i,)) for i in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        # Stop while the queries sit in the coalescing window; drain
+        # must let them evaluate, not drop them.
+        deadline = time.time() + 10
+        while handle.server.stats.queries < 3 and time.time() < deadline:
+            time.sleep(0.01)
+        handle.stop()
+        for thread in threads:
+            thread.join(30.0)
+        expected = GraphService(_graph()).evaluate(QUERY)
+        assert all(result == expected for result in results)
+
+
+class TestServerValidation:
+    def test_bad_parameters_rejected(self):
+        service = GraphService(_graph())
+        with pytest.raises(ValueError):
+            GraphServer(service, max_in_flight=0)
+        with pytest.raises(ValueError):
+            GraphServer(service, max_queue_depth=-1)
+        with pytest.raises(ValueError):
+            GraphServer(service, coalesce_max=0)
+        service.close()
+
+    def test_port_conflict_surfaces(self):
+        service = GraphService(_graph())
+        with serve_background(service, close_service=False) as handle:
+            with pytest.raises(OSError):
+                serve_background(
+                    service, port=handle.address[1], close_service=False
+                )
+        service.close()

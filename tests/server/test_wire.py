@@ -1,0 +1,174 @@
+"""The wire codec: exact round trips, deterministic encodings,
+malformed-payload rejection."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import WireError
+from repro.gpc.answers import Answer
+from repro.gpc.assignments import Assignment
+from repro.gpc.engine import Evaluator
+from repro.gpc.parser import parse_query
+from repro.gpc.values import GroupValue, Nothing
+from repro.graph.builder import GraphBuilder
+from repro.graph.generators import social_network
+from repro.graph.ids import DirectedEdgeId, NodeId, UndirectedEdgeId
+from repro.graph.paths import Path
+from repro.server import wire
+
+#: Queries chosen to exercise every value sort an answer can carry:
+#: node/edge references, group values from repetition, undirected
+#: edges, and joins (multi-path answer tuples).
+QUERIES = [
+    "TRAIL (x:Person) -[e:knows]-> (y:Person)",
+    "TRAIL (x:Person) [-[e:knows]->]{1,2} (y:Person)",
+    "SIMPLE (x:Person) ~[m:married]~ (y:Person)",
+    "SHORTEST (x:Person) -[:knows]->{1,} (y:Person)",
+    "p = TRAIL (x:Person) -[:knows]-> (y:Person)",
+    "TRAIL (x:Person) -[:knows]-> (y:Person), "
+    "TRAIL (y:Person) -[:lives_in]-> (c:City)",
+]
+
+
+class TestIdRoundTrip:
+    @pytest.mark.parametrize(
+        "element",
+        [
+            NodeId("a"),
+            NodeId(7),
+            NodeId(2.5),
+            NodeId(False),
+            NodeId(None),
+            NodeId(("composite", 3)),
+            NodeId(("nested", ("deep", 1))),
+            DirectedEdgeId("e1"),
+            UndirectedEdgeId(("u", 0)),
+        ],
+    )
+    def test_round_trip(self, element):
+        encoded = wire.encode_id(element)
+        json.dumps(encoded)  # JSON-representable
+        decoded = wire.decode_id(encoded)
+        assert decoded == element
+        assert type(decoded) is type(element)
+
+    def test_sorts_stay_disjoint(self):
+        # node("1") and dedge("1") must not collapse on the wire.
+        node = wire.decode_id(wire.encode_id(NodeId("1")))
+        edge = wire.decode_id(wire.encode_id(DirectedEdgeId("1")))
+        assert node != edge
+
+    def test_int_vs_float_keys_preserved(self):
+        as_int = wire.decode_id(wire.encode_id(NodeId(1)))
+        as_float = wire.decode_id(wire.encode_id(NodeId(1.0)))
+        assert type(as_int.key) is int
+        assert type(as_float.key) is float
+
+    @pytest.mark.parametrize("bad", [{"z": 1}, {}, {"n": 1, "d": 2}, [1], "n"])
+    def test_malformed_ids_rejected(self, bad):
+        with pytest.raises(WireError):
+            wire.decode_id(bad)
+
+    def test_unencodable_key_rejected(self):
+        with pytest.raises(WireError):
+            wire.encode_id(NodeId(frozenset({1})))
+
+
+class TestValueRoundTrip:
+    def test_nothing(self):
+        assert wire.decode_value(wire.encode_value(Nothing)) is Nothing
+
+    def test_path(self):
+        path = Path.of(
+            NodeId("a"), DirectedEdgeId("e"), NodeId("b"),
+            UndirectedEdgeId("u"), NodeId("c"),
+        )
+        assert wire.decode_value(wire.encode_value(path)) == path
+
+    def test_group(self):
+        group = GroupValue(
+            (
+                (Path.node(NodeId("a")), NodeId("a")),
+                (
+                    Path.of(NodeId("a"), DirectedEdgeId("e"), NodeId("b")),
+                    DirectedEdgeId("e"),
+                ),
+            )
+        )
+        assert wire.decode_value(wire.encode_value(group)) == group
+
+    def test_empty_group(self):
+        assert wire.decode_value(wire.encode_value(GroupValue())) == GroupValue()
+
+    def test_broken_alternation_rejected(self):
+        payload = {
+            "p": [{"n": "a"}, {"n": "b"}]  # node where an edge must be
+        }
+        with pytest.raises(WireError):
+            wire.decode_value(payload)
+
+    @pytest.mark.parametrize("bad", [{}, 5, None, {"g": {"not": "a list"}}])
+    def test_malformed_values_rejected(self, bad):
+        with pytest.raises(WireError):
+            wire.decode_value(bad)
+
+
+class TestAnswerSetRoundTrip:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return social_network(num_people=12, friend_degree=2, seed=5)
+
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_engine_answers_round_trip(self, graph, text):
+        answers = Evaluator(graph).evaluate(parse_query(text))
+        payload = wire.encode_answers(answers)
+        blob = json.dumps(payload)  # wire-representable
+        assert wire.decode_answers(json.loads(blob)) == answers
+
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_encoding_is_deterministic(self, graph, text):
+        answers = Evaluator(graph).evaluate(parse_query(text))
+        # Rebuild the frozenset in a different insertion order: the
+        # serialised bytes must not change.
+        reordered = frozenset(sorted(answers, key=repr, reverse=True))
+        first = json.dumps(wire.encode_answers(answers), sort_keys=True)
+        second = json.dumps(wire.encode_answers(reordered), sort_keys=True)
+        assert first == second
+
+    def test_empty_answer_set(self):
+        payload = wire.encode_answers(frozenset())
+        assert payload["count"] == 0
+        assert wire.decode_answers(payload) == frozenset()
+
+    def test_answer_with_zero_paths_rejected(self):
+        with pytest.raises(WireError):
+            wire.decode_answer({"paths": [], "mu": {}})
+
+    def test_format_checked(self):
+        with pytest.raises(WireError):
+            wire.decode_answers({"format": "something-else", "answers": []})
+        with pytest.raises(WireError):
+            wire.decode_answers({"answers": []})
+        with pytest.raises(WireError):
+            wire.decode_answers([])
+
+    def test_assignment_variables_preserved(self):
+        graph = (
+            GraphBuilder()
+            .node("a", "P")
+            .node("b", "P")
+            .edge("a", "b", "r")
+            .build()
+        )
+        answers = Evaluator(graph).evaluate(
+            parse_query("TRAIL (x:P) -[e:r]-> (y:P)")
+        )
+        decoded = wire.decode_answers(wire.encode_answers(answers))
+        answer = next(iter(decoded))
+        assert answer["x"] == NodeId("a")
+        assert isinstance(answer["e"], DirectedEdgeId)
+        assert answer["y"] == NodeId("b")
+        assert isinstance(answer.assignment, Assignment)

@@ -274,6 +274,67 @@ class TestBatchEvaluation:
         )
 
 
+class TestCloseDuringBatch:
+    """Regression: ``close()`` racing ``evaluate_batch`` used to shut
+    the pool down between ``_ensure_executor`` and ``submit``, so the
+    batch died with ``RuntimeError: cannot schedule new futures after
+    shutdown``. Submission now happens inside the same lock window
+    that resolves the executor, so a concurrent close waits for the
+    submits and then drains them with ``shutdown(wait=True)``."""
+
+    def test_close_in_the_submit_window(self, social):
+        import threading
+        import time
+
+        original = social._ensure_executor
+        window_open = threading.Event()
+
+        def stalled_ensure():
+            executor = original()
+            if not window_open.is_set():
+                # Hold the ensure->submit window open long enough for
+                # the closer thread to run close() inside it. With the
+                # fix the service lock makes close wait; without it,
+                # the pool is shut down under the batch's feet.
+                window_open.set()
+                time.sleep(0.15)
+            return executor
+
+        social._ensure_executor = stalled_ensure
+        expected = social.evaluate(QUERIES[0], use_cache=False)
+        outcome: dict = {}
+
+        def run_batch():
+            try:
+                outcome["results"] = social.evaluate_batch(
+                    [QUERIES[0]] * 4, use_cache=False
+                )
+            except Exception as exc:  # pragma: no cover - the regression
+                outcome["error"] = exc
+
+        closer = threading.Thread(
+            target=lambda: (window_open.wait(5.0), social.close())
+        )
+        batch = threading.Thread(target=run_batch)
+        batch.start()
+        closer.start()
+        batch.join(30.0)
+        closer.join(30.0)
+        assert "error" not in outcome, f"batch died: {outcome.get('error')!r}"
+        assert outcome["results"] == [expected] * 4
+
+    def test_service_usable_after_close(self, social):
+        social.evaluate_batch(QUERIES[:2])
+        social.close()
+        # The documented contract: close is idempotent and a later
+        # batch lazily re-creates the pool.
+        social.close()
+        assert social.evaluate_batch([QUERIES[0]]) == [
+            social.evaluate(QUERIES[0])
+        ]
+        social.close()
+
+
 class TestRemovalInvalidation:
     """Each remove_* delegation bumps the version, invalidates cached
     results, and forces a snapshot rebuild — symmetric with the

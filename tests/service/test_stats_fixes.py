@@ -3,7 +3,11 @@
 - ``evaluate(use_cache=False)`` must count a *bypass*, not a miss, so
   ``hit_rate`` only reflects real cache probes;
 - ``LatencyRecorder.count`` must read under the lock, and ``summary()``
-  must derive every figure from one locked, once-sorted copy.
+  must derive every figure from one locked, once-sorted copy;
+- ``summary()`` must report a *windowed* mean: after the bounded
+  reservoir wraps, the all-time ``_total/_count`` mean describes a
+  different population than the windowed percentiles (regression — the
+  two used to be mixed in one payload).
 """
 
 import threading
@@ -68,11 +72,39 @@ class TestLatencyRecorder:
         summary = LatencyRecorder().summary()
         assert summary == {
             "count": 0,
+            "total_s": 0.0,
+            "window": 0,
             "mean_s": 0.0,
             "p50_s": 0.0,
             "p90_s": 0.0,
             "p99_s": 0.0,
         }
+
+    def test_wrapped_reservoir_mean_is_windowed(self):
+        # One huge outlier, then enough samples to push it out of the
+        # bounded window: the summary's mean must describe the same
+        # window as the percentiles, not the all-time total.
+        recorder = LatencyRecorder(capacity=4)
+        recorder.record(1000.0)
+        for _ in range(4):
+            recorder.record(0.002)
+        summary = recorder.summary()
+        assert summary["count"] == 5          # all-time, kept
+        assert abs(summary["total_s"] - 1000.008) < 1e-9
+        assert summary["window"] == 4
+        assert abs(summary["mean_s"] - 0.002) < 1e-12  # windowed
+        # The one-shot summary is internally consistent: the mean lies
+        # within the window's percentile range.
+        assert summary["p50_s"] <= summary["mean_s"] <= summary["p99_s"]
+
+    def test_unwrapped_summary_mean_matches_all_time(self):
+        recorder = LatencyRecorder(capacity=16)
+        for value in (0.1, 0.2, 0.3):
+            recorder.record(value)
+        summary = recorder.summary()
+        assert summary["count"] == summary["window"] == 3
+        assert abs(summary["mean_s"] - 0.2) < 1e-12
+        assert abs(summary["mean_s"] - recorder.mean) < 1e-12
 
     def test_percentile_still_matches_summary(self):
         recorder = LatencyRecorder()
