@@ -1,0 +1,191 @@
+"""Ablation A8 — tracing overhead: the observability layer must be
+(nearly) free.
+
+Design choice under study: contextvar-scoped spans with a *null-span*
+fast path. Every serving hop calls ``span(...)``; when tracing is
+disabled (or no trace is active) that call must degenerate to one
+contextvar read returning the shared ``NULL_SPAN`` — no allocation, no
+clock read, no lock. When tracing *is* enabled, the per-span cost
+(two clock reads, one small object) must disappear into real serving
+latency.
+
+Two gates on the bench_a7 serving workload:
+
+- **microbench** — a disabled-tracing ``span()`` enter/exit must cost
+  within ``NULLSPAN_MAX_RATIO`` of an empty ``with`` on a no-op
+  context manager (the floor for *any* ``with``-based hook);
+- **end-to-end** — concurrent HTTP serving with tracing enabled must
+  finish within ``OVERHEAD_MAX_RATIO`` (plus a small absolute slack
+  for timer noise) of the same pass with tracing disabled,
+  best-of-``REPEATS`` per mode.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.bench.harness import Table
+from repro.graph.generators import social_network
+from repro.obs import span
+from repro.server import HttpServiceClient, serve_background
+from repro.service import GraphService
+
+WORKLOAD = [
+    "TRAIL (x:Person) -[e:knows]-> (y:Person)",
+    "SIMPLE (x:Person) ~[:married]~ (y:Person)",
+    "SHORTEST (x:Person) -[:knows]->{1,} (y:Person)",
+    "TRAIL (x:Person) -[:knows]-> (y:Person), "
+    "TRAIL (y:Person) -[:lives_in]-> (c:City)",
+]
+
+NUM_REQUESTS = 96
+CONCURRENCY = 8
+REPEATS = 3
+
+#: Enabled serving may cost at most 10% over disabled, plus this many
+#: milliseconds of absolute slack so sub-100ms baselines don't turn
+#: scheduler jitter into failures.
+OVERHEAD_MAX_RATIO = 1.10
+OVERHEAD_SLACK_MS = 30.0
+
+#: A disabled span() enter/exit vs an empty no-op ``with`` block.
+NULLSPAN_MAX_RATIO = 12.0
+MICRO_ITERATIONS = 50_000
+
+
+def _graph():
+    return social_network(num_people=16, friend_degree=2, seed=7)
+
+
+class _NoopContext:
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+def _micro(loop_body) -> float:
+    """Best-of-3 seconds for MICRO_ITERATIONS runs of ``loop_body``."""
+    best = float("inf")
+    for _ in range(3):
+        started = time.perf_counter()
+        loop_body()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _nullspan_micro() -> tuple[float, float]:
+    """(noop_with_s, disabled_span_s) over MICRO_ITERATIONS each."""
+    noop = _NoopContext()
+
+    def baseline():
+        for _ in range(MICRO_ITERATIONS):
+            with noop:
+                pass
+
+    def disabled():
+        # No ambient trace: span() returns NULL_SPAN immediately.
+        for _ in range(MICRO_ITERATIONS):
+            with span("hop"):
+                pass
+
+    return _micro(baseline), _micro(disabled)
+
+
+def _concurrent_pass(address) -> float:
+    texts = [WORKLOAD[i % len(WORKLOAD)] for i in range(NUM_REQUESTS)]
+    chunks = [texts[i::CONCURRENCY] for i in range(CONCURRENCY)]
+    errors: list[Exception] = []
+
+    def worker(chunk):
+        try:
+            with HttpServiceClient(*address) as client:
+                for text in chunk:
+                    client.query(text)
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(chunk,)) for chunk in chunks
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    assert not errors, f"concurrent client failed: {errors[0]!r}"
+    return elapsed
+
+
+def _serve_workload(tracing: bool) -> float:
+    """Best-of-REPEATS wall clock for the concurrent pass on a warm
+    server with tracing on/off."""
+    with serve_background(
+        GraphService(_graph()),
+        max_queue_depth=4 * NUM_REQUESTS,
+        tracing=tracing,
+    ) as handle:
+        with HttpServiceClient(*handle.address) as client:
+            for text in WORKLOAD:  # warm plans and caches
+                client.query(text)
+        best = min(
+            _concurrent_pass(handle.address) for _ in range(REPEATS)
+        )
+        if tracing:
+            # The traced pass really traced: requests were recorded.
+            assert handle.server.tracer.store.counters()["seen"] > 0
+        else:
+            assert handle.server.tracer.store.counters()["seen"] == 0
+    return best
+
+
+def test_a8_tracing_overhead():
+    """Disabled tracing is a near-no-op per hop, and enabled tracing
+    costs <= 10% (plus timer slack) on warm concurrent HTTP serving."""
+    noop_s, disabled_s = _nullspan_micro()
+    disabled_ns = disabled_s / MICRO_ITERATIONS * 1e9
+    noop_ns = noop_s / MICRO_ITERATIONS * 1e9
+
+    off_s = _serve_workload(tracing=False)
+    on_s = _serve_workload(tracing=True)
+
+    table = Table(
+        "A8: tracing overhead — enabled vs disabled serving",
+        [
+            "measurement",
+            "disabled",
+            "enabled",
+            "ratio",
+            "bound",
+        ],
+    )
+    table.add(
+        "span() enter/exit ns",
+        f"{noop_ns:.0f} (noop with)",
+        f"{disabled_ns:.0f}",
+        f"{disabled_ns / noop_ns:.1f}x",
+        f"<= {NULLSPAN_MAX_RATIO:.0f}x",
+    )
+    table.add(
+        f"{NUM_REQUESTS} reqs x{CONCURRENCY} ms",
+        f"{off_s * 1000:.1f}",
+        f"{on_s * 1000:.1f}",
+        f"{on_s / off_s:.2f}x",
+        f"<= {OVERHEAD_MAX_RATIO:.2f}x + {OVERHEAD_SLACK_MS:.0f}ms",
+    )
+    table.show()
+
+    assert disabled_ns <= noop_ns * NULLSPAN_MAX_RATIO, (
+        f"disabled span() costs {disabled_ns:.0f}ns vs {noop_ns:.0f}ns "
+        f"for a no-op with block ({disabled_ns / noop_ns:.1f}x, "
+        f"bound {NULLSPAN_MAX_RATIO}x) — the null-span fast path broke"
+    )
+    assert on_s <= off_s * OVERHEAD_MAX_RATIO + OVERHEAD_SLACK_MS / 1000, (
+        f"tracing-enabled serving took {on_s * 1000:.0f}ms vs "
+        f"{off_s * 1000:.0f}ms disabled "
+        f"({(on_s / off_s - 1) * 100:.1f}% overhead, bound "
+        f"{(OVERHEAD_MAX_RATIO - 1) * 100:.0f}% + {OVERHEAD_SLACK_MS:.0f}ms)"
+    )

@@ -49,6 +49,7 @@ from repro.gpc.answers import Answer
 from repro.gpc.engine import EngineConfig
 from repro.graph.delta import DEFAULT_SNAPSHOT_DELTA_THRESHOLD, GraphDelta
 from repro.graph.ids import NodeId
+from repro.obs import EvalCounters, deadline_scope, remote_span, use_counters
 from repro.service.prepared import PreparedQuery
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -76,11 +77,22 @@ __all__ = [
 @dataclass(frozen=True)
 class ShardCall:
     """One unit of scattered work: evaluate ``query`` restricted to
-    the shard's seed nodes (``None`` = unrestricted)."""
+    the shard's seed nodes (``None`` = unrestricted).
+
+    ``carrier`` is the caller's trace context ``(trace_id, span_id)``
+    — the explicit hand-off that lets shard spans survive the process
+    boundary (contextvars do not pickle). ``deadline_s`` is the
+    *remaining* request budget in seconds (monotonic deadlines are
+    per-process, so the absolute deadline cannot cross either); the
+    worker re-anchors it at task start, deliberately not charging
+    pool queue wait against the budget.
+    """
 
     query: "str | ast.Query"
     config: EngineConfig
     restriction: Optional[frozenset[NodeId]]
+    carrier: Optional[tuple[str, str]] = None
+    deadline_s: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -89,13 +101,19 @@ class ShardOutcome:
 
     Exactly one of ``result`` / ``error`` is set. ``worker`` tags which
     executor unit ran the task (``serial``, a thread name, or a worker
-    pid) and ``elapsed_s`` is in-worker evaluation time.
+    pid) and ``elapsed_s`` is in-worker evaluation time. ``span`` is
+    the shard's serialised span tree (``None`` when the call carried no
+    trace context) — the gatherer re-parents it into the request trace
+    — and ``counters`` the shard's engine work
+    (:meth:`EvalCounters.as_dict`), merged into the cluster aggregate.
     """
 
     result: Optional[frozenset[Answer]]
     error: Optional[Exception]
     worker: str
     elapsed_s: float
+    span: Optional[dict] = None
+    counters: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -147,16 +165,40 @@ def _evaluate_shard(
     worker: str,
     lock: Optional[threading.Lock] = None,
 ) -> ShardOutcome:
-    """Shared evaluation kernel for all backends."""
+    """Shared evaluation kernel for all backends.
+
+    Recreates the caller's trace context from the call's carrier (the
+    shard span and any engine spans under it ship home serialised in
+    the outcome), applies the remaining-deadline budget, and accounts
+    engine work into a per-shard :class:`EvalCounters`.
+    """
     started = time.perf_counter()
-    try:
-        prepared = _cached_prepared(plans, call, lock)
-        result = prepared.execute(
-            snapshot, start_restriction=call.restriction
-        )
-        return ShardOutcome(result, None, worker, time.perf_counter() - started)
-    except Exception as exc:
-        return ShardOutcome(None, exc, worker, time.perf_counter() - started)
+    counters = EvalCounters()
+    error: Optional[Exception] = None
+    result: Optional[frozenset[Answer]] = None
+    with remote_span("cluster.shard", call.carrier, worker=worker) as shard:
+        try:
+            with deadline_scope(call.deadline_s), use_counters(counters):
+                prepared = _cached_prepared(plans, call, lock)
+                result = prepared.execute(
+                    snapshot, start_restriction=call.restriction
+                )
+        except Exception as exc:
+            error = exc
+            shard.record_error(exc)
+        if shard:
+            shard.set_attrs(counters.as_dict())
+            if result is not None:
+                shard.set_attr("answers", len(result))
+        shard.end()
+    return ShardOutcome(
+        result,
+        error,
+        worker,
+        time.perf_counter() - started,
+        span=shard.to_dict(),
+        counters=counters.as_dict(),
+    )
 
 
 class ExecutorBackend(ABC):

@@ -27,6 +27,7 @@ from repro.errors import ClusterError
 from repro.gpc.answers import Answer
 from repro.cluster.backends import ShardCall, ShardOutcome
 from repro.graph.ids import NodeId
+from repro.obs import current_carrier, remaining
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cluster.stats import ClusterStats
@@ -62,8 +63,21 @@ class ScatterGatherRouter:
         config: "EngineConfig",
         cells: Sequence[frozenset[NodeId]],
     ) -> list[ShardCall]:
-        """One call per partition cell."""
-        calls = [ShardCall(query, config, cell) for cell in cells]
+        """One call per partition cell.
+
+        Each call captures the caller's ambient trace context (as an
+        explicit carrier, since contextvars stop at the executor
+        boundary) and the remaining request-deadline budget, so shard
+        evaluation is traced and deadline-bounded wherever it runs.
+        """
+        carrier = current_carrier()
+        deadline_s = remaining()
+        calls = [
+            ShardCall(
+                query, config, cell, carrier=carrier, deadline_s=deadline_s
+            )
+            for cell in cells
+        ]
         if self.stats is not None:
             self.stats.count(scatters=len(calls))
         return calls
@@ -100,6 +114,7 @@ class ScatterGatherRouter:
         failed = 0
         for outcome in outcomes:
             self.stats.record_shard(outcome.worker, outcome.elapsed_s)
+            self.stats.engine.merge(outcome.counters)
             if not outcome.ok:
                 failed += 1
         if failed:

@@ -44,6 +44,9 @@ from repro.graph.ids import (
 )
 from repro.graph.property_graph import Constant, PropertyGraph
 from repro.graph.snapshot import GraphSnapshot
+from repro.gpc.explain import explain_counters
+from repro.obs import EvalCounters
+from repro.obs import span as trace_span
 from repro.service.cache import LRUCache, SemanticResultCache
 from repro.service.prepared import PreparedQuery
 
@@ -204,11 +207,18 @@ class ClusterService:
         self,
         query: "str | ast.Query",
         config: Optional[EngineConfig] = None,
+        *,
+        analyze: bool = False,
     ) -> str:
-        """The engine plan plus the cluster's sharding decision."""
+        """The engine plan plus the cluster's sharding decision.
+
+        ``analyze=True`` also scatters the query (cache-bypassed) and
+        appends the observed execution counters summed over all shards.
+        """
+        config = config or self.config
         prepared = self.prepare(query, config)
         snap = self.snapshot()
-        return "\n".join(
+        report = "\n".join(
             [
                 prepared.explain(snap),
                 f"cluster: backend={self.backend.name}, "
@@ -216,6 +226,26 @@ class ClusterService:
                 + self.partitioner.describe(snap, prepared),
             ]
         )
+        if not analyze:
+            return report
+        started = time.perf_counter()
+        _, calls = self._scatter_one(query, config, snap)
+        outcomes = (
+            self.backend.run(
+                snap, calls, delta_source=self._graph.deltas_since
+            )
+            if calls
+            else []
+        )
+        result = self.router.gather(outcomes)
+        elapsed = time.perf_counter() - started
+        counters = EvalCounters()
+        for outcome in outcomes:
+            counters.merge(outcome.counters)
+        observed = explain_counters(
+            counters, answers=len(result), elapsed_s=elapsed
+        )
+        return f"{report}\n{observed}"
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -241,26 +271,35 @@ class ClusterService:
         snap = self.snapshot()
         result_key = (query, config)
         if use_cache:
-            cached = self._result_cache.get(result_key, snap.version)
+            with trace_span("cluster.cache_probe") as probe:
+                cached = self._result_cache.get(result_key, snap.version)
+                probe.set_attr("hit", cached is not None)
             if cached is not None:
                 self._record_query(started)
                 return cached
         else:
             self._count_bypass()
-        prepared, calls = self._scatter_one(query, config, snap)
+        with trace_span("cluster.plan"):
+            prepared, calls = self._scatter_one(query, config, snap)
         # The partitioner guarantees at least one cell today, but an
         # empty scatter must never reach the backend regardless: on the
         # process backend run() warms the pool and ships the snapshot
         # even for zero calls.
-        outcomes = (
-            self.backend.run(
-                snap, calls, delta_source=self._graph.deltas_since
-            )
-            if calls
-            else []
-        )
         try:
-            result = self.router.gather(outcomes)
+            with trace_span("cluster.eval", shards=len(calls)) as eval_span:
+                outcomes = (
+                    self.backend.run(
+                        snap, calls, delta_source=self._graph.deltas_since
+                    )
+                    if calls
+                    else []
+                )
+                # Re-parent each shard's serialised span under this
+                # stage *before* gathering, so a failed gather still
+                # leaves the shard spans in the request trace.
+                for outcome in outcomes:
+                    eval_span.adopt(outcome.span)
+                result = self.router.gather(outcomes)
         except Exception:
             # A failed gather still served the query's shards: count it
             # and record its latency, as evaluate_batch does, so error
@@ -281,6 +320,7 @@ class ClusterService:
         *,
         use_cache: bool = True,
         return_exceptions: bool = False,
+        contexts=None,
     ) -> list:
         """Evaluate independent queries, each sharded, in one scatter.
 
@@ -292,35 +332,71 @@ class ClusterService:
         hold the exception, otherwise the first failure is raised
         afterwards (same contract as
         :meth:`GraphService.evaluate_batch`).
+
+        ``contexts`` (one distinct :class:`contextvars.Context` copy
+        per query) carries each caller's trace span and deadline into
+        that query's probe/scatter and gather stages, so every shard
+        span lands in the right request's trace.
         """
         config = config or self.config
+        if contexts is not None and len(contexts) != len(queries):
+            raise ValueError(
+                f"contexts ({len(contexts)}) must match "
+                f"queries ({len(queries)})"
+            )
         self.stats.count(batches=1)
         if not queries:
             return []
         started = time.perf_counter()
         snap = self.snapshot()
         calls: list = []
-        # Per query: a (start, end, footprint) span in calls, a cached
-        # frozenset, or a pre-scatter exception.
-        spans: list = []
-        for query in queries:
+
+        def _probe_and_scatter(query):
+            """Cache probe + scatter for one query, in its context.
+
+            Returns a cached frozenset, a pre-scatter exception, or a
+            ``(begin, end, footprint)`` window into ``calls``.
+            """
             if use_cache:
-                cached = self._result_cache.get((query, config), snap.version)
+                with trace_span("cluster.cache_probe") as probe:
+                    cached = self._result_cache.get(
+                        (query, config), snap.version
+                    )
+                    probe.set_attr("hit", cached is not None)
                 if cached is not None:
-                    spans.append(cached)
-                    continue
+                    return cached
             else:
                 self._count_bypass()
             try:
-                prepared, shard_calls = self._scatter_one(query, config, snap)
+                with trace_span("cluster.plan"):
+                    prepared, shard_calls = self._scatter_one(
+                        query, config, snap
+                    )
             except Exception as exc:
-                spans.append(exc)
-                continue
-            spans.append(
-                (len(calls), len(calls) + len(shard_calls),
-                 prepared.footprint)
+                return exc
+            window = (
+                len(calls), len(calls) + len(shard_calls), prepared.footprint
             )
             calls.extend(shard_calls)
+            return window
+
+        def _gather_window(begin, end):
+            """Adopt and merge one query's shard outcomes, in its
+            context (exceptions propagate to the caller)."""
+            chunk = outcomes[begin:end]
+            with trace_span("cluster.eval", shards=end - begin) as eval_span:
+                for outcome in chunk:
+                    eval_span.adopt(outcome.span)
+                return self.router.gather(chunk)
+
+        # Per query: a (start, end, footprint) window into calls, a
+        # cached frozenset, or a pre-scatter exception.
+        windows: list = []
+        for index, query in enumerate(queries):
+            if contexts is None:
+                windows.append(_probe_and_scatter(query))
+            else:
+                windows.append(contexts[index].run(_probe_and_scatter, query))
         # All-hit (or all-failed-pre-scatter) batches scatter nothing:
         # skip the backend entirely rather than paying a process-pool
         # spin-up / snapshot ship for an empty call list.
@@ -333,18 +409,21 @@ class ClusterService:
         )
         results: list = []
         evaluated = 0
-        for query, span in zip(queries, spans):
-            if isinstance(span, Exception):
-                results.append(span)
+        for index, (query, window) in enumerate(zip(queries, windows)):
+            if isinstance(window, Exception):
+                results.append(window)
                 continue
-            if isinstance(span, frozenset):
-                results.append(span)
+            if isinstance(window, frozenset):
+                results.append(window)
                 evaluated += 1
                 continue
-            begin, end, footprint = span
+            begin, end, footprint = window
             evaluated += 1
             try:
-                merged = self.router.gather(outcomes[begin:end])
+                if contexts is None:
+                    merged = _gather_window(begin, end)
+                else:
+                    merged = contexts[index].run(_gather_window, begin, end)
             except Exception as exc:
                 results.append(exc)
                 continue

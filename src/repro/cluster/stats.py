@@ -14,6 +14,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
+from repro.obs.counters import EvalCounters
 from repro.service.stats import CacheStats, LatencyRecorder
 
 __all__ = ["ClusterStats"]
@@ -47,6 +48,9 @@ class ClusterStats:
     #: of the versions snapshotted, how many were derived incrementally.
     snapshots_built: int = 0
     snapshots_derived: int = 0
+    #: Aggregate engine work across every shard task (merged from each
+    #: outcome's per-shard counters at gather time).
+    engine: EvalCounters = field(default_factory=EvalCounters)
     _lock: threading.Lock = field(
         default_factory=threading.Lock, init=False, repr=False, compare=False
     )
@@ -83,6 +87,7 @@ class ClusterStats:
             "result_cache": self.result_cache.as_dict(),
             "latency": self.latency.summary(),
             "shard_latency": self.shard_latency.summary(),
+            "engine": self.engine.as_dict(),
             "per_worker": {
                 tag: recorder.summary() for tag, recorder in sorted(workers.items())
             },

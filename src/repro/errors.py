@@ -20,6 +20,7 @@ __all__ = [
     "IllegalJoinError",
     "EvaluationError",
     "CollectError",
+    "DeadlineExceededError",
     "EvaluationLimitError",
     "RestrictorError",
     "TranslationError",
@@ -126,6 +127,15 @@ class CollectError(EvaluationError):
 
 class EvaluationLimitError(EvaluationError):
     """A configured engine safety limit was exceeded during evaluation."""
+
+
+class DeadlineExceededError(EvaluationError):
+    """The request's deadline passed while evaluation was in progress.
+
+    Raised by :func:`repro.obs.deadline.check_deadline` from the
+    engine's long-running loops; the HTTP front end maps it to 504
+    (and records the partial span tree for post-mortems).
+    """
 
 
 class RestrictorError(EvaluationError):

@@ -12,6 +12,7 @@ The atomic cases follow the paper exactly:
 from __future__ import annotations
 
 from repro.errors import EvaluationError
+from repro.obs.counters import active_counters
 from repro.graph.ids import DirectedEdgeId, NodeId, UndirectedEdgeId
 from repro.graph.property_graph import PropertyGraph
 from repro.gpc.assignments import Assignment
@@ -48,7 +49,21 @@ def _element(assignment: Assignment, variable: str):
 def satisfies(
     graph: PropertyGraph, assignment: Assignment, condition: Condition
 ) -> bool:
-    """Decide ``assignment |= condition`` over ``graph``."""
+    """Decide ``assignment |= condition`` over ``graph``.
+
+    Counts one ``condition_evals`` per top-level call on the ambient
+    :class:`~repro.obs.counters.EvalCounters` (connective recursion is
+    internal and not double-counted).
+    """
+    counters = active_counters()
+    if counters is not None:
+        counters.condition_evals += 1
+    return _satisfies(graph, assignment, condition)
+
+
+def _satisfies(
+    graph: PropertyGraph, assignment: Assignment, condition: Condition
+) -> bool:
     if isinstance(condition, PropertyEqualsConst):
         element = _element(assignment, condition.variable)
         value = graph.get_property(element, condition.key)
@@ -64,13 +79,13 @@ def satisfies(
             and left_value == right_value
         )
     if isinstance(condition, And):
-        return satisfies(graph, assignment, condition.left) and satisfies(
+        return _satisfies(graph, assignment, condition.left) and _satisfies(
             graph, assignment, condition.right
         )
     if isinstance(condition, Or):
-        return satisfies(graph, assignment, condition.left) or satisfies(
+        return _satisfies(graph, assignment, condition.left) or _satisfies(
             graph, assignment, condition.right
         )
     if isinstance(condition, Not):
-        return not satisfies(graph, assignment, condition.inner)
+        return not _satisfies(graph, assignment, condition.inner)
     raise TypeError(f"not a condition: {condition!r}")

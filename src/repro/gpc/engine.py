@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.errors import EvaluationLimitError, RestrictorError
+from repro.obs.counters import active_counters
+from repro.obs.deadline import check_deadline
 from repro.graph.ids import NodeId
 from repro.graph.paths import is_simple, is_trail
 from repro.graph.property_graph import PropertyGraph
@@ -382,6 +384,7 @@ class Evaluator:
         restriction: frozenset[NodeId] | None = None,
     ) -> frozenset[Match]:
         self._validate_collect(pattern)
+        check_deadline()
         if restrictor.mode == "trail":
             bound = self._view.num_edges
             matches = frozenset(
@@ -433,8 +436,12 @@ class Evaluator:
 
         limit = self.config.shortest_deepening_limit
         answers: set[Match] = set()
+        counters = active_counters()
         starts, end_filter = self._shortest_candidates(pattern, restriction)
         for start in starts:
+            # The per-seed search dominates shortest evaluation, so the
+            # request deadline is checked once per seed.
+            check_deadline()
             best = shortest_pair_lengths(self._view, rnfa, start)
             for end in sorted(best):
                 if end_filter is not None and end not in end_filter:
@@ -445,6 +452,9 @@ class Evaluator:
                 # collect unification. Probe upward until a witness
                 # with a defined assignment appears.
                 while True:
+                    if counters is not None:
+                        counters.deepening_rounds += 1
+                    check_deadline()
                     found = False
                     for witness in enumerate_exact_length_walks(
                         self._view, rnfa, start, end, length
@@ -491,6 +501,10 @@ class Evaluator:
             shortest_plan = self.plan.shortest_plan(pattern)
             starts = shortest_plan.start.candidate_nodes(self._view)
             ends = shortest_plan.end.candidate_nodes(self._view)
+            if starts is not None:
+                counters = active_counters()
+                if counters is not None:
+                    counters.seeds_pruned += self._view.num_nodes - len(starts)
         else:
             starts = ends = None
         if starts is None:
@@ -534,7 +548,11 @@ class Evaluator:
         # large bounds explodes (answer sets grow exponentially with
         # the length horizon — Theorem 13).
         length = max(1, min(candidates.values()))
+        counters = active_counters()
         while True:
+            if counters is not None:
+                counters.deepening_rounds += 1
+            check_deadline()
             results = self._bounded.evaluate(pattern, length)
             found_pairs = {(m[0].src, m[0].tgt) for m in results}
             remaining = set(candidates) - found_pairs
@@ -564,6 +582,10 @@ def _nested_loop_join(
     left: frozenset[Answer], right: frozenset[Answer]
 ) -> frozenset[Answer]:
     """Combine every left/right pair whose assignments unify."""
+    counters = active_counters()
+    if counters is not None:
+        counters.join_build_rows += len(left)
+        counters.join_probe_rows += len(left) * len(right)
     out = []
     for left_answer in left:
         for right_answer in right:
@@ -593,6 +615,10 @@ def _hash_join(
         build, probe, build_is_left = left, right, True
     else:
         build, probe, build_is_left = right, left, False
+    counters = active_counters()
+    if counters is not None:
+        counters.join_build_rows += len(build)
+        counters.join_probe_rows += len(probe)
     buckets: dict[tuple, list[Answer]] = {}
     for answer in build:
         key = tuple(answer.assignment.get(v) for v in shared)

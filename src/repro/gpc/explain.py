@@ -24,7 +24,14 @@ from repro.gpc.pretty import pretty
 from repro.gpc.typing import infer_schema
 from repro.gpc.types import Type
 
-__all__ = ["PatternReport", "QueryReport", "explain_pattern", "explain_query", "explain"]
+__all__ = [
+    "PatternReport",
+    "QueryReport",
+    "explain_pattern",
+    "explain_query",
+    "explain",
+    "explain_counters",
+]
 
 
 @dataclass(frozen=True)
@@ -136,3 +143,26 @@ def explain(expression: ast.Expression) -> str:
     if isinstance(expression, (ast.PatternQuery, ast.Join)):
         return explain_query(expression).render()
     return explain_pattern(expression).render()
+
+
+def explain_counters(
+    counters,
+    *,
+    answers: Optional[int] = None,
+    elapsed_s: Optional[float] = None,
+) -> str:
+    """Render observed execution statistics as an ``explain`` section.
+
+    The static report above describes what the engine *plans* to do;
+    this appendix — fed by :class:`~repro.obs.counters.EvalCounters`
+    from an actual run — describes what it *did*, letting planner
+    estimates be validated against observed work.
+    """
+    lines = ["observed execution:"]
+    if answers is not None:
+        lines.append(f"  answers: {answers}")
+    if elapsed_s is not None:
+        lines.append(f"  elapsed: {elapsed_s * 1000:.2f} ms")
+    for name, value in counters.as_dict().items():
+        lines.append(f"  {name}: {value}")
+    return "\n".join(lines)

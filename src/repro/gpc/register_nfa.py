@@ -45,6 +45,7 @@ from repro.gpc import ast
 from repro.gpc.assignments import Assignment
 from repro.gpc.conditions import satisfies
 from repro.gpc.conditions_ast import Condition
+from repro.obs.counters import active_counters
 
 __all__ = [
     "RegisterNFA",
@@ -301,39 +302,52 @@ def shortest_pair_lengths(
     dist: dict[tuple, int] = {initial: 0}
     queue: deque[tuple] = deque([initial])
     best: dict[NodeId, int] = {}
-    while queue:
-        state = queue.popleft()
-        node, q, registers = state
-        d = dist[state]
-        if q == nfa.final and (node not in best or d < best[node]):
-            best[node] = d
-        for op, target in nfa.zero[q]:
-            updated = _apply_zero(op, node, registers, graph)
-            if updated is None:
-                continue
-            key = (node, target, updated)
-            if key not in dist or dist[key] > d:
-                dist[key] = d
-                queue.appendleft(key)
-        for step, target in nfa.steps[q]:
-            for edge, successor in _step_targets(step, node, graph):
-                updated = registers
-                if step.variable is not None:
-                    current = dict(registers)
-                    bound = current.get(step.variable)
-                    if bound is None:
-                        current[step.variable] = edge
-                        updated = tuple(sorted(current.items()))
-                    elif bound != edge:
-                        continue
-                key = (successor, target, updated)
-                if key not in dist or dist[key] > d + 1:
-                    dist[key] = d + 1
-                    queue.append(key)
-        if len(dist) > state_budget:
-            raise EvaluationLimitError(
-                f"register search exceeded {state_budget} states"
-            )
+    # Work accounting stays in local ints inside the hot loop; the
+    # ambient EvalCounters (if any) is updated once on the way out.
+    expanded = 0
+    relaxed = 0
+    try:
+        while queue:
+            state = queue.popleft()
+            expanded += 1
+            node, q, registers = state
+            d = dist[state]
+            if q == nfa.final and (node not in best or d < best[node]):
+                best[node] = d
+            for op, target in nfa.zero[q]:
+                updated = _apply_zero(op, node, registers, graph)
+                if updated is None:
+                    continue
+                key = (node, target, updated)
+                if key not in dist or dist[key] > d:
+                    dist[key] = d
+                    queue.appendleft(key)
+                    relaxed += 1
+            for step, target in nfa.steps[q]:
+                for edge, successor in _step_targets(step, node, graph):
+                    updated = registers
+                    if step.variable is not None:
+                        current = dict(registers)
+                        bound = current.get(step.variable)
+                        if bound is None:
+                            current[step.variable] = edge
+                            updated = tuple(sorted(current.items()))
+                        elif bound != edge:
+                            continue
+                    key = (successor, target, updated)
+                    if key not in dist or dist[key] > d + 1:
+                        dist[key] = d + 1
+                        queue.append(key)
+                        relaxed += 1
+            if len(dist) > state_budget:
+                raise EvaluationLimitError(
+                    f"register search exceeded {state_budget} states"
+                )
+    finally:
+        counters = active_counters()
+        if counters is not None:
+            counters.nfa_states_expanded += expanded
+            counters.nfa_transitions += relaxed
     return best
 
 

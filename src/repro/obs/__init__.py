@@ -1,0 +1,51 @@
+"""Observability: request tracing, engine work counters, deadlines.
+
+The serving stack (HTTP front end → coalescer → service/cluster →
+planner → engine) reports *where a request's time went* through this
+package:
+
+- :mod:`repro.obs.trace` — ``Tracer``/``Span`` with contextvars
+  propagation across asyncio, thread pools, and (via explicit
+  carriers) process pools;
+- :mod:`repro.obs.counters` — ``EvalCounters``, the engine's in-line
+  work accounting (NFA states, join rows, deepening rounds, …);
+- :mod:`repro.obs.deadline` — per-request deadline propagation into
+  the engine's long-running loops;
+- :mod:`repro.obs.store` — the bounded ``TraceStore`` ring buffer
+  behind ``GET /trace``;
+- :mod:`repro.obs.metrics` — Prometheus text exposition behind
+  ``GET /metrics``.
+
+Stdlib-only, and importable without the serving stack (its only
+intra-repo dependency is :mod:`repro.errors`).
+"""
+
+from repro.obs.counters import EvalCounters, active_counters, use_counters
+from repro.obs.deadline import check_deadline, deadline_scope, remaining
+from repro.obs.store import TraceStore
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    current_carrier,
+    current_span,
+    remote_span,
+    span,
+)
+
+__all__ = [
+    "EvalCounters",
+    "active_counters",
+    "use_counters",
+    "check_deadline",
+    "deadline_scope",
+    "remaining",
+    "TraceStore",
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "current_carrier",
+    "current_span",
+    "remote_span",
+    "span",
+]

@@ -1,0 +1,117 @@
+"""Engine work counters: *what* the evaluator did, not just how long.
+
+Latency says a query was slow; :class:`EvalCounters` says why — the
+register NFA expanded two million states, or the deepening loop ran
+eleven rounds, or a join probed 40k rows. The engine fills one
+instance in-line per evaluation through the ``active_counters()``
+ambient accessor (a :class:`~contextvars.ContextVar`, so concurrent
+evaluations on the service executor never share a struct).
+
+Counters are *always on*: the increments are local-int adds on an
+instance the evaluating thread owns exclusively, so there is no lock
+and no branch on a tracing flag inside the hot loops. The service
+layer merges each per-evaluation struct into its long-lived
+``stats.engine`` aggregate (under a lock) and, when a trace is active,
+attaches the per-evaluation snapshot as span attributes.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextvars import ContextVar
+from dataclasses import dataclass, fields
+from typing import Optional, Union
+
+__all__ = ["EvalCounters", "active_counters", "use_counters"]
+
+
+@dataclass
+class EvalCounters:
+    """Work done by one evaluation (or aggregated over many).
+
+    Field meanings:
+
+    - ``nfa_states_expanded`` — configurations popped from the 0-1 BFS
+      queue in ``shortest_pair_lengths`` (the register-NFA product
+      search);
+    - ``nfa_transitions`` — relaxations pushed onto that queue (zero-
+      cost register/check ops and cost-1 edge steps);
+    - ``deepening_rounds`` — iterative-deepening rounds: witness-length
+      probes on the NFA route plus bound-doubling rounds of the
+      abstraction fallback;
+    - ``join_build_rows`` / ``join_probe_rows`` — rows hashed into /
+      probed against join tables (nested-loop joins count both sides);
+    - ``seeds_pruned`` — start nodes the planner's candidate analysis
+      removed before the per-seed shortest search;
+    - ``condition_evals`` — top-level ``WHERE`` condition evaluations.
+    """
+
+    nfa_states_expanded: int = 0
+    nfa_transitions: int = 0
+    deepening_rounds: int = 0
+    join_build_rows: int = 0
+    join_probe_rows: int = 0
+    seeds_pruned: int = 0
+    condition_evals: int = 0
+
+    def merge(self, other: "Union[EvalCounters, dict, None]") -> None:
+        """Add ``other``'s counts into this struct (thread-safe: used
+        by the service/cluster stats aggregates, which are shared)."""
+        if other is None:
+            return
+        if isinstance(other, EvalCounters):
+            other = other.as_dict()
+        with _MERGE_LOCK:
+            for name, value in other.items():
+                if value and hasattr(self, name):
+                    setattr(self, name, getattr(self, name) + int(value))
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def total(self) -> int:
+        return sum(self.as_dict().values())
+
+    def render(self) -> str:
+        """One human-readable line, zero fields elided (for explain)."""
+        parts = [
+            f"{name}={value}"
+            for name, value in self.as_dict().items()
+            if value
+        ]
+        return ", ".join(parts) if parts else "no work recorded"
+
+
+#: Merges target shared aggregates (ServiceStats.engine et al.).
+_MERGE_LOCK = threading.Lock()
+
+#: The counters struct the current evaluation writes into (``None``
+#: outside an evaluation — increments are skipped).
+_ACTIVE: "ContextVar[Optional[EvalCounters]]" = ContextVar(
+    "repro_obs_counters", default=None
+)
+
+
+def active_counters() -> Optional[EvalCounters]:
+    """The current evaluation's counters, or ``None``."""
+    return _ACTIVE.get()
+
+
+class use_counters:
+    """``with use_counters(c):`` — make ``c`` the ambient counters
+    struct for the scope (one per evaluate call)."""
+
+    __slots__ = ("_counters", "_token")
+
+    def __init__(self, counters: EvalCounters):
+        self._counters = counters
+        self._token = None
+
+    def __enter__(self) -> EvalCounters:
+        self._token = _ACTIVE.set(self._counters)
+        return self._counters
+
+    def __exit__(self, exc_type, exc, tb):
+        if self._token is not None:
+            _ACTIVE.reset(self._token)
+        return False

@@ -1,0 +1,74 @@
+"""Per-request deadline propagation.
+
+A client may bound how long it is willing to wait (``deadline_ms`` on
+``POST /query``). The server anchors an absolute ``time.monotonic``
+deadline on the request context; the engine's long-running loops call
+:func:`check_deadline` at round boundaries and abort with
+:class:`~repro.errors.DeadlineExceededError` — which the server maps
+to HTTP 504 with the partial span tree still recorded.
+
+Deadlines nest by taking the minimum: an inner scope can only tighten
+the budget, never extend it. Crossing a process boundary ships the
+*remaining* seconds (monotonic clocks are per-process); the worker
+re-anchors on arrival, so queue wait inside the pool is not charged
+against the budget — a deliberate, documented slack of one scheduling
+hop.
+"""
+
+from __future__ import annotations
+
+import time
+from contextvars import ContextVar
+from typing import Optional
+
+from repro.errors import DeadlineExceededError
+
+__all__ = ["deadline_scope", "remaining", "check_deadline"]
+
+#: Absolute ``time.monotonic()`` deadline, or ``None`` when unbounded.
+_DEADLINE: "ContextVar[Optional[float]]" = ContextVar(
+    "repro_obs_deadline", default=None
+)
+
+
+class deadline_scope:
+    """``with deadline_scope(seconds):`` — bound the scope to at most
+    ``seconds`` from now (no-op when ``seconds`` is ``None``; nested
+    scopes keep the tighter deadline)."""
+
+    __slots__ = ("_seconds", "_token")
+
+    def __init__(self, seconds: Optional[float]):
+        self._seconds = seconds
+        self._token = None
+
+    def __enter__(self):
+        if self._seconds is not None:
+            candidate = time.monotonic() + self._seconds
+            outer = _DEADLINE.get()
+            if outer is None or candidate < outer:
+                self._token = _DEADLINE.set(candidate)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if self._token is not None:
+            _DEADLINE.reset(self._token)
+        return False
+
+
+def remaining() -> Optional[float]:
+    """Seconds left before the ambient deadline (``None`` when
+    unbounded; can be negative once expired)."""
+    deadline = _DEADLINE.get()
+    if deadline is None:
+        return None
+    return deadline - time.monotonic()
+
+
+def check_deadline() -> None:
+    """Raise :class:`DeadlineExceededError` if the ambient deadline has
+    passed. Cheap enough for loop boundaries: one contextvar get and,
+    only when a deadline exists, one clock read."""
+    deadline = _DEADLINE.get()
+    if deadline is not None and time.monotonic() >= deadline:
+        raise DeadlineExceededError("request deadline exceeded")

@@ -1,0 +1,124 @@
+"""Prometheus text-exposition rendering for the stats surfaces.
+
+The serving layers already aggregate counters into nested ``as_dict``
+payloads (:class:`ServerStats`, :class:`ServiceStats`,
+:class:`ClusterStats`). This module flattens those payloads into the
+`Prometheus text format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ —
+``name value`` lines with ``# TYPE`` metadata — without the layers
+having to know anything about Prometheus:
+
+- nested mappings flatten with ``_``-joined names
+  (``{"result_cache": {"hits": 3}}`` → ``repro_service_result_cache_hits 3``);
+- the ``per_worker`` sub-mapping of cluster stats becomes *labeled*
+  series (``…{worker="pid-123"}``) instead of per-worker metric names,
+  which is the idiomatic Prometheus shape for a dynamic worker set;
+- latency summaries are skipped in favour of true fixed-bucket
+  histograms rendered from :meth:`LatencyRecorder.histogram`
+  (cumulative ``le`` buckets plus ``_sum``/``_count``).
+
+Everything emitted is a gauge-or-counter snapshot; no state is kept
+here.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Mapping, Optional
+
+__all__ = [
+    "sanitize",
+    "mapping_lines",
+    "histogram_lines",
+    "labeled_summary_lines",
+    "render_metrics",
+]
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_]")
+_LABEL_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+
+def sanitize(name: str) -> str:
+    """A valid Prometheus metric-name fragment."""
+    cleaned = _INVALID.sub("_", name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _escape_label(value: str) -> str:
+    return "".join(_LABEL_ESCAPES.get(ch, ch) for ch in value)
+
+
+def _format_value(value) -> Optional[str]:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return repr(value)
+    return None
+
+
+def mapping_lines(prefix: str, mapping: Mapping, *, skip: Iterable[str] = ()) -> list[str]:
+    """Flatten a nested mapping of numbers into exposition lines.
+
+    Non-numeric leaves are dropped (strings, lists); ``skip`` names
+    sub-keys the caller renders specially (histograms, per-worker
+    labels).
+    """
+    skipped = set(skip)
+    lines: list[str] = []
+    for key in sorted(mapping):
+        if key in skipped:
+            continue
+        value = mapping[key]
+        name = f"{prefix}_{sanitize(str(key))}"
+        if isinstance(value, Mapping):
+            lines.extend(mapping_lines(name, value, skip=skipped))
+            continue
+        formatted = _format_value(value)
+        if formatted is not None:
+            lines.append(f"{name} {formatted}")
+    return lines
+
+
+def histogram_lines(name: str, histogram: Mapping) -> list[str]:
+    """Render one histogram payload (``buckets``/``sum``/``count`` as
+    produced by :meth:`LatencyRecorder.histogram`) with *cumulative*
+    bucket counts and the trailing ``+Inf`` bucket, per the format."""
+    lines = [f"# TYPE {name} histogram"]
+    cumulative = 0
+    for upper, count in histogram["buckets"]:
+        cumulative += count
+        lines.append(f'{name}_bucket{{le="{upper}"}} {cumulative}')
+    lines.append(f'{name}_bucket{{le="+Inf"}} {histogram["count"]}')
+    lines.append(f"{name}_sum {repr(float(histogram['sum']))}")
+    lines.append(f"{name}_count {histogram['count']}")
+    return lines
+
+
+def labeled_summary_lines(
+    name: str, label: str, per_key: Mapping[str, Mapping]
+) -> list[str]:
+    """Render one labeled series per key from per-key summary dicts —
+    e.g. cluster per-worker shard latencies as
+    ``…_count{worker="pid-7"}``."""
+    lines: list[str] = []
+    for key in sorted(per_key):
+        summary = per_key[key]
+        tag = f'{{{label}="{_escape_label(str(key))}"}}'
+        for field in sorted(summary):
+            formatted = _format_value(summary[field])
+            if formatted is not None:
+                lines.append(f"{name}_{sanitize(field)}{tag} {formatted}")
+    return lines
+
+
+def render_metrics(sections: Mapping[str, Mapping]) -> str:
+    """Flatten ``{prefix: payload}`` sections into one exposition body
+    (generic counters only — callers append histogram/labeled lines)."""
+    lines: list[str] = []
+    for prefix in sections:
+        lines.extend(mapping_lines(prefix, sections[prefix]))
+    return "\n".join(lines) + "\n"

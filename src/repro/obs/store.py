@@ -1,0 +1,139 @@
+"""Bounded in-memory retention for finished traces.
+
+Recording every trace forever is a memory leak; recording none makes
+the tracer useless. :class:`TraceStore` keeps two ring buffers:
+
+- ``recent`` — the last *capacity* sampled traces (deterministic head
+  sampling: every ``sample_every``-th root span is kept, so retention
+  is reproducible rather than probabilistic);
+- ``slow`` — the last *slow_capacity* traces over the latency
+  threshold, kept regardless of sampling.
+
+Error traces and *forced* traces (the client sent ``X-Trace-Id``,
+explicitly asking to be traced) always land in ``recent`` — slow and
+broken requests are exactly the ones worth keeping, and an explicit
+trace id is a promise that ``GET /trace?id=…`` will find the tree.
+
+Traces are serialised to plain dicts on record, so the store never
+pins live ``Span`` objects (or, transitively, exception strings'
+tracebacks) beyond the request.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Optional
+
+__all__ = ["TraceStore"]
+
+
+def _has_error(span_dict: dict) -> bool:
+    if span_dict.get("error"):
+        return True
+    return any(_has_error(child) for child in span_dict.get("children", ()))
+
+
+class TraceStore:
+    """Ring-buffered retention of finished span trees."""
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        *,
+        slow_capacity: int = 64,
+        slow_threshold_s: float = 0.5,
+        sample_every: int = 1,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.slow_threshold_s = slow_threshold_s
+        self.sample_every = sample_every
+        self._recent: deque[dict] = deque(maxlen=capacity)
+        self._slow: deque[dict] = deque(maxlen=slow_capacity)
+        self._lock = threading.Lock()
+        self._seen = 0
+        self._recorded = 0
+        self._dropped = 0
+        self._slow_recorded = 0
+        self._error_recorded = 0
+
+    def record(self, root, *, forced: bool = False) -> Optional[dict]:
+        """Consider one finished root span for retention.
+
+        Returns the serialised tree when kept (in either buffer),
+        ``None`` when sampled out.
+        """
+        tree = root.to_dict()
+        if tree is None:  # a NullSpan — tracing disabled
+            return None
+        with self._lock:
+            self._seen += 1
+            slow = tree["duration_s"] >= self.slow_threshold_s
+            error = bool(_has_error(tree))
+            sampled = (self._seen - 1) % self.sample_every == 0
+            keep = forced or error or slow or sampled
+            if not keep:
+                self._dropped += 1
+                return None
+            self._recorded += 1
+            self._recent.append(tree)
+            if error:
+                self._error_recorded += 1
+            if slow:
+                self._slow_recorded += 1
+                self._slow.append(tree)
+            return tree
+
+    # -- retrieval ------------------------------------------------------
+
+    def recent(self, limit: Optional[int] = None) -> list[dict]:
+        """Most recent first."""
+        with self._lock:
+            items = list(self._recent)
+        items.reverse()
+        return items[:limit] if limit is not None else items
+
+    def slow(self, limit: Optional[int] = None) -> list[dict]:
+        """Slowest-log entries, most recent first."""
+        with self._lock:
+            items = list(self._slow)
+        items.reverse()
+        return items[:limit] if limit is not None else items
+
+    def find(self, trace_id: str) -> Optional[dict]:
+        """The retained tree for ``trace_id`` (newest match wins)."""
+        with self._lock:
+            for tree in reversed(self._recent):
+                if tree.get("trace_id") == trace_id:
+                    return tree
+            for tree in reversed(self._slow):
+                if tree.get("trace_id") == trace_id:
+                    return tree
+        return None
+
+    def counters(self) -> dict[str, int]:
+        """Retention counters for the /metrics surface."""
+        with self._lock:
+            return {
+                "seen": self._seen,
+                "recorded": self._recorded,
+                "dropped": self._dropped,
+                "slow": self._slow_recorded,
+                "errors": self._error_recorded,
+                "retained": len(self._recent),
+                "retained_slow": len(self._slow),
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._recent.clear()
+            self._slow.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceStore(retained={len(self._recent)}, "
+            f"slow={len(self._slow)}, seen={self._seen})"
+        )

@@ -9,8 +9,11 @@ layer in :mod:`repro.server.protocol`):
 ``POST /query``   evaluate one query (coalesced, see below)
 ``POST /batch``   evaluate a list of queries in one service batch
 ``POST /mutate``  apply a list of graph mutations in order
-``GET /explain``  the planner's strategy summary (``?query=...``)
+``GET /explain``  the planner's strategy summary (``?query=...``,
+                  add ``&analyze=1`` to run it and report engine work)
 ``GET /stats``    transport + service metrics (one composed payload)
+``GET /trace``    recorded span trees (``?id=<trace-id>`` for one)
+``GET /metrics``  the same counters in Prometheus text exposition
 ``GET /healthz``  liveness, version, drain state
 ==============  ======================================================
 
@@ -33,6 +36,22 @@ Three behaviours make it a *server* rather than plumbing:
   finish (including queued coalesced queries), then closes the
   underlying service.
 
+Two observability behaviours ride every request:
+
+- **end-to-end tracing** — each request runs under a root span from
+  the server's :class:`~repro.obs.trace.Tracer`. A client-supplied
+  ``X-Trace-Id`` header is honoured (and forces the trace into the
+  store past sampling); the assigned id is echoed back in the
+  response's ``X-Trace-Id`` header and resolvable via ``GET
+  /trace?id=...``. Coalesced queries carry their request context into
+  the evaluation thread (``contextvars.copy_context``), so service and
+  engine spans nest under the right root even when many requests share
+  one ``evaluate_batch`` dispatch.
+- **deadlines** — ``POST /query`` accepts ``"deadline_ms"``; the
+  budget rides the request context into the engine's deepening loops,
+  and a blown deadline answers ``504`` with the partial span tree
+  recorded in the trace store (5xx traces bypass sampling).
+
 Answers travel in the canonical :mod:`repro.server.wire` encoding, so
 an HTTP client can reconstruct the exact ``frozenset[Answer]`` the
 service computed.
@@ -41,13 +60,17 @@ service computed.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import json
+import logging
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
-from repro.errors import GPCError
+from repro.errors import DeadlineExceededError, GPCError
+from repro.obs import metrics as obs_metrics
+from repro.obs import NULL_SPAN, Tracer, TraceStore, current_span, deadline_scope, span
 from repro.server import wire
 from repro.server.protocol import (
     HttpRequest,
@@ -72,13 +95,27 @@ _STOP = object()
 ENCODE_INLINE_LIMIT = 64
 
 
+#: Content type of the Prometheus text exposition format.
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
 @dataclass
 class _Pending:
-    """One admitted ``/query`` request waiting in the coalescing queue."""
+    """One admitted ``/query`` request waiting in the coalescing queue.
+
+    ``ctx`` snapshots the request's :mod:`contextvars` context (root
+    span + deadline) so the evaluation thread the coalescer dispatches
+    to inherits both; ``root`` is the request's root span for the
+    coalesce-wait/dispatch child spans the coalescer adds on its
+    behalf; ``enqueued`` timestamps admission into the queue.
+    """
 
     query: str
     use_cache: bool
     future: asyncio.Future
+    ctx: contextvars.Context = field(default_factory=contextvars.copy_context)
+    root: Any = NULL_SPAN
+    enqueued: float = 0.0
 
 
 class GraphServer:
@@ -110,6 +147,8 @@ class GraphServer:
         "/mutate": ("POST",),
         "/explain": ("GET",),
         "/stats": ("GET",),
+        "/trace": ("GET",),
+        "/metrics": ("GET",),
         "/healthz": ("GET",),
     }
 
@@ -124,6 +163,12 @@ class GraphServer:
         coalesce_window_s: float = 0.001,
         coalesce_max: int = 16,
         close_service: bool = True,
+        tracing: bool = True,
+        trace_store: TraceStore | None = None,
+        trace_capacity: int = 256,
+        trace_sample_every: int = 1,
+        slow_threshold_s: float = 0.5,
+        log_requests: bool = False,
     ):
         if max_in_flight < 1:
             raise ValueError(f"max_in_flight must be >= 1, got {max_in_flight}")
@@ -135,6 +180,18 @@ class GraphServer:
             raise ValueError(f"coalesce_max must be >= 1, got {coalesce_max}")
         self.service = service
         self.stats = ServerStats()
+        self.tracer = Tracer(
+            trace_store
+            if trace_store is not None
+            else TraceStore(
+                trace_capacity,
+                slow_threshold_s=slow_threshold_s,
+                sample_every=trace_sample_every,
+            ),
+            enabled=tracing,
+        )
+        self.log_requests = log_requests
+        self._access_log = logging.getLogger("repro.server.access")
         self.max_in_flight = max_in_flight
         self.max_queue_depth = max_queue_depth
         self.coalesce_window_s = coalesce_window_s
@@ -233,10 +290,12 @@ class GraphServer:
                     return
                 if request is None:
                     return
-                status, payload = await self._handle_request(request)
+                status, payload, headers = await self._handle_request(request)
                 keep_alive = request.keep_alive and not self._draining
                 writer.write(
-                    render_response(status, payload, keep_alive=keep_alive)
+                    render_response(
+                        status, payload, keep_alive=keep_alive, headers=headers
+                    )
                 )
                 await writer.drain()
                 if not keep_alive:
@@ -253,30 +312,51 @@ class GraphServer:
 
     async def _handle_request(
         self, request: HttpRequest
-    ) -> tuple[int, Any]:
+    ) -> tuple[int, Any, dict[str, str]]:
         started = time.perf_counter()
         self.stats.count(requests=1)
         self._active_requests += 1
         self._all_idle.clear()
-        try:
-            status, payload = await self._route(request)
-        except ProtocolError as exc:
-            status, payload = exc.status, {"error": str(exc)}
-        except GPCError as exc:
-            # Library errors are the client's: bad syntax, unknown ids,
-            # type errors. The message names the exception class so the
-            # caller can tell a ParseError from an UnknownIdError.
-            status, payload = 400, {
-                "error": f"{type(exc).__name__}: {exc}"
-            }
-        except Exception as exc:  # pragma: no cover - defensive
-            status, payload = 500, {
-                "error": f"internal error: {type(exc).__name__}: {exc}"
-            }
-        finally:
-            self._active_requests -= 1
-            if self._active_requests == 0:
-                self._all_idle.set()
+        # A client-supplied X-Trace-Id is an explicit request to trace:
+        # it names the root span's trace and bypasses store sampling.
+        with self.tracer.trace(
+            "request",
+            trace_id=request.headers.get("x-trace-id"),
+            path=request.path,
+            method=request.method,
+        ) as root:
+            try:
+                status, payload = await self._route(request)
+            except ProtocolError as exc:
+                status, payload = exc.status, {"error": str(exc)}
+            except DeadlineExceededError as exc:
+                # Before GPCError (its base class): a blown deadline is
+                # the request's budget running out, not a bad request.
+                # The partial span tree lands in the store below (5xx
+                # traces bypass sampling).
+                self.stats.count(timeouts=1)
+                status, payload = 504, {
+                    "error": f"{type(exc).__name__}: {exc}"
+                }
+            except GPCError as exc:
+                # Library errors are the client's: bad syntax, unknown ids,
+                # type errors. The message names the exception class so the
+                # caller can tell a ParseError from an UnknownIdError.
+                status, payload = 400, {
+                    "error": f"{type(exc).__name__}: {exc}"
+                }
+            except Exception as exc:  # pragma: no cover - defensive
+                status, payload = 500, {
+                    "error": f"internal error: {type(exc).__name__}: {exc}"
+                }
+            finally:
+                self._active_requests -= 1
+                if self._active_requests == 0:
+                    self._all_idle.set()
+            if root:
+                root.set_attr("status", status)
+                if status >= 500:
+                    root.set_error(f"HTTP {status}")
         if status == 200:
             self.stats.count(responses=1)
         elif status in (429, 503):
@@ -285,8 +365,12 @@ class GraphServer:
             self.stats.count(responses=1, client_errors=1)
         else:
             self.stats.count(responses=1, server_errors=1)
-        self.stats.latency.record(time.perf_counter() - started)
-        return status, payload
+        elapsed = time.perf_counter() - started
+        self.stats.latency.record(elapsed)
+        headers = {"X-Trace-Id": root.trace_id} if root else {}
+        if self.log_requests:
+            self._log_access(request, status, elapsed, root)
+        return status, payload, headers
 
     async def _route(self, request: HttpRequest) -> tuple[int, Any]:
         methods = self.ROUTES.get(request.path)
@@ -304,6 +388,10 @@ class GraphServer:
             }
         if request.path == "/stats":
             return 200, self.stats.as_dict(self.service.stats)
+        if request.path == "/trace":
+            return self._handle_trace(request)
+        if request.path == "/metrics":
+            return 200, self._render_metrics()
         if self._draining:
             raise ProtocolError(503, "server is draining")
         if request.path == "/query":
@@ -319,18 +407,43 @@ class GraphServer:
     # ------------------------------------------------------------------
 
     async def _handle_query(self, request: HttpRequest) -> tuple[int, Any]:
-        body = json_body(request)
-        if not isinstance(body, dict) or not isinstance(
-            body.get("query"), str
-        ):
-            raise ProtocolError(400, 'body must be {"query": "<gpc>", ...}')
+        with span("server.parse"):
+            body = json_body(request)
+            if not isinstance(body, dict) or not isinstance(
+                body.get("query"), str
+            ):
+                raise ProtocolError(
+                    400, 'body must be {"query": "<gpc>", ...}'
+                )
+            deadline_ms = body.get("deadline_ms")
+            if deadline_ms is not None and (
+                isinstance(deadline_ms, bool)
+                or not isinstance(deadline_ms, (int, float))
+                or deadline_ms <= 0
+            ):
+                raise ProtocolError(
+                    400, '"deadline_ms" must be a positive number'
+                )
         if self._queue.qsize() >= self.max_queue_depth:
             raise ProtocolError(429, "query queue is full, retry later")
         future = self._loop.create_future()
         self.stats.count(queries=1)
-        self._queue.put_nowait(
-            _Pending(body["query"], bool(body.get("use_cache", True)), future)
-        )
+        # The deadline enters the contextvar context *before* the copy,
+        # so the engine's deepening loops see it in the evaluation
+        # thread the coalescer dispatches this pending to.
+        with deadline_scope(
+            deadline_ms / 1000.0 if deadline_ms is not None else None
+        ):
+            self._queue.put_nowait(
+                _Pending(
+                    body["query"],
+                    bool(body.get("use_cache", True)),
+                    future,
+                    ctx=contextvars.copy_context(),
+                    root=current_span() or NULL_SPAN,
+                    enqueued=time.perf_counter(),
+                )
+            )
         result = await future
         version = self.service.version
         # Small payloads encode inline; big answer sets hop to a
@@ -345,19 +458,27 @@ class GraphServer:
         )
 
     async def _handle_batch(self, request: HttpRequest) -> tuple[int, Any]:
-        body = json_body(request)
-        queries = body.get("queries") if isinstance(body, dict) else None
-        if not isinstance(queries, list) or not all(
-            isinstance(query, str) for query in queries
-        ):
-            raise ProtocolError(400, 'body must be {"queries": ["<gpc>", ...]}')
-        use_cache = bool(body.get("use_cache", True))
+        with span("server.parse"):
+            body = json_body(request)
+            queries = body.get("queries") if isinstance(body, dict) else None
+            if not isinstance(queries, list) or not all(
+                isinstance(query, str) for query in queries
+            ):
+                raise ProtocolError(
+                    400, 'body must be {"queries": ["<gpc>", ...]}'
+                )
+            use_cache = bool(body.get("use_cache", True))
+        # One context copy per query: each evaluation thread inherits
+        # this request's root span, so every member's service/engine
+        # spans share the batch request's trace id.
+        contexts = [contextvars.copy_context() for _ in queries]
         async with self._slot():
             outcomes = await asyncio.to_thread(
                 self.service.evaluate_batch,
                 queries,
                 use_cache=use_cache,
                 return_exceptions=True,
+                contexts=contexts,
             )
         self.stats.count(batches=1)
         version = self.service.version
@@ -381,8 +502,15 @@ class GraphServer:
         query = request.params.get("query")
         if not query:
             raise ProtocolError(400, "/explain expects ?query=<gpc>")
+        analyze = request.params.get("analyze", "").lower() in (
+            "1",
+            "true",
+            "yes",
+        )
         async with self._slot():
-            text = await asyncio.to_thread(self.service.explain, query)
+            text = await asyncio.to_thread(
+                self.service.explain, query, analyze=analyze
+            )
         return 200, {"explain": text, "version": self.service.version}
 
     def _render_answers(self, result, version: int) -> PreRendered:
@@ -406,6 +534,110 @@ class GraphServer:
                 {"results": results, "version": version}, sort_keys=True
             ).encode("utf-8")
         )
+
+    # ------------------------------------------------------------------
+    # Observability endpoints
+    # ------------------------------------------------------------------
+
+    def _handle_trace(self, request: HttpRequest) -> tuple[int, Any]:
+        store = self.tracer.store
+        trace_id = request.params.get("id")
+        if trace_id:
+            tree = store.find(trace_id)
+            if tree is None:
+                raise ProtocolError(404, f"no recorded trace {trace_id!r}")
+            return 200, {"trace": tree}
+        limit_param = request.params.get("limit")
+        limit = None
+        if limit_param is not None:
+            try:
+                limit = int(limit_param)
+            except ValueError as exc:
+                raise ProtocolError(
+                    400, f"bad limit {limit_param!r}"
+                ) from exc
+        return 200, {
+            "recent": store.recent(limit),
+            "slow": store.slow(limit),
+            "counters": store.counters(),
+        }
+
+    def _render_metrics(self) -> PreRendered:
+        """The whole serving stack's counters as one Prometheus text
+        exposition: transport (``repro_server_*``), service or cluster
+        runtime, engine work (``repro_engine_*``), true fixed-bucket
+        latency histograms, per-worker labeled series, and trace-store
+        accounting (``repro_traces_*``)."""
+        server = self.stats.as_dict()
+        service_stats = self.service.stats
+        service = service_stats.as_dict()
+        is_cluster = "scatters" in service
+        prefix = "repro_cluster" if is_cluster else "repro_service"
+        engine = service.pop("engine", None)
+        per_worker = service.pop("per_worker", None)
+        lines = obs_metrics.mapping_lines(
+            "repro_server", server, skip=("latency",)
+        )
+        lines.extend(
+            obs_metrics.histogram_lines(
+                "repro_server_request_latency_seconds",
+                self.stats.latency.histogram(),
+            )
+        )
+        lines.extend(
+            obs_metrics.mapping_lines(
+                prefix, service, skip=("latency", "shard_latency")
+            )
+        )
+        lines.extend(
+            obs_metrics.histogram_lines(
+                f"{prefix}_latency_seconds",
+                service_stats.latency.histogram(),
+            )
+        )
+        if is_cluster:
+            lines.extend(
+                obs_metrics.histogram_lines(
+                    "repro_cluster_shard_latency_seconds",
+                    service_stats.shard_latency.histogram(),
+                )
+            )
+        if per_worker:
+            lines.extend(
+                obs_metrics.labeled_summary_lines(
+                    "repro_cluster_worker_latency_seconds",
+                    "worker",
+                    per_worker,
+                )
+            )
+        if engine:
+            lines.extend(obs_metrics.mapping_lines("repro_engine", engine))
+        lines.extend(
+            obs_metrics.mapping_lines(
+                "repro_traces", self.tracer.store.counters()
+            )
+        )
+        body = "\n".join(lines) + "\n"
+        return PreRendered(
+            body.encode("utf-8"), content_type=METRICS_CONTENT_TYPE
+        )
+
+    def _log_access(
+        self, request: HttpRequest, status: int, elapsed: float, root
+    ) -> None:
+        """One structured JSON line per answered request."""
+        record: dict[str, Any] = {
+            "method": request.method,
+            "path": request.path,
+            "status": status,
+            "latency_ms": round(elapsed * 1000.0, 3),
+        }
+        if root:
+            record["trace_id"] = root.trace_id
+            batch = (root.attributes or {}).get("coalesce_batch")
+            if batch is not None:
+                record["coalesce_batch"] = batch
+        self._access_log.info(json.dumps(record, sort_keys=True))
 
     # ------------------------------------------------------------------
     # Admission control
@@ -453,20 +685,41 @@ class GraphServer:
     async def _dispatch(self, batch: list[_Pending]) -> None:
         try:
             self.stats.record_dispatch(len(batch))
+            # The coalescer acts on each request's behalf here, outside
+            # its contextvar context: the queue wait and the dispatch
+            # are timed as explicit child spans on each root.
+            now = time.perf_counter()
+            for pending in batch:
+                if pending.root:
+                    pending.root.child_timed(
+                        "server.coalesce_wait", pending.enqueued, now
+                    )
+                    pending.root.set_attr("coalesce_batch", len(batch))
             for flag in (True, False):
                 group = [p for p in batch if p.use_cache is flag]
                 if not group:
                     continue
                 queries = [pending.query for pending in group]
+                dispatched = time.perf_counter()
                 try:
                     outcomes = await asyncio.to_thread(
                         self.service.evaluate_batch,
                         queries,
                         use_cache=flag,
                         return_exceptions=True,
+                        contexts=[pending.ctx for pending in group],
                     )
                 except Exception as exc:
                     outcomes = [exc] * len(group)
+                done = time.perf_counter()
+                # Spans before futures: a root may be serialised into
+                # the trace store as soon as its request coroutine
+                # wakes, and the dispatch span must already be on it.
+                for pending in group:
+                    if pending.root:
+                        pending.root.child_timed(
+                            "server.dispatch", dispatched, done
+                        )
                 for pending, outcome in zip(group, outcomes):
                     if pending.future.done():
                         continue

@@ -35,13 +35,17 @@ class HttpServiceError(WireError):
 
 
 class ServerReply:
-    """One decoded reply: status plus the JSON payload."""
+    """One decoded reply: status, the JSON payload (or raw text for
+    non-JSON bodies like ``/metrics``), and the response headers."""
 
-    __slots__ = ("status", "payload")
+    __slots__ = ("status", "payload", "headers")
 
-    def __init__(self, status: int, payload: Any):
+    def __init__(
+        self, status: int, payload: Any, headers: dict[str, str] | None = None
+    ):
         self.status = status
         self.payload = payload
+        self.headers = headers or {}
 
     def raise_for_status(self) -> "ServerReply":
         if not 200 <= self.status < 300:
@@ -58,7 +62,11 @@ class HttpServiceClient:
     # -- transport ------------------------------------------------------
 
     def request(
-        self, method: str, path: str, body: Any | None = None
+        self,
+        method: str,
+        path: str,
+        body: Any | None = None,
+        headers: dict[str, str] | None = None,
     ) -> ServerReply:
         """One round trip; GETs reconnect once if the keep-alive
         connection was closed server-side (e.g. after a drain notice).
@@ -69,20 +77,30 @@ class HttpServiceClient:
         gets the connection error and decides.
         """
         encoded = None if body is None else json.dumps(body).encode("utf-8")
-        headers = {"Content-Type": "application/json"} if encoded else {}
+        sent = {"Content-Type": "application/json"} if encoded else {}
+        if headers:
+            sent.update(headers)
         try:
-            self._conn.request(method, path, body=encoded, headers=headers)
+            self._conn.request(method, path, body=encoded, headers=sent)
             response = self._conn.getresponse()
         except (ConnectionError, BrokenPipeError, OSError):
             self._conn.close()
             if method != "GET":
                 raise
             self._conn.connect()
-            self._conn.request(method, path, body=encoded, headers=headers)
+            self._conn.request(method, path, body=encoded, headers=sent)
             response = self._conn.getresponse()
         raw = response.read()
-        payload = json.loads(raw) if raw else None
-        return ServerReply(response.status, payload)
+        content_type = response.getheader("Content-Type", "")
+        if not raw:
+            payload: Any = None
+        elif content_type.startswith("application/json"):
+            payload = json.loads(raw)
+        else:
+            payload = raw.decode("utf-8")
+        return ServerReply(
+            response.status, payload, dict(response.getheaders())
+        )
 
     def close(self) -> None:
         self._conn.close()
@@ -95,10 +113,27 @@ class HttpServiceClient:
 
     # -- endpoints ------------------------------------------------------
 
-    def query(self, text: str, *, use_cache: bool = True) -> frozenset[Answer]:
-        """``POST /query`` decoded back to the exact answer frozenset."""
+    def query(
+        self,
+        text: str,
+        *,
+        use_cache: bool = True,
+        deadline_ms: float | None = None,
+        trace_id: str | None = None,
+    ) -> frozenset[Answer]:
+        """``POST /query`` decoded back to the exact answer frozenset.
+
+        ``deadline_ms`` bounds server-side evaluation (a blown budget
+        raises :class:`HttpServiceError` with status 504);
+        ``trace_id`` forces the request's trace into the server's
+        store under that id, retrievable via :meth:`trace`.
+        """
+        body: dict[str, Any] = {"query": text, "use_cache": use_cache}
+        if deadline_ms is not None:
+            body["deadline_ms"] = deadline_ms
+        headers = {"X-Trace-Id": trace_id} if trace_id is not None else None
         reply = self.request(
-            "POST", "/query", {"query": text, "use_cache": use_cache}
+            "POST", "/query", body, headers=headers
         ).raise_for_status()
         return wire.decode_answers(reply.payload)
 
@@ -121,16 +156,27 @@ class HttpServiceClient:
         """``POST /mutate`` (ops apply in order; see the server docs)."""
         return self.request("POST", "/mutate", {"ops": ops}).raise_for_status()
 
-    def explain(self, text: str) -> str:
+    def explain(self, text: str, *, analyze: bool = False) -> str:
         from urllib.parse import quote
 
-        reply = self.request(
-            "GET", f"/explain?query={quote(text)}"
-        ).raise_for_status()
+        target = f"/explain?query={quote(text)}"
+        if analyze:
+            target += "&analyze=1"
+        reply = self.request("GET", target).raise_for_status()
         return reply.payload["explain"]
 
     def stats(self) -> dict:
         return self.request("GET", "/stats").raise_for_status().payload
+
+    def trace(self, trace_id: str | None = None) -> dict:
+        """``GET /trace`` — one span tree by id, or the recent/slow
+        ring buffers plus store counters."""
+        target = "/trace" if trace_id is None else f"/trace?id={trace_id}"
+        return self.request("GET", target).raise_for_status().payload
+
+    def metrics(self) -> str:
+        """``GET /metrics`` — the Prometheus text exposition body."""
+        return self.request("GET", "/metrics").raise_for_status().payload
 
     def healthz(self) -> dict:
         return self.request("GET", "/healthz").raise_for_status().payload

@@ -42,6 +42,7 @@ STATUS_REASONS = {
     500: "Internal Server Error",
     501: "Not Implemented",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 #: Upper bound on the request head (request line + headers).
@@ -52,17 +53,20 @@ MAX_BODY_BYTES = 16 * 1024 * 1024
 
 
 class PreRendered:
-    """A response body already serialised to JSON bytes.
+    """A response body already serialised to bytes.
 
     Large answer payloads are encoded off the event loop (in a worker
     thread); wrapping the bytes in this marker lets
-    :func:`render_response` skip the on-loop ``json.dumps``.
+    :func:`render_response` skip the on-loop ``json.dumps``. A
+    non-JSON ``content_type`` (the ``/metrics`` text exposition) rides
+    the same marker.
     """
 
-    __slots__ = ("data",)
+    __slots__ = ("data", "content_type")
 
-    def __init__(self, data: bytes):
+    def __init__(self, data: bytes, content_type: str = "application/json"):
         self.data = data
+        self.content_type = content_type
 
 
 class ProtocolError(Exception):
@@ -206,12 +210,14 @@ def render_response(
     """
     if isinstance(payload, PreRendered):
         body = payload.data
+        content_type = payload.content_type
     else:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        content_type = "application/json"
     reason = STATUS_REASONS.get(status, "Unknown")
     lines = [
         f"HTTP/1.1 {status} {reason}",
-        "Content-Type: application/json",
+        f"Content-Type: {content_type}",
         f"Content-Length: {len(body)}",
         f"Connection: {'keep-alive' if keep_alive else 'close'}",
     ]

@@ -44,6 +44,9 @@ class ServerStats:
     client_errors: int = 0
     #: Unexpected 5xx answers.
     server_errors: int = 0
+    #: Requests that blew their ``deadline_ms`` budget (504 answers;
+    #: also counted in ``server_errors``).
+    timeouts: int = 0
     #: ``/query`` requests admitted into the coalescing queue.
     queries: int = 0
     #: ``evaluate_batch`` dispatches issued by the coalescer.
@@ -90,6 +93,7 @@ class ServerStats:
                 "rejected": self.rejected,
                 "client_errors": self.client_errors,
                 "server_errors": self.server_errors,
+                "timeouts": self.timeouts,
                 "queries": self.queries,
                 "dispatches": self.dispatches,
                 "coalesced": self.coalesced,

@@ -36,6 +36,7 @@ from collections import OrderedDict
 from typing import Callable, Hashable, TypeVar
 
 from repro.graph.delta import summarize_deltas
+from repro.obs.trace import span
 from repro.service.stats import CacheStats
 
 __all__ = ["LRUCache", "SemanticResultCache"]
@@ -105,7 +106,10 @@ class LRUCache:
                     self.stats.dedup_waits += 1
                     creating = False
             if not creating:
-                event.wait()
+                # The wait can dominate a request's plan stage (another
+                # thread is compiling); make it visible in traces.
+                with span("cache.dedup_wait"):
+                    event.wait()
                 continue  # re-probe: value published, or factory failed
             try:
                 created = factory()
@@ -233,7 +237,8 @@ class SemanticResultCache:
         # still a proof.
         summary = None
         if footprint is not None:
-            summary = self._chain_summary(entry_version)
+            with span("cache.delta_check"):
+                summary = self._chain_summary(entry_version)
         with self._lock:
             current = self._entries.get(key)
             if current is not entry or entry.version != entry_version:

@@ -26,6 +26,7 @@ evictions and latency percentiles for observability.
 
 from __future__ import annotations
 
+import contextvars
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -42,6 +43,8 @@ from repro.graph.ids import (
 )
 from repro.graph.property_graph import Constant, PropertyGraph
 from repro.graph.snapshot import GraphSnapshot
+from repro.gpc.explain import explain_counters
+from repro.obs import EvalCounters, span, use_counters
 from repro.service.cache import LRUCache, SemanticResultCache
 from repro.service.prepared import PreparedQuery
 from repro.service.stats import ServiceStats
@@ -201,12 +204,36 @@ class GraphService:
         )
 
     def explain(
-        self, query: str | ast.Query, config: EngineConfig | None = None
+        self,
+        query: str | ast.Query,
+        config: EngineConfig | None = None,
+        *,
+        analyze: bool = False,
     ) -> str:
         """The planner's strategy summary for ``query`` against the
         current graph version (joins, shared variables, cardinality
-        estimates, ``shortest`` start/end pruning)."""
-        return self.prepare(query, config).explain(self.snapshot())
+        estimates, ``shortest`` start/end pruning).
+
+        ``analyze=True`` additionally *runs* the query (cache-bypassed)
+        and appends the observed execution counters — answer count,
+        elapsed time, NFA/join/deepening work — so the planner's
+        estimates can be compared against what actually happened.
+        """
+        prepared = self.prepare(query, config)
+        snap = self.snapshot()
+        report = prepared.explain(snap)
+        if not analyze:
+            return report
+        counters = EvalCounters()
+        started = time.perf_counter()
+        with use_counters(counters):
+            result = prepared.execute(snap)
+        elapsed = time.perf_counter() - started
+        self.stats.engine.merge(counters)
+        observed = explain_counters(
+            counters, answers=len(result), elapsed_s=elapsed
+        )
+        return f"{report}\n{observed}"
 
     # ------------------------------------------------------------------
     # Evaluation (result cache + snapshots)
@@ -238,7 +265,9 @@ class GraphService:
         snap = self.snapshot()
         result_key = (query, config)
         if use_cache:
-            cached = self._result_cache.get(result_key, snap.version)
+            with span("service.cache_probe") as probe:
+                cached = self._result_cache.get(result_key, snap.version)
+                probe.set_attr("hit", cached is not None)
             if cached is not None:
                 self._record_query(started)
                 return cached
@@ -247,13 +276,41 @@ class GraphService:
             # bypass so hit_rate only reflects real cache probes.
             with self._lock:
                 self.stats.result_cache.bypasses += 1
-        prepared = self.prepare(query, config)
-        result = prepared.execute(snap)
+        with span("service.plan"):
+            prepared = self.prepare(query, config)
+        result = self._execute(prepared, snap)
         if use_cache:
             self._result_cache.put(
                 result_key, snap.version, prepared.footprint, result
             )
         self._record_query(started)
+        return result
+
+    def _execute(
+        self,
+        prepared: PreparedQuery,
+        snap: GraphSnapshot,
+        *,
+        start_restriction=None,
+    ) -> frozenset[Answer]:
+        """Run one prepared execution with engine work accounting.
+
+        A fresh :class:`EvalCounters` is made ambient for the call, then
+        merged into the service-wide aggregate and — when a trace is
+        active — attached to the ``service.eval`` span.
+        """
+        counters = EvalCounters()
+        with span("service.eval") as eval_span:
+            try:
+                with use_counters(counters):
+                    result = prepared.execute(
+                        snap, start_restriction=start_restriction
+                    )
+            finally:
+                self.stats.engine.merge(counters)
+                if eval_span:
+                    eval_span.set_attrs(counters.as_dict())
+            eval_span.set_attr("answers", len(result))
         return result
 
     def evaluate_batch(
@@ -263,6 +320,7 @@ class GraphService:
         *,
         use_cache: bool = True,
         return_exceptions: bool = False,
+        contexts: "Sequence[contextvars.Context] | None" = None,
     ) -> list[frozenset[Answer]]:
         """Evaluate independent queries concurrently.
 
@@ -277,7 +335,20 @@ class GraphService:
         With ``return_exceptions=True`` the failing positions hold the
         exception object (so callers keep sibling results); otherwise
         the first failure is raised after the full drain.
+
+        ``contexts`` (one :class:`contextvars.Context` per query)
+        carries each caller's ambient state — active trace span,
+        deadline — across the executor boundary: pool threads inherit
+        the *pool creator's* context, not the submitter's, so without
+        this the coalescer's per-request spans would detach. Each
+        context must be a distinct copy (a Context cannot be entered
+        concurrently).
         """
+        if contexts is not None and len(contexts) != len(queries):
+            raise ValueError(
+                f"contexts ({len(contexts)}) must match "
+                f"queries ({len(queries)})"
+            )
         with self._lock:
             self.stats.batches += 1
         if not queries:
@@ -290,12 +361,24 @@ class GraphService:
         # True) still lets everything submitted here run to completion.
         with self._lock:
             executor = self._ensure_executor()
-            futures = [
-                executor.submit(
-                    self.evaluate, query, config, use_cache=use_cache
-                )
-                for query in queries
-            ]
+            if contexts is None:
+                futures = [
+                    executor.submit(
+                        self.evaluate, query, config, use_cache=use_cache
+                    )
+                    for query in queries
+                ]
+            else:
+                futures = [
+                    executor.submit(
+                        ctx.run,
+                        self.evaluate,
+                        query,
+                        config,
+                        use_cache=use_cache,
+                    )
+                    for ctx, query in zip(contexts, queries)
+                ]
         outcomes: list = []
         for future in futures:
             try:

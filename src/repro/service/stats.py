@@ -11,10 +11,32 @@ evaluation.
 from __future__ import annotations
 
 import threading
+from bisect import bisect_left
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.obs.counters import EvalCounters
+
 __all__ = ["CacheStats", "LatencyRecorder", "ServiceStats"]
+
+#: Fixed histogram bucket upper bounds (seconds), Prometheus-style:
+#: sub-millisecond through ten seconds in a 1-2.5-5 progression.
+LATENCY_BUCKETS_S = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
 
 
 @dataclass
@@ -53,7 +75,7 @@ class CacheStats:
         lookups = self.lookups
         return self.hits / lookups if lookups else 0.0
 
-    def as_dict(self) -> dict[str, float]:
+    def as_dict(self) -> dict[str, int | float]:
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -78,13 +100,20 @@ class LatencyRecorder:
         self._samples: deque[float] = deque(maxlen=capacity)
         self._count = 0
         self._total = 0.0
+        #: All-time fixed-bucket counts (non-cumulative, one slot per
+        #: LATENCY_BUCKETS_S bound plus a final +Inf overflow slot) —
+        #: unlike the reservoir these never forget, so the /metrics
+        #: histograms remain monotone counters as Prometheus expects.
+        self._buckets = [0] * (len(LATENCY_BUCKETS_S) + 1)
         self._lock = threading.Lock()
 
     def record(self, seconds: float) -> None:
+        index = bisect_left(LATENCY_BUCKETS_S, seconds)
         with self._lock:
             self._samples.append(seconds)
             self._count += 1
             self._total += seconds
+            self._buckets[index] += 1
 
     @property
     def count(self) -> int:
@@ -135,6 +164,27 @@ class LatencyRecorder:
             "p99_s": _nearest_rank(window, 99),
         }
 
+    def histogram(self) -> dict[str, object]:
+        """All-time fixed-bucket counts for Prometheus exposition.
+
+        ``buckets`` pairs each :data:`LATENCY_BUCKETS_S` upper bound
+        with its (non-cumulative) count; samples above the largest
+        bound are only reflected in ``count``. The renderer
+        (:func:`repro.obs.metrics.histogram_lines`) accumulates and
+        adds the ``+Inf`` bucket.
+        """
+        with self._lock:
+            counts = list(self._buckets)
+            count = self._count
+            total = self._total
+        return {
+            "buckets": [
+                (bound, counts[i]) for i, bound in enumerate(LATENCY_BUCKETS_S)
+            ],
+            "sum": total,
+            "count": count,
+        }
+
 
 def _nearest_rank(window: list[float], p: float) -> float:
     """Nearest-rank percentile over an already-sorted window."""
@@ -157,6 +207,9 @@ class ServiceStats:
     #: Of the ``snapshots_built``, how many were derived incrementally
     #: from the previous version's snapshot instead of rebuilt.
     snapshots_derived: int = 0
+    #: Aggregate engine work counters across every evaluation (merged
+    #: per-call from the ambient EvalCounters; see repro.obs.counters).
+    engine: EvalCounters = field(default_factory=EvalCounters)
 
     def as_dict(self) -> dict[str, object]:
         """A JSON-serialisable flattening of every metric."""
@@ -168,4 +221,5 @@ class ServiceStats:
             "plan_cache": self.plan_cache.as_dict(),
             "result_cache": self.result_cache.as_dict(),
             "latency": self.latency.summary(),
+            "engine": self.engine.as_dict(),
         }

@@ -1,0 +1,118 @@
+"""Unit tests for the Prometheus text-exposition rendering and the
+fixed-bucket latency histogram that feeds it."""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    histogram_lines,
+    labeled_summary_lines,
+    mapping_lines,
+    render_metrics,
+    sanitize,
+)
+from repro.service.stats import LATENCY_BUCKETS_S, LatencyRecorder
+
+
+class TestSanitize:
+    def test_invalid_chars_become_underscores(self):
+        assert sanitize("shard-latency.p99") == "shard_latency_p99"
+
+    def test_leading_digit_is_prefixed(self):
+        assert sanitize("9lives") == "_9lives"
+
+
+class TestMappingLines:
+    def test_flattens_nested_mappings_sorted(self):
+        lines = mapping_lines(
+            "repro_service",
+            {"queries": 3, "result_cache": {"hits": 2, "misses": 1}},
+        )
+        assert lines == [
+            "repro_service_queries 3",
+            "repro_service_result_cache_hits 2",
+            "repro_service_result_cache_misses 1",
+        ]
+
+    def test_skips_named_keys_and_non_numeric_leaves(self):
+        lines = mapping_lines(
+            "x",
+            {"latency": {"p99": 1.0}, "name": "gpc", "count": 2, "on": True},
+            skip=("latency",),
+        )
+        assert lines == ["x_count 2", "x_on 1"]
+
+    def test_floats_render_exactly(self):
+        assert mapping_lines("x", {"rate": 0.5}) == ["x_rate 0.5"]
+
+
+class TestHistogramLines:
+    def test_cumulative_buckets_with_inf_sum_count(self):
+        lines = histogram_lines(
+            "lat",
+            {"buckets": [(0.1, 2), (0.5, 3), (1.0, 0)], "sum": 1.25, "count": 6},
+        )
+        assert lines[0] == "# TYPE lat histogram"
+        assert 'lat_bucket{le="0.1"} 2' in lines
+        assert 'lat_bucket{le="0.5"} 5' in lines  # cumulative
+        assert 'lat_bucket{le="1.0"} 5' in lines
+        assert 'lat_bucket{le="+Inf"} 6' in lines  # one overflow sample
+        assert "lat_sum 1.25" in lines
+        assert lines[-1] == "lat_count 6"
+
+
+class TestLabeledSummaryLines:
+    def test_one_series_per_key(self):
+        lines = labeled_summary_lines(
+            "work",
+            "worker",
+            {"pid-2": {"count": 4}, "pid-1": {"count": 7}},
+        )
+        assert lines == [
+            'work_count{worker="pid-1"} 7',
+            'work_count{worker="pid-2"} 4',
+        ]
+
+    def test_label_values_escaped(self):
+        lines = labeled_summary_lines(
+            "work", "worker", {'a"b\\c': {"count": 1}}
+        )
+        assert lines == ['work_count{worker="a\\"b\\\\c"} 1']
+
+
+class TestRenderMetrics:
+    def test_sections_concatenate_with_trailing_newline(self):
+        text = render_metrics({"a": {"x": 1}, "b": {"y": 2}})
+        assert text == "a_x 1\nb_y 2\n"
+
+
+class TestLatencyRecorderHistogram:
+    def test_empty_histogram_shape(self):
+        histogram = LatencyRecorder().histogram()
+        assert histogram["count"] == 0
+        assert histogram["sum"] == 0.0
+        assert [bound for bound, _ in histogram["buckets"]] == list(
+            LATENCY_BUCKETS_S
+        )
+        assert all(count == 0 for _, count in histogram["buckets"])
+
+    def test_samples_land_in_the_right_buckets(self):
+        recorder = LatencyRecorder()
+        recorder.record(0.0001)  # below the first bound -> first bucket
+        recorder.record(0.003)  # (0.0025, 0.005]
+        recorder.record(0.003)
+        recorder.record(99.0)  # beyond the last bound -> overflow
+        histogram = recorder.histogram()
+        counts = dict(histogram["buckets"])
+        assert counts[0.0005] == 1
+        assert counts[0.005] == 2
+        assert histogram["count"] == 4  # overflow sample still counted
+        assert sum(count for _, count in histogram["buckets"]) == 3
+        assert abs(histogram["sum"] - 99.0061) < 1e-9
+
+    def test_histogram_is_all_time_despite_bounded_reservoir(self):
+        recorder = LatencyRecorder(capacity=4)
+        for _ in range(20):
+            recorder.record(0.01)
+        histogram = recorder.histogram()
+        assert histogram["count"] == 20
+        assert dict(histogram["buckets"])[0.01] == 20

@@ -139,3 +139,33 @@ class TestLatencyRecorder:
             for thread in threads:
                 thread.join()
         assert recorder.summary()["count"] == recorder.count
+
+
+class TestCacheStatsRoundTrip:
+    """``as_dict`` must cover every counter field (its annotation says
+    ``int | float`` because ``hit_rate`` rides along) — a new dataclass
+    field that never reaches the payload is a silent metrics gap."""
+
+    def test_every_counter_field_round_trips(self):
+        from dataclasses import fields
+
+        distinct = {
+            f.name: i for i, f in enumerate(fields(CacheStats), start=1)
+        }
+        stats = CacheStats(**distinct)
+        payload = stats.as_dict()
+        for name, value in distinct.items():
+            assert payload[name] == value, f"{name} missing or mangled"
+
+    def test_payload_has_no_extra_keys_beyond_hit_rate(self):
+        from dataclasses import fields
+
+        payload = CacheStats().as_dict()
+        assert set(payload) == {f.name for f in fields(CacheStats)} | {
+            "hit_rate"
+        }
+
+    def test_hit_rate_is_float(self):
+        payload = CacheStats(hits=1, misses=3).as_dict()
+        assert payload["hit_rate"] == 0.25
+        assert isinstance(payload["hit_rate"], float)
