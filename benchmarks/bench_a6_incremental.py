@@ -62,10 +62,18 @@ def test_a6_snapshot_derivation_speed():
     per_derive = derive_time / repeats
 
     rebuilt, rebuild_time = time_call(lambda: GraphSnapshot(graph))
-    # Structural agreement between the two paths.
+    # Structural agreement between the two paths, asserted through the
+    # public API (the columnar core organises internals differently
+    # between a derived snapshot and a fresh rebuild by design).
     assert derived.version == rebuilt.version
-    assert derived._out == rebuilt._out
-    assert derived._nodes_by_label == rebuilt._nodes_by_label
+    assert all(
+        derived.out_edges(node) == rebuilt.out_edges(node)
+        for node in rebuilt.nodes
+    )
+    assert all(
+        derived.nodes_with_label(label) == rebuilt.nodes_with_label(label)
+        for label in rebuilt.all_labels()
+    )
     assert (
         derived.label_cardinalities() == rebuilt.label_cardinalities()
     )

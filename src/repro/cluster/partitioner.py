@@ -151,8 +151,10 @@ class SeedPartitioner:
         """LPT greedy: heaviest node to the lightest cell, with
         deterministic tie-breaks (cell index, then node order)."""
         count = min(self.num_partitions, max(1, len(universe)))
+        # ``num_edges_at`` is CSR offset subtraction on columnar
+        # snapshots — no adjacency tuples are materialised to weigh.
         weighted = sorted(
-            ((1 + view.degree(node), node) for node in universe),
+            ((1 + view.num_edges_at(node), node) for node in universe),
             key=lambda pair: (-pair[0], pair[1]),
         )
         heap = [(0, index) for index in range(count)]

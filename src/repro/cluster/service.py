@@ -129,6 +129,8 @@ class ClusterService:
                 self.stats.count(
                     snapshots_built=1,
                     snapshots_derived=1 if snap.derived else 0,
+                    snapshot_build_s=snap.build_s,
+                    csr_rows_patched=snap.csr_rows_patched,
                 )
             return snap
 

@@ -48,6 +48,12 @@ class ClusterStats:
     #: of the versions snapshotted, how many were derived incrementally.
     snapshots_built: int = 0
     snapshots_derived: int = 0
+    #: Cumulative seconds spent interning ids and building (or
+    #: patching) CSR snapshot columns, and the CSR adjacency rows
+    #: patched copy-on-write by derivations — same meaning as the
+    #: :class:`ServiceStats` counters.
+    snapshot_build_s: float = 0.0
+    csr_rows_patched: int = 0
     #: Aggregate engine work across every shard task (merged from each
     #: outcome's per-shard counters at gather time).
     engine: EvalCounters = field(default_factory=EvalCounters)
@@ -64,8 +70,8 @@ class ClusterStats:
                 recorder = self.per_worker[worker] = LatencyRecorder()
         recorder.record(seconds)
 
-    def count(self, **deltas: int) -> None:
-        """Atomically bump the named integer counters."""
+    def count(self, **deltas: float) -> None:
+        """Atomically bump the named numeric counters."""
         with self._lock:
             for name, delta in deltas.items():
                 setattr(self, name, getattr(self, name) + delta)
@@ -83,6 +89,8 @@ class ClusterStats:
             "deltas_shipped": self.deltas_shipped,
             "snapshots_built": self.snapshots_built,
             "snapshots_derived": self.snapshots_derived,
+            "snapshot_build_s": self.snapshot_build_s,
+            "csr_rows_patched": self.csr_rows_patched,
             "plan_cache": self.plan_cache.as_dict(),
             "result_cache": self.result_cache.as_dict(),
             "latency": self.latency.summary(),

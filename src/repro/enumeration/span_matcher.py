@@ -117,10 +117,17 @@ class _SpanMatcher:
     def _eval_edge(self, pattern: ast.EdgePattern) -> SpanTable:
         table: SpanTable = {}
         graph = self.graph
+        # ``edge in graph.directed_edges`` would scan the snapshot's
+        # carrier tuple — O(E) per path step.
+        has_directed = getattr(graph, "has_directed_edge", None)
         for i, (before, edge, after) in enumerate(self.path.steps()):
             if pattern.label is not None and pattern.label not in graph.labels(edge):
                 continue
-            if edge in graph.directed_edges:
+            if (
+                has_directed(edge)
+                if has_directed is not None
+                else edge in graph.directed_edges
+            ):
                 if pattern.direction is ast.Direction.FORWARD:
                     ok = graph.source(edge) == before and graph.target(edge) == after
                 elif pattern.direction is ast.Direction.BACKWARD:

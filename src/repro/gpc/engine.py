@@ -26,7 +26,7 @@ from dataclasses import dataclass, replace
 from repro.errors import EvaluationLimitError, RestrictorError
 from repro.obs.counters import active_counters
 from repro.obs.deadline import check_deadline
-from repro.graph.ids import NodeId
+from repro.graph.ids import DirectedEdgeId, NodeId, UndirectedEdgeId
 from repro.graph.paths import is_simple, is_trail
 from repro.graph.property_graph import PropertyGraph
 from repro.graph.snapshot import GraphSnapshot
@@ -49,7 +49,9 @@ from repro.automata.nfa import NFA
 from repro.gpc.register_nfa import (
     RegisterNFA,
     UnsupportedPattern,
+    compile_dense_program,
     compile_register_nfa,
+    dense_shortest_pair_lengths,
     enumerate_exact_length_walks,
     shortest_pair_lengths,
 )
@@ -371,7 +373,9 @@ class Evaluator:
             None if left_first else restriction,
         )
         left, right = (first, second) if left_first else (second, first)
-        return _hash_join(left, right, self.plan.join_variables(query))
+        return _hash_join(
+            left, right, self.plan.join_variables(query), self._view
+        )
 
     # ------------------------------------------------------------------
     # Restrictors
@@ -438,11 +442,22 @@ class Evaluator:
         answers: set[Match] = set()
         counters = active_counters()
         starts, end_filter = self._shortest_candidates(pattern, restriction)
+        view = self._view
+        # Columnar snapshots get the dense-id search: the register
+        # program is lowered onto the snapshot's interning tables once
+        # and shared across every seed.
+        use_dense = isinstance(view, GraphSnapshot)
+        program = compile_dense_program(rnfa, view) if use_dense else None
         for start in starts:
             # The per-seed search dominates shortest evaluation, so the
             # request deadline is checked once per seed.
             check_deadline()
-            best = shortest_pair_lengths(self._view, rnfa, start)
+            if use_dense:
+                best = dense_shortest_pair_lengths(
+                    view, rnfa, start, program=program
+                )
+            else:
+                best = shortest_pair_lengths(view, rnfa, start)
             for end in sorted(best):
                 if end_filter is not None and end not in end_filter:
                     continue
@@ -595,22 +610,50 @@ def _nested_loop_join(
     return frozenset(out)
 
 
+_ELEMENT_IDS = (NodeId, DirectedEdgeId, UndirectedEdgeId)
+
+
 def _hash_join(
     left: frozenset[Answer],
     right: frozenset[Answer],
     shared: tuple[str, ...],
+    view: object | None = None,
 ) -> frozenset[Answer]:
     """Combine two answer sets, bucketing on the shared variables.
 
     The hash table is built on the smaller side; path-tuple order in
     the combined answers always follows the query's left-to-right join
-    order, so the result is identical to the nested loop's.
+    order, so the result is identical to the nested loop's. Over a
+    columnar snapshot, element-id key components are replaced by their
+    interned dense ints — hashing a few small ints per row instead of
+    ``_Id`` wrappers. The mapping is deterministic per snapshot (equal
+    elements always get equal keys) and any accidental bucket collision
+    is filtered by ``combine()``'s full re-unification.
     """
     if not left or not right:
         return frozenset()
     if not shared:
         # Disjoint schemas: the join is a plain cross product.
         return _nested_loop_join(left, right)
+    dense_key = (
+        view.dense_key if isinstance(view, GraphSnapshot) else None
+    )
+    if dense_key is None:
+
+        def key_of(answer: Answer) -> tuple:
+            return tuple(answer.assignment.get(v) for v in shared)
+
+    else:
+
+        def key_of(answer: Answer) -> tuple:
+            get = answer.assignment.get
+            return tuple(
+                dense_key(value)
+                if isinstance(value, _ELEMENT_IDS)
+                else value
+                for value in (get(v) for v in shared)
+            )
+
     if len(left) <= len(right):
         build, probe, build_is_left = left, right, True
     else:
@@ -621,12 +664,10 @@ def _hash_join(
         counters.join_probe_rows += len(probe)
     buckets: dict[tuple, list[Answer]] = {}
     for answer in build:
-        key = tuple(answer.assignment.get(v) for v in shared)
-        buckets.setdefault(key, []).append(answer)
+        buckets.setdefault(key_of(answer), []).append(answer)
     out = []
     for answer in probe:
-        key = tuple(answer.assignment.get(v) for v in shared)
-        for mate in buckets.get(key, ()):
+        for mate in buckets.get(key_of(answer), ()):
             combined = (
                 mate.combine(answer) if build_is_left else answer.combine(mate)
             )

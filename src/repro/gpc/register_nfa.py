@@ -52,6 +52,9 @@ __all__ = [
     "UnsupportedPattern",
     "compile_register_nfa",
     "shortest_pair_lengths",
+    "DenseProgram",
+    "compile_dense_program",
+    "dense_shortest_pair_lengths",
     "enumerate_exact_length_walks",
 ]
 
@@ -349,6 +352,293 @@ def shortest_pair_lengths(
             counters.nfa_states_expanded += expanded
             counters.nfa_transitions += relaxed
     return best
+
+
+# ---------------------------------------------------------------------------
+# Dense-id fast path
+# ---------------------------------------------------------------------------
+#
+# When the view is a columnar :class:`~repro.graph.snapshot.GraphSnapshot`
+# the 0-1 BFS can run on interned integer ids and CSR slices instead of
+# ``_Id`` wrappers and adjacency tuples: node/edge identity becomes an
+# ``int``, label tests become membership in a pre-interned frozenset of
+# label ints, and neighbour expansion is a contiguous slice of two
+# parallel ``array('i')`` columns. Search states whose node lives only
+# in a derive overlay (or whose CSR row was patched) step through the
+# snapshot's view accessors instead, translating successors back into
+# dense keys, so mixed core/overlay graphs stay exact. The key
+# invariant is that the dense-key translation is deterministic per
+# snapshot — each element is keyed either always by its int or always
+# by its ``_Id`` — so register equality and ``dist`` dedup behave
+# exactly as in :func:`shortest_pair_lengths`.
+
+_OP_EPS = 0
+_OP_TEST = 1
+_OP_BIND = 2
+_OP_CHECK = 3
+_OP_RESET = 4
+
+_STEP_FORWARD = 0
+_STEP_BACKWARD = 1
+_STEP_UNDIRECTED = 2
+
+
+@dataclass(frozen=True)
+class DenseProgram:
+    """A register NFA lowered onto one snapshot's interning tables.
+
+    ``zero`` holds per-state tuples ``(kind, payload, target)`` with
+    ``kind`` one of the ``_OP_*`` codes; ``steps`` holds per-state
+    tuples ``(direction_code, label, label_int, variable, target)``.
+    ``label_int`` is ``-1`` when the label is not interned in the
+    snapshot's core (no core element can carry it)."""
+
+    zero: tuple
+    steps: tuple
+
+
+def compile_dense_program(nfa: RegisterNFA, snapshot) -> DenseProgram:
+    """Lower ``nfa``'s ops onto ``snapshot``'s label interning table.
+
+    Compile once per (pattern, snapshot) pair and reuse across seeds —
+    the result is only valid for the snapshot whose ``label_index`` it
+    captured."""
+    label_index = snapshot._core.label_index
+    zero = []
+    for transitions in nfa.zero:
+        row = []
+        for op, target in transitions:
+            if isinstance(op, _Eps):
+                row.append((_OP_EPS, None, target))
+            elif isinstance(op, _NodeTest):
+                row.append(
+                    (
+                        _OP_TEST,
+                        (op.label, label_index.get(op.label, -1)),
+                        target,
+                    )
+                )
+            elif isinstance(op, _Bind):
+                row.append((_OP_BIND, op.variable, target))
+            elif isinstance(op, _Check):
+                row.append((_OP_CHECK, op.condition, target))
+            elif isinstance(op, _Reset):
+                row.append((_OP_RESET, op.variables, target))
+            else:
+                raise TypeError(f"unknown op {op!r}")
+        zero.append(tuple(row))
+    steps = []
+    for transitions in nfa.steps:
+        row = []
+        for step, target in transitions:
+            if step.direction is Direction.FORWARD:
+                code = _STEP_FORWARD
+            elif step.direction is Direction.BACKWARD:
+                code = _STEP_BACKWARD
+            else:
+                code = _STEP_UNDIRECTED
+            label_int = (
+                -1
+                if step.label is None
+                else label_index.get(step.label, -1)
+            )
+            row.append((code, step.label, label_int, step.variable, target))
+        steps.append(tuple(row))
+    return DenseProgram(zero=tuple(zero), steps=tuple(steps))
+
+
+def dense_shortest_pair_lengths(
+    snapshot,
+    nfa: RegisterNFA,
+    start: NodeId,
+    state_budget: int = 2_000_000,
+    program: Optional[DenseProgram] = None,
+) -> dict[NodeId, int]:
+    """:func:`shortest_pair_lengths` specialised to a columnar
+    :class:`~repro.graph.snapshot.GraphSnapshot`.
+
+    Semantically identical (same 0-1 BFS, same budget, same counters);
+    returns real element ids. Core nodes with unpatched CSR rows expand
+    via integer column slices; overlay, shadowed, and dirty nodes fall
+    back to the view accessors."""
+    if program is None:
+        program = compile_dense_program(nfa, snapshot)
+    core = snapshot._core
+    dense = core.dense
+    elements = core.elements
+    labelset_of = core.labelset_of
+    labelsets_int = core.labelsets_int
+    out_off, out_edge, out_tgt = core.out_off, core.out_edge, core.out_tgt
+    in_off, in_edge, in_src = core.in_off, core.in_edge, core.in_src
+    und_off, und_edge, und_other = (
+        core.und_off,
+        core.und_edge,
+        core.und_other,
+    )
+    dirty = snapshot._dirty
+    shadow = snapshot._shadow
+    zero_prog = program.zero
+    step_prog = program.steps
+    final = nfa.final
+
+    initial = (snapshot.dense_start_key(start), nfa.initial, ())
+    dist: dict[tuple, int] = {initial: 0}
+    queue: deque[tuple] = deque([initial])
+    best: dict = {}
+    expanded = 0
+    relaxed = 0
+    try:
+        while queue:
+            state = queue.popleft()
+            expanded += 1
+            node, q, registers = state
+            d = dist[state]
+            if q == final and (node not in best or d < best[node]):
+                best[node] = d
+            node_is_int = type(node) is int
+            for kind, payload, target in zero_prog[q]:
+                if kind == _OP_EPS:
+                    updated = registers
+                elif kind == _OP_TEST:
+                    if node_is_int:
+                        label_int = payload[1]
+                        if (
+                            label_int < 0
+                            or label_int
+                            not in labelsets_int[labelset_of[node]]
+                        ):
+                            continue
+                    elif payload[0] not in snapshot.labels(node):
+                        continue
+                    updated = registers
+                elif kind == _OP_BIND:
+                    current = dict(registers)
+                    bound = current.get(payload)
+                    if bound is None:
+                        current[payload] = node
+                        updated = tuple(sorted(current.items()))
+                    elif bound == node:
+                        updated = registers
+                    else:
+                        continue
+                elif kind == _OP_CHECK:
+                    mu = Assignment(
+                        {
+                            v: elements[value] if type(value) is int else value
+                            for v, value in registers
+                        }
+                    )
+                    try:
+                        ok = satisfies(snapshot, mu, payload)
+                    except Exception:
+                        continue
+                    if not ok:
+                        continue
+                    updated = registers
+                else:  # _OP_RESET
+                    updated = tuple(
+                        (v, value)
+                        for v, value in registers
+                        if v not in payload
+                    )
+                key = (node, target, updated)
+                if key not in dist or dist[key] > d:
+                    dist[key] = d
+                    queue.appendleft(key)
+                    relaxed += 1
+            steps_here = step_prog[q]
+            if steps_here and node_is_int and not (dirty and node in dirty):
+                for code, label, label_int, variable, target in steps_here:
+                    if code == _STEP_FORWARD:
+                        lo, hi = out_off[node], out_off[node + 1]
+                        edge_col, succ_col = out_edge, out_tgt
+                    elif code == _STEP_BACKWARD:
+                        lo, hi = in_off[node], in_off[node + 1]
+                        edge_col, succ_col = in_edge, in_src
+                    else:
+                        lo, hi = und_off[node], und_off[node + 1]
+                        edge_col, succ_col = und_edge, und_other
+                    for i in range(lo, hi):
+                        edge = edge_col[i]
+                        if label is not None and (
+                            label_int < 0
+                            or label_int
+                            not in labelsets_int[labelset_of[edge]]
+                        ):
+                            continue
+                        updated = registers
+                        if variable is not None:
+                            current = dict(registers)
+                            bound = current.get(variable)
+                            if bound is None:
+                                current[variable] = edge
+                                updated = tuple(sorted(current.items()))
+                            elif bound != edge:
+                                continue
+                        key = (succ_col[i], target, updated)
+                        if key not in dist or dist[key] > d + 1:
+                            dist[key] = d + 1
+                            queue.append(key)
+                            relaxed += 1
+            elif steps_here:
+                real = elements[node] if node_is_int else node
+                for code, label, _label_int, variable, target in steps_here:
+                    if code == _STEP_FORWARD:
+                        pairs = [
+                            (e, snapshot.target(e))
+                            for e in snapshot.out_edges(real)
+                        ]
+                    elif code == _STEP_BACKWARD:
+                        pairs = [
+                            (e, snapshot.source(e))
+                            for e in snapshot.in_edges(real)
+                        ]
+                    else:
+                        pairs = [
+                            (e, snapshot.other_endpoint(e, real))
+                            for e in snapshot.undirected_edges_at(real)
+                        ]
+                    for edge, successor in pairs:
+                        if (
+                            label is not None
+                            and label not in snapshot.labels(edge)
+                        ):
+                            continue
+                        updated = registers
+                        if variable is not None:
+                            edge_key = dense.get(edge, edge)
+                            current = dict(registers)
+                            bound = current.get(variable)
+                            if bound is None:
+                                current[variable] = edge_key
+                                updated = tuple(sorted(current.items()))
+                            elif bound != edge_key:
+                                continue
+                        succ_dense = dense.get(successor)
+                        if succ_dense is None or (
+                            shadow and succ_dense in shadow
+                        ):
+                            succ_key = successor
+                        else:
+                            succ_key = succ_dense
+                        key = (succ_key, target, updated)
+                        if key not in dist or dist[key] > d + 1:
+                            dist[key] = d + 1
+                            queue.append(key)
+                            relaxed += 1
+            if len(dist) > state_budget:
+                raise EvaluationLimitError(
+                    f"register search exceeded {state_budget} states"
+                )
+    finally:
+        counters = active_counters()
+        if counters is not None:
+            counters.nfa_states_expanded += expanded
+            counters.nfa_transitions += relaxed
+    return {
+        (elements[node] if type(node) is int else node): d
+        for node, d in best.items()
+    }
 
 
 # ---------------------------------------------------------------------------

@@ -205,8 +205,17 @@ class PropertyGraph:
             snap: "GraphSnapshot | None" = None
             if cached is not None:
                 deltas = self.deltas_since(cached.version)
+                # The budget covers the *accumulated* overlay, not just
+                # this chain: a long run of tiny derives would otherwise
+                # grow the copy-on-write overlays (and the set of
+                # patched CSR rows the dense fast paths must detour
+                # around) without bound. Once the cumulative overlay
+                # work crosses the budget, a rebuild re-interns
+                # everything into fresh columns.
                 if deltas is not None and (
-                    sum(d.size for d in deltas) <= self._delta_budget()
+                    getattr(cached, "overlay_ops", 0)
+                    + sum(d.size for d in deltas)
+                    <= self._delta_budget()
                 ):
                     snap = GraphSnapshot.derive(cached, deltas)
                     self.snapshot_derivations += 1
@@ -599,6 +608,10 @@ class PropertyGraph:
             + len(self._undirected_at[node])
         )
 
+    def num_edges_at(self, node: NodeId) -> int:
+        """Alias of :meth:`degree` (snapshot API parity)."""
+        return self.degree(node)
+
     def neighbours(self, node: NodeId) -> frozenset[NodeId]:
         """Nodes reachable from ``node`` by traversing one edge in any
         legal direction (forward, backward, or undirected)."""
@@ -632,6 +645,12 @@ class PropertyGraph:
 
     def has_edge(self, edge: EdgeId) -> bool:
         return edge in self._dedge_labels or edge in self._uedge_labels
+
+    def has_directed_edge(self, edge: DirectedEdgeId) -> bool:
+        return edge in self._dedge_labels
+
+    def has_undirected_edge(self, edge: UndirectedEdgeId) -> bool:
+        return edge in self._uedge_labels
 
     def has_element(self, element: GraphElementId) -> bool:
         return (

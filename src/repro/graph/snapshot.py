@@ -1,38 +1,50 @@
-"""Immutable, index-heavy snapshots of a property graph.
+"""Immutable, columnar snapshots of a property graph.
 
-:class:`GraphSnapshot` is a frozen view of a :class:`~repro.graph.property_graph.PropertyGraph`
-taken at a specific :attr:`~GraphSnapshot.version`. It exposes the same
-read API the evaluation engine consults (``labels``, ``source``,
-``target``, ``endpoints``, ``get_property``, adjacency accessors,
-label indexes) but backs every accessor with data materialised once at
-construction time:
+:class:`GraphSnapshot` is a frozen view of a
+:class:`~repro.graph.property_graph.PropertyGraph` taken at a specific
+:attr:`~GraphSnapshot.version`. Its accessors keep the exact contracts
+of the original tuple/dict layout (element-id types, sorted iteration
+order, tuple-returning adjacency), but the data lives in a columnar
+core (:class:`repro.graph.columns.SnapshotColumns`):
 
-- adjacency (``out_edges`` / ``in_edges`` / ``undirected_edges_at``)
-  returns pre-built sorted **tuples** instead of re-freezing the
-  mutable ``set`` indexes on every call;
-- the carrier sets (``nodes``, ``directed_edges``,
-  ``undirected_edges``) are pre-sorted tuples, so the engine's
-  deterministic iteration order comes for free;
-- label→elements indexes are inverted once, turning the engine's
-  per-call label scans into dictionary lookups.
+- node/edge ids interned into dense integers, CSR (offsets + column)
+  adjacency in ``array`` buffers, interned label sets, per-key
+  property columns;
+- the public accessors are a **thin view** over that core — they
+  rebuild id-typed tuples lazily and memoise them, so the engine, the
+  footprint layer, and the cluster code see the same API as before;
+- the register-NFA ``shortest`` search and the hash join use the dense
+  ids directly (:meth:`dense_start_key` / :meth:`dense_key`), skipping
+  the view layer entirely on clean data.
 
-Snapshots are the unit of sharing in the query-service runtime
-(:mod:`repro.service`): they are safe to read from many threads
-concurrently and are memoised per graph version by
-:meth:`PropertyGraph.snapshot`, so repeated evaluations against an
-unchanged graph never rebuild the indexes.
+**Derivation** (:meth:`derive`) is copy-on-write at the *overlay*
+level: a derived snapshot shares its base's immutable core and layers
+small dicts on top — patched adjacency rows, added/removed elements,
+replaced property dicts, patched per-label membership tuples. Cost is
+proportional to the delta, not the graph, which preserves the >=5x
+derive-vs-rebuild bench (``bench_a6_incremental.py``). The overlays
+also record which dense rows are *dirty* (adjacency patched) or
+*shadowed* (a core id re-added with new labels), so the dense engine
+fast paths fall back to the view exactly where the core is stale.
 
-Accessors mirror :class:`PropertyGraph` semantically but return tuples
-where the mutable graph returns frozensets; the engine only iterates,
-sorts and counts these collections, so the two are interchangeable.
+**Pickling** goes through :meth:`__reduce__`: the core ships as raw
+id keys plus ``array.tobytes()`` buffers (one memcpy per column)
+instead of a deep object pickle — the payoff for
+:class:`~repro.cluster.backends.ProcessBackend` snapshot shipping.
+
+Snapshots are safe to read from many threads concurrently (lazy memos
+are idempotent dict fills) and are memoised per graph version by
+:meth:`PropertyGraph.snapshot`.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left, insort
+from time import perf_counter
 from typing import TYPE_CHECKING, Iterator, Mapping, Sequence
 
 from repro.errors import GraphError, UnknownIdError
+from repro.graph.columns import SnapshotColumns, build_columns
 from repro.graph.delta import GraphDelta
 from repro.graph.ids import (
     DirectedEdgeId,
@@ -48,14 +60,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = ["GraphSnapshot"]
 
 _EMPTY: tuple = ()
-
-
-def _invert_labels(table: Mapping) -> dict[str, tuple]:
-    by_label: dict[str, list] = {}
-    for element, labels in table.items():
-        for label in labels:
-            by_label.setdefault(label, []).append(element)
-    return {label: tuple(sorted(members)) for label, members in by_label.items()}
+_EMPTY_SET: frozenset = frozenset()
 
 
 # ---------------------------------------------------------------------------
@@ -81,8 +86,8 @@ class _NetChange:
     """Net membership change of one sorted collection across a chain.
 
     Re-adding an element the chain removed (or removing one it added)
-    cancels out, so big carrier tuples are patched once with the *net*
-    effect instead of once per operation.
+    cancels out, so big membership tuples are patched once with the
+    *net* effect instead of once per operation.
     """
 
     __slots__ = ("added", "removed")
@@ -125,17 +130,6 @@ def _net(nets: dict, label: str) -> _NetChange:
     return net
 
 
-def _patch_label_index(index: dict, nets: dict) -> None:
-    for label, net in nets.items():
-        if not net:
-            continue
-        members = net.patch(index.get(label, _EMPTY))
-        if members:
-            index[label] = members
-        else:
-            index.pop(label, None)
-
-
 class GraphSnapshot:
     """A read-only, fully indexed copy of one graph version.
 
@@ -146,51 +140,101 @@ class GraphSnapshot:
     __slots__ = (
         "version",
         "derived",
-        "_node_labels",
-        "_dedge_labels",
-        "_uedge_labels",
-        "_src",
-        "_tgt",
-        "_endpoints",
-        "_properties",
-        "_out",
-        "_in",
-        "_undirected_at",
+        "_core",
+        # Overlays — all empty on a rebuilt snapshot. ``_removed``
+        # holds real ids whose core entry is no longer authoritative;
+        # ``_shadow`` holds dense *node* ids re-added with possibly new
+        # labels (their core labelset is stale); ``_dirty`` holds dense
+        # node ids whose adjacency rows were patched.
+        "_removed",
+        "_shadow",
+        "_dirty",
+        "_ovl_node_labels",
+        "_ovl_dedge_labels",
+        "_ovl_uedge_labels",
+        "_ovl_src",
+        "_ovl_tgt",
+        "_ovl_endpoints",
+        "_ovl_props",
+        "_row_out",
+        "_row_in",
+        "_row_und",
+        "_ovl_nodes_by_label",
+        "_ovl_dedges_by_label",
+        "_ovl_uedges_by_label",
+        # Lazy memos (never pickled; rebuilt on demand).
         "_nodes",
         "_dedges",
         "_uedges",
-        "_nodes_by_label",
-        "_dedges_by_label",
-        "_uedges_by_label",
+        "_memo_out",
+        "_memo_in",
+        "_memo_und",
+        "_memo_nbl",
+        "_memo_dbl",
+        "_memo_ubl",
+        "_memo_endpoints",
+        "_memo_all_labels",
         "_label_cards",
+        # Metadata / observability.
+        "_overlay_ops",
+        "build_s",
+        "csr_rows_patched",
     )
 
     def __init__(self, graph: "PropertyGraph") -> None:
+        started = perf_counter()
         self.version = graph.version
         #: Whether this snapshot was produced by :meth:`derive` rather
         #: than a full rebuild (observability; no behavioural impact).
         self.derived = False
-        self._node_labels = dict(graph._node_labels)
-        self._dedge_labels = dict(graph._dedge_labels)
-        self._uedge_labels = dict(graph._uedge_labels)
-        self._src = dict(graph._src)
-        self._tgt = dict(graph._tgt)
-        self._endpoints = dict(graph._endpoints)
-        self._properties = {
-            element: dict(props) for element, props in graph._properties.items()
-        }
-        self._out = {n: tuple(sorted(s)) for n, s in graph._out.items()}
-        self._in = {n: tuple(sorted(s)) for n, s in graph._in.items()}
-        self._undirected_at = {
-            n: tuple(sorted(s)) for n, s in graph._undirected_at.items()
-        }
-        self._nodes = tuple(sorted(self._node_labels))
-        self._dedges = tuple(sorted(self._dedge_labels))
-        self._uedges = tuple(sorted(self._uedge_labels))
-        self._nodes_by_label = _invert_labels(self._node_labels)
-        self._dedges_by_label = _invert_labels(self._dedge_labels)
-        self._uedges_by_label = _invert_labels(self._uedge_labels)
+        self._core = build_columns(graph)
+        self._removed = _EMPTY_SET
+        self._shadow = _EMPTY_SET
+        self._dirty = _EMPTY_SET
+        self._ovl_node_labels = {}
+        self._ovl_dedge_labels = {}
+        self._ovl_uedge_labels = {}
+        self._ovl_src = {}
+        self._ovl_tgt = {}
+        self._ovl_endpoints = {}
+        self._ovl_props = {}
+        self._row_out = {}
+        self._row_in = {}
+        self._row_und = {}
+        self._ovl_nodes_by_label = {}
+        self._ovl_dedges_by_label = {}
+        self._ovl_uedges_by_label = {}
+        self._init_memos()
+        self._overlay_ops = 0
+        #: Seconds spent interning/building the CSR core (or patching
+        #: overlays when derived) — aggregated into ``ServiceStats``.
+        self.build_s = perf_counter() - started
+        #: Adjacency rows rewritten copy-on-write by :meth:`derive`
+        #: (0 for a full rebuild).
+        self.csr_rows_patched = 0
+
+    def _init_memos(self) -> None:
+        self._nodes = None
+        self._dedges = None
+        self._uedges = None
+        self._memo_out = {}
+        self._memo_in = {}
+        self._memo_und = {}
+        self._memo_nbl = {}
+        self._memo_dbl = {}
+        self._memo_ubl = {}
+        self._memo_endpoints = {}
+        self._memo_all_labels = None
         self._label_cards = None
+
+    @property
+    def overlay_ops(self) -> int:
+        """Accumulated delta operations layered over the core.
+
+        Grows along derive chains; :meth:`PropertyGraph.snapshot` uses
+        it to fall back to a full rebuild (fresh core, empty overlays)
+        once the overlays stop being "small"."""
+        return self._overlay_ops
 
     # ------------------------------------------------------------------
     # Incremental derivation
@@ -202,13 +246,13 @@ class GraphSnapshot:
     ) -> "GraphSnapshot":
         """Patch ``base`` with a contiguous delta chain.
 
-        Returns a snapshot structurally identical to a full rebuild at
-        the chain's final version, but built by copying only the
-        mappings the chain touches (untouched dicts and tuples are
-        shared with ``base``, which is immutable) and patching sorted
-        tuples by bisection instead of re-sorting. Cost is
-        ``O(|delta| * (log n + slice))`` rather than the rebuild's
-        ``O(n log n)`` — the win the mutation path needs.
+        Returns a snapshot semantically identical to a full rebuild at
+        the chain's final version, but built by sharing ``base``'s
+        immutable columnar core and copying only the (small) overlay
+        dicts. Adjacency rows touched by the chain are rewritten as
+        id-typed tuples in the row overlay; everything else stays in
+        the CSR columns. Cost is ``O(|delta| + |overlay|)`` rather than
+        the rebuild's ``O(n log n)`` — the win the mutation path needs.
 
         The chain must start at ``base.version + 1`` and be
         consecutive; anything else raises :class:`GraphError` (callers
@@ -216,6 +260,7 @@ class GraphSnapshot:
         """
         if not deltas:
             return base
+        started = perf_counter()
         expected = base.version
         for delta in deltas:
             expected += 1
@@ -226,346 +271,639 @@ class GraphSnapshot:
                     f"got {delta.version}"
                 )
 
-        nodes_touched = any(d.nodes_added or d.nodes_removed for d in deltas)
-        dedges_touched = any(
-            d.dedges_added or d.dedges_removed for d in deltas
-        )
-        uedges_touched = any(
-            d.uedges_added or d.uedges_removed for d in deltas
-        )
-        props_touched = any(
-            d.properties_set
-            or d.properties_removed
-            or any(
-                record.properties
-                for group in (
-                    d.nodes_added,
-                    d.nodes_removed,
-                    d.dedges_added,
-                    d.dedges_removed,
-                    d.uedges_added,
-                    d.uedges_removed,
-                )
-                for record in group
-            )
-            for d in deltas
-        )
+        core = base._core
+        dense = core.dense
+        n_nodes = core.n_nodes
+        removed = set(base._removed)
+        shadow = set(base._shadow)
+        dirty = set(base._dirty)
+        ovl_nl = dict(base._ovl_node_labels)
+        ovl_dl = dict(base._ovl_dedge_labels)
+        ovl_ul = dict(base._ovl_uedge_labels)
+        ovl_src = dict(base._ovl_src)
+        ovl_tgt = dict(base._ovl_tgt)
+        ovl_end = dict(base._ovl_endpoints)
+        ovl_props = dict(base._ovl_props)
+        row_out = dict(base._row_out)
+        row_in = dict(base._row_in)
+        row_und = dict(base._row_und)
+        rows_patched = 0
+        ops = 0
 
-        # Copy-on-write: only the mappings this chain mutates are
-        # copied; everything else is shared with the (immutable) base.
-        node_labels = (
-            dict(base._node_labels) if nodes_touched else base._node_labels
-        )
-        dedge_labels = (
-            dict(base._dedge_labels) if dedges_touched else base._dedge_labels
-        )
-        uedge_labels = (
-            dict(base._uedge_labels) if uedges_touched else base._uedge_labels
-        )
-        src = dict(base._src) if dedges_touched else base._src
-        tgt = dict(base._tgt) if dedges_touched else base._tgt
-        endpoints = dict(base._endpoints) if uedges_touched else base._endpoints
-        properties = (
-            dict(base._properties) if props_touched else base._properties
-        )
-        out_ = (
-            dict(base._out)
-            if nodes_touched or dedges_touched
-            else base._out
-        )
-        in_ = (
-            dict(base._in) if nodes_touched or dedges_touched else base._in
-        )
-        und_at = (
-            dict(base._undirected_at)
-            if nodes_touched or uedges_touched
-            else base._undirected_at
-        )
-        nodes_by_label = (
-            dict(base._nodes_by_label)
-            if nodes_touched
-            else base._nodes_by_label
-        )
-        dedges_by_label = (
-            dict(base._dedges_by_label)
-            if dedges_touched
-            else base._dedges_by_label
-        )
-        uedges_by_label = (
-            dict(base._uedges_by_label)
-            if uedges_touched
-            else base._uedges_by_label
-        )
-
-        node_net = _NetChange()
-        dedge_net = _NetChange()
-        uedge_net = _NetChange()
         node_label_nets: dict[str, _NetChange] = {}
         dedge_label_nets: dict[str, _NetChange] = {}
         uedge_label_nets: dict[str, _NetChange] = {}
 
+        def current_row(rows: dict, node, accessor) -> tuple:
+            row = rows.get(node)
+            return row if row is not None else accessor(node)
+
+        def patch_row(rows: dict, node, new_row: tuple) -> None:
+            nonlocal rows_patched
+            rows[node] = new_row
+            rows_patched += 1
+            d = dense.get(node)
+            if d is not None and d < n_nodes:
+                dirty.add(d)
+
+        def current_props(element) -> dict:
+            entry = ovl_props.get(element)
+            if entry is not None:
+                return dict(entry)
+            d = dense.get(element)
+            if d is None:
+                return {}
+            return {
+                key: col[d]
+                for key, col in core.prop_cols.items()
+                if d in col
+            }
+
         for delta in deltas:
+            ops += delta.size
             # Removals first (edge before node: a cascade's adjacency
             # entries must be empty before its node entry is dropped),
-            # then additions (node before edge), then property edits.
+            # then additions (node before edge), then property edits —
+            # the same order the mutable graph applied them in.
             for record in delta.dedges_removed:
-                del dedge_labels[record.id]
-                del src[record.id]
-                del tgt[record.id]
-                out_[record.source] = _tuple_discard(
-                    out_[record.source], record.id
-                )
-                in_[record.target] = _tuple_discard(
-                    in_[record.target], record.id
-                )
-                if record.properties:
-                    properties.pop(record.id, None)
-                dedge_net.remove(record.id)
-                for label in record.labels:
-                    _net(dedge_label_nets, label).remove(record.id)
-            for record in delta.uedges_removed:
-                del uedge_labels[record.id]
-                del endpoints[record.id]
-                for endpoint in record.endpoints:
-                    und_at[endpoint] = _tuple_discard(
-                        und_at[endpoint], record.id
-                    )
-                if record.properties:
-                    properties.pop(record.id, None)
-                uedge_net.remove(record.id)
-                for label in record.labels:
-                    _net(uedge_label_nets, label).remove(record.id)
-            for record in delta.nodes_removed:
-                del node_labels[record.id]
-                del out_[record.id]
-                del in_[record.id]
-                del und_at[record.id]
-                if record.properties:
-                    properties.pop(record.id, None)
-                node_net.remove(record.id)
-                for label in record.labels:
-                    _net(node_label_nets, label).remove(record.id)
-            for record in delta.nodes_added:
-                node_labels[record.id] = record.labels
-                out_[record.id] = _EMPTY
-                in_[record.id] = _EMPTY
-                und_at[record.id] = _EMPTY
-                if record.properties:
-                    properties[record.id] = dict(record.properties)
-                node_net.add(record.id)
-                for label in record.labels:
-                    _net(node_label_nets, label).add(record.id)
-            for record in delta.dedges_added:
-                dedge_labels[record.id] = record.labels
-                src[record.id] = record.source
-                tgt[record.id] = record.target
-                out_[record.source] = _tuple_insert(
-                    out_[record.source], record.id
-                )
-                in_[record.target] = _tuple_insert(
-                    in_[record.target], record.id
-                )
-                if record.properties:
-                    properties[record.id] = dict(record.properties)
-                dedge_net.add(record.id)
-                for label in record.labels:
-                    _net(dedge_label_nets, label).add(record.id)
-            for record in delta.uedges_added:
-                uedge_labels[record.id] = record.labels
-                endpoints[record.id] = record.endpoints
-                for endpoint in record.endpoints:
-                    und_at[endpoint] = _tuple_insert(
-                        und_at[endpoint], record.id
-                    )
-                if record.properties:
-                    properties[record.id] = dict(record.properties)
-                uedge_net.add(record.id)
-                for label in record.labels:
-                    _net(uedge_label_nets, label).add(record.id)
-            for element, key, value in delta.properties_set:
-                # Inner property dicts are shared with the base until
-                # first touched, then replaced wholesale.
-                entry = dict(properties.get(element, ()))
-                entry[key] = value
-                properties[element] = entry
-            for element, key in delta.properties_removed:
-                entry = dict(properties.get(element, ()))
-                entry.pop(key, None)
-                if entry:
-                    properties[element] = entry
+                edge = record.id
+                if ovl_dl.pop(edge, None) is not None:
+                    ovl_src.pop(edge, None)
+                    ovl_tgt.pop(edge, None)
                 else:
-                    properties.pop(element, None)
+                    removed.add(edge)
+                ovl_props.pop(edge, None)
+                patch_row(
+                    row_out,
+                    record.source,
+                    _tuple_discard(
+                        current_row(row_out, record.source, base.out_edges),
+                        edge,
+                    ),
+                )
+                patch_row(
+                    row_in,
+                    record.target,
+                    _tuple_discard(
+                        current_row(row_in, record.target, base.in_edges),
+                        edge,
+                    ),
+                )
+                for label in record.labels:
+                    _net(dedge_label_nets, label).remove(edge)
+            for record in delta.uedges_removed:
+                edge = record.id
+                if ovl_ul.pop(edge, None) is not None:
+                    ovl_end.pop(edge, None)
+                else:
+                    removed.add(edge)
+                ovl_props.pop(edge, None)
+                for endpoint in record.endpoints:
+                    patch_row(
+                        row_und,
+                        endpoint,
+                        _tuple_discard(
+                            current_row(
+                                row_und, endpoint, base.undirected_edges_at
+                            ),
+                            edge,
+                        ),
+                    )
+                for label in record.labels:
+                    _net(uedge_label_nets, label).remove(edge)
+            for record in delta.nodes_removed:
+                node = record.id
+                if ovl_nl.pop(node, None) is None:
+                    removed.add(node)
+                ovl_props.pop(node, None)
+                row_out.pop(node, None)
+                row_in.pop(node, None)
+                row_und.pop(node, None)
+                for label in record.labels:
+                    _net(node_label_nets, label).remove(node)
+            for record in delta.nodes_added:
+                node = record.id
+                ovl_nl[node] = record.labels
+                ovl_props[node] = dict(record.properties)
+                row_out[node] = _EMPTY
+                row_in[node] = _EMPTY
+                row_und[node] = _EMPTY
+                d = dense.get(node)
+                if d is not None:
+                    # Re-added core id: its core labelset/rows are
+                    # stale, so the dense fast paths must treat it as
+                    # an overlay element from now on.
+                    shadow.add(d)
+                    dirty.add(d)
+                for label in record.labels:
+                    _net(node_label_nets, label).add(node)
+            for record in delta.dedges_added:
+                edge = record.id
+                ovl_dl[edge] = record.labels
+                ovl_src[edge] = record.source
+                ovl_tgt[edge] = record.target
+                ovl_props[edge] = dict(record.properties)
+                patch_row(
+                    row_out,
+                    record.source,
+                    _tuple_insert(
+                        current_row(row_out, record.source, base.out_edges),
+                        edge,
+                    ),
+                )
+                patch_row(
+                    row_in,
+                    record.target,
+                    _tuple_insert(
+                        current_row(row_in, record.target, base.in_edges),
+                        edge,
+                    ),
+                )
+                for label in record.labels:
+                    _net(dedge_label_nets, label).add(edge)
+            for record in delta.uedges_added:
+                edge = record.id
+                ovl_ul[edge] = record.labels
+                ovl_end[edge] = record.endpoints
+                ovl_props[edge] = dict(record.properties)
+                for endpoint in record.endpoints:
+                    patch_row(
+                        row_und,
+                        endpoint,
+                        _tuple_insert(
+                            current_row(
+                                row_und, endpoint, base.undirected_edges_at
+                            ),
+                            edge,
+                        ),
+                    )
+                for label in record.labels:
+                    _net(uedge_label_nets, label).add(edge)
+            for element, key, value in delta.properties_set:
+                entry = current_props(element)
+                entry[key] = value
+                ovl_props[element] = entry
+            for element, key in delta.properties_removed:
+                entry = current_props(element)
+                entry.pop(key, None)
+                # An empty dict entry still masks stale core columns.
+                ovl_props[element] = entry
 
-        nodes = node_net.patch(base._nodes) if node_net else base._nodes
-        dedges = dedge_net.patch(base._dedges) if dedge_net else base._dedges
-        uedges = uedge_net.patch(base._uedges) if uedge_net else base._uedges
-        _patch_label_index(nodes_by_label, node_label_nets)
-        _patch_label_index(dedges_by_label, dedge_label_nets)
-        _patch_label_index(uedges_by_label, uedge_label_nets)
-
-        label_cards = None
-        if base._label_cards is not None:
-            label_cards = base._label_cards.patched(
-                num_nodes=len(nodes),
-                num_directed_edges=len(dedges),
-                num_undirected_edges=len(uedges),
-                node_counts={
-                    label: len(nodes_by_label.get(label, _EMPTY))
-                    for label, net in node_label_nets.items()
-                    if net
-                },
-                directed_edge_counts={
-                    label: len(dedges_by_label.get(label, _EMPTY))
-                    for label, net in dedge_label_nets.items()
-                    if net
-                },
-                undirected_edge_counts={
-                    label: len(uedges_by_label.get(label, _EMPTY))
-                    for label, net in uedge_label_nets.items()
-                    if net
-                },
-            )
+        # Per-label membership overlays: patch the base's *current*
+        # members with the chain's net change. A label emptied by the
+        # chain keeps a ``()`` sentinel so core columns stay masked —
+        # ``all_labels`` skips sentinels, so no ghost labels survive.
+        ovl_bl_n = dict(base._ovl_nodes_by_label)
+        ovl_bl_d = dict(base._ovl_dedges_by_label)
+        ovl_bl_u = dict(base._ovl_uedges_by_label)
+        for overlay, nets, accessor in (
+            (ovl_bl_n, node_label_nets, base.nodes_with_label),
+            (ovl_bl_d, dedge_label_nets, base.directed_edges_with_label),
+            (ovl_bl_u, uedge_label_nets, base.undirected_edges_with_label),
+        ):
+            for label, net in nets.items():
+                if not net:
+                    continue
+                current = overlay.get(label)
+                if current is None:
+                    current = accessor(label)
+                overlay[label] = net.patch(current)
 
         snap = object.__new__(cls)
         snap.version = expected
         snap.derived = True
-        snap._node_labels = node_labels
-        snap._dedge_labels = dedge_labels
-        snap._uedge_labels = uedge_labels
-        snap._src = src
-        snap._tgt = tgt
-        snap._endpoints = endpoints
-        snap._properties = properties
-        snap._out = out_
-        snap._in = in_
-        snap._undirected_at = und_at
-        snap._nodes = nodes
-        snap._dedges = dedges
-        snap._uedges = uedges
-        snap._nodes_by_label = nodes_by_label
-        snap._dedges_by_label = dedges_by_label
-        snap._uedges_by_label = uedges_by_label
-        snap._label_cards = label_cards
+        snap._core = core
+        snap._removed = removed
+        snap._shadow = shadow
+        snap._dirty = dirty
+        snap._ovl_node_labels = ovl_nl
+        snap._ovl_dedge_labels = ovl_dl
+        snap._ovl_uedge_labels = ovl_ul
+        snap._ovl_src = ovl_src
+        snap._ovl_tgt = ovl_tgt
+        snap._ovl_endpoints = ovl_end
+        snap._ovl_props = ovl_props
+        snap._row_out = row_out
+        snap._row_in = row_in
+        snap._row_und = row_und
+        snap._ovl_nodes_by_label = ovl_bl_n
+        snap._ovl_dedges_by_label = ovl_bl_d
+        snap._ovl_uedges_by_label = ovl_bl_u
+        snap._init_memos()
+        snap._overlay_ops = base._overlay_ops + ops
+        snap.csr_rows_patched = rows_patched
+        if base._label_cards is not None:
+            snap._label_cards = base._label_cards.patched(
+                num_nodes=snap.num_nodes,
+                num_directed_edges=snap.num_directed_edges,
+                num_undirected_edges=snap.num_undirected_edges,
+                node_counts={
+                    label: snap.num_nodes_with_label(label)
+                    for label, net in node_label_nets.items()
+                    if net
+                },
+                directed_edge_counts={
+                    label: snap.num_directed_edges_with_label(label)
+                    for label, net in dedge_label_nets.items()
+                    if net
+                },
+                undirected_edge_counts={
+                    label: snap.num_undirected_edges_with_label(label)
+                    for label, net in uedge_label_nets.items()
+                    if net
+                },
+            )
+        snap.build_s = perf_counter() - started
         return snap
+
+    # ------------------------------------------------------------------
+    # Buffer pickling (ProcessBackend snapshot shipping)
+    # ------------------------------------------------------------------
+
+    def __reduce__(self):
+        return (
+            _rebuild_snapshot,
+            (
+                self.version,
+                self.derived,
+                self._core.payload(),
+                self._overlay_payload(),
+                self._overlay_ops,
+                self.csr_rows_patched,
+            ),
+        )
+
+    def _overlay_payload(self):
+        if not (
+            self._removed
+            or self._ovl_node_labels
+            or self._ovl_dedge_labels
+            or self._ovl_uedge_labels
+            or self._ovl_props
+            or self._row_out
+            or self._row_in
+            or self._row_und
+            or self._ovl_nodes_by_label
+            or self._ovl_dedges_by_label
+            or self._ovl_uedges_by_label
+        ):
+            return None
+        return (
+            frozenset(self._removed),
+            frozenset(self._shadow),
+            frozenset(self._dirty),
+            self._ovl_node_labels,
+            self._ovl_dedge_labels,
+            self._ovl_uedge_labels,
+            self._ovl_src,
+            self._ovl_tgt,
+            self._ovl_endpoints,
+            self._ovl_props,
+            self._row_out,
+            self._row_in,
+            self._row_und,
+            self._ovl_nodes_by_label,
+            self._ovl_dedges_by_label,
+            self._ovl_uedges_by_label,
+        )
+
+    # ------------------------------------------------------------------
+    # Dense-id fast-path hooks (engine-facing)
+    # ------------------------------------------------------------------
+
+    def dense_key(self, element: GraphElementId):
+        """A hash/equality-stable compact key for ``element``.
+
+        Returns the interned dense int when the element is in the core
+        and not shadowed, else the element itself. Deterministic per
+        snapshot — equal elements always map to equal keys — which is
+        all the hash join and the register search need.
+        """
+        d = self._core.dense.get(element)
+        if d is None or (self._shadow and d in self._shadow):
+            return element
+        return d
+
+    def dense_start_key(self, node: NodeId):
+        """Like :meth:`dense_key` but only for *valid current nodes*
+        (register-search seeds come from the carriers)."""
+        core = self._core
+        d = core.dense.get(node)
+        if (
+            d is None
+            or d >= core.n_nodes
+            or (self._shadow and d in self._shadow)
+            or (self._removed and node in self._removed)
+        ):
+            return node
+        return d
 
     # ------------------------------------------------------------------
     # Formal accessors (same contracts as PropertyGraph)
     # ------------------------------------------------------------------
 
     def labels(self, element: GraphElementId) -> frozenset[str]:
-        for table in (self._node_labels, self._dedge_labels, self._uedge_labels):
-            if element in table:
+        core = self._core
+        d = core.dense.get(element)
+        if d is not None and not (self._removed and element in self._removed):
+            return core.labelsets[core.labelset_of[d]]
+        for table in (
+            self._ovl_node_labels,
+            self._ovl_dedge_labels,
+            self._ovl_uedge_labels,
+        ):
+            if table and element in table:
                 return table[element]
         raise UnknownIdError(f"unknown element {element!r}")
 
     def source(self, edge: DirectedEdgeId) -> NodeId:
-        try:
-            return self._src[edge]
-        except KeyError:
-            raise UnknownIdError(f"unknown directed edge {edge!r}") from None
+        core = self._core
+        d = core.dense.get(edge)
+        if d is not None and not (self._removed and edge in self._removed):
+            n = core.n_nodes
+            if n <= d < n + core.n_dedges:
+                return core.elements[core.src_col[d - n]]
+            raise UnknownIdError(f"unknown directed edge {edge!r}")
+        ovl = self._ovl_src
+        if ovl and edge in ovl:
+            return ovl[edge]
+        raise UnknownIdError(f"unknown directed edge {edge!r}")
 
     def target(self, edge: DirectedEdgeId) -> NodeId:
-        try:
-            return self._tgt[edge]
-        except KeyError:
-            raise UnknownIdError(f"unknown directed edge {edge!r}") from None
+        core = self._core
+        d = core.dense.get(edge)
+        if d is not None and not (self._removed and edge in self._removed):
+            n = core.n_nodes
+            if n <= d < n + core.n_dedges:
+                return core.elements[core.tgt_col[d - n]]
+            raise UnknownIdError(f"unknown directed edge {edge!r}")
+        ovl = self._ovl_tgt
+        if ovl and edge in ovl:
+            return ovl[edge]
+        raise UnknownIdError(f"unknown directed edge {edge!r}")
 
     def endpoints(self, edge: UndirectedEdgeId) -> frozenset[NodeId]:
-        try:
-            return self._endpoints[edge]
-        except KeyError:
-            raise UnknownIdError(f"unknown undirected edge {edge!r}") from None
+        core = self._core
+        d = core.dense.get(edge)
+        if d is not None and not (self._removed and edge in self._removed):
+            first = core.n_nodes + core.n_dedges
+            if d < first:
+                raise UnknownIdError(f"unknown undirected edge {edge!r}")
+            memo = self._memo_endpoints
+            ends = memo.get(edge)
+            if ends is None:
+                j = d - first
+                elements = core.elements
+                ends = memo[edge] = frozenset(
+                    (elements[core.ua_col[j]], elements[core.ub_col[j]])
+                )
+            return ends
+        ovl = self._ovl_endpoints
+        if ovl and edge in ovl:
+            return ovl[edge]
+        raise UnknownIdError(f"unknown undirected edge {edge!r}")
 
     def get_property(self, element: GraphElementId, key: str) -> "Constant | None":
-        props = self._properties.get(element)
-        if props is not None:
-            return props.get(key)
-        if not self.has_element(element):
-            raise UnknownIdError(f"unknown element {element!r}")
-        return None
+        ovl = self._ovl_props
+        if ovl and element in ovl:
+            return ovl[element].get(key)
+        core = self._core
+        d = core.dense.get(element)
+        if d is not None and not (self._removed and element in self._removed):
+            col = core.prop_cols.get(key)
+            return col.get(d) if col is not None else None
+        if self._has_overlay_element(element):
+            return None
+        raise UnknownIdError(f"unknown element {element!r}")
 
     def has_property(self, element: GraphElementId, key: str) -> bool:
         return self.get_property(element, key) is not None
 
     def properties(self, element: GraphElementId) -> Mapping[str, "Constant"]:
-        if not self.has_element(element):
-            raise UnknownIdError(f"unknown element {element!r}")
-        return dict(self._properties.get(element, {}))
+        ovl = self._ovl_props
+        if ovl and element in ovl:
+            return dict(ovl[element])
+        core = self._core
+        d = core.dense.get(element)
+        if d is not None and not (self._removed and element in self._removed):
+            return {
+                key: col[d]
+                for key, col in core.prop_cols.items()
+                if d in col
+            }
+        if self._has_overlay_element(element):
+            return {}
+        raise UnknownIdError(f"unknown element {element!r}")
+
+    def _has_overlay_element(self, element) -> bool:
+        for table in (
+            self._ovl_node_labels,
+            self._ovl_dedge_labels,
+            self._ovl_uedge_labels,
+        ):
+            if table and element in table:
+                return True
+        return False
 
     # ------------------------------------------------------------------
     # Carrier sets and counting
     # ------------------------------------------------------------------
 
+    def _carrier(self, base: tuple, id_type: type, overlay: dict) -> tuple:
+        removed = self._removed
+        if not removed and not overlay:
+            return base
+        items = list(base)
+        if removed:
+            for item in sorted(
+                (x for x in removed if type(x) is id_type), reverse=True
+            ):
+                index = bisect_left(items, item)
+                if index < len(items) and items[index] == item:
+                    del items[index]
+        for item in overlay:
+            insort(items, item)
+        return tuple(items)
+
     @property
     def nodes(self) -> tuple[NodeId, ...]:
         """The node set ``N`` as a sorted tuple."""
-        return self._nodes
+        out = self._nodes
+        if out is None:
+            out = self._nodes = self._carrier(
+                self._core.node_ids, NodeId, self._ovl_node_labels
+            )
+        return out
 
     @property
     def directed_edges(self) -> tuple[DirectedEdgeId, ...]:
-        return self._dedges
+        out = self._dedges
+        if out is None:
+            out = self._dedges = self._carrier(
+                self._core.dedge_ids, DirectedEdgeId, self._ovl_dedge_labels
+            )
+        return out
 
     @property
     def undirected_edges(self) -> tuple[UndirectedEdgeId, ...]:
-        return self._uedges
+        out = self._uedges
+        if out is None:
+            out = self._uedges = self._carrier(
+                self._core.uedge_ids, UndirectedEdgeId, self._ovl_uedge_labels
+            )
+        return out
+
+    def _count(self, core_count: int, id_type: type, overlay: dict) -> int:
+        if self._removed:
+            core_count -= sum(
+                1 for x in self._removed if type(x) is id_type
+            )
+        return core_count + len(overlay)
 
     @property
     def num_nodes(self) -> int:
-        return len(self._nodes)
+        cached = self._nodes
+        if cached is not None:
+            return len(cached)
+        return self._count(self._core.n_nodes, NodeId, self._ovl_node_labels)
 
     @property
     def num_directed_edges(self) -> int:
-        return len(self._dedges)
+        cached = self._dedges
+        if cached is not None:
+            return len(cached)
+        return self._count(
+            self._core.n_dedges, DirectedEdgeId, self._ovl_dedge_labels
+        )
 
     @property
     def num_undirected_edges(self) -> int:
-        return len(self._uedges)
+        cached = self._uedges
+        if cached is not None:
+            return len(cached)
+        return self._count(
+            self._core.n_uedges, UndirectedEdgeId, self._ovl_uedge_labels
+        )
 
     @property
     def num_edges(self) -> int:
-        return len(self._dedges) + len(self._uedges)
+        return self.num_directed_edges + self.num_undirected_edges
 
     def iter_nodes(self) -> Iterator[NodeId]:
-        return iter(self._nodes)
+        return iter(self.nodes)
 
     def iter_directed_edges(self) -> Iterator[DirectedEdgeId]:
-        return iter(self._dedges)
+        return iter(self.directed_edges)
 
     def iter_undirected_edges(self) -> Iterator[UndirectedEdgeId]:
-        return iter(self._uedges)
+        return iter(self.undirected_edges)
 
     # ------------------------------------------------------------------
     # Label indexes (O(1) lookups, unlike the mutable graph's scans)
     # ------------------------------------------------------------------
 
+    def _core_label_members(
+        self, table: dict, label: str, memo: dict
+    ) -> tuple:
+        hit = memo.get(label)
+        if hit is not None:
+            return hit
+        core = self._core
+        li = core.label_index.get(label)
+        arr = table.get(li) if li is not None else None
+        if arr is None:
+            hit = _EMPTY
+        else:
+            elements = core.elements
+            hit = tuple(elements[d] for d in arr)
+        memo[label] = hit
+        return hit
+
     def nodes_with_label(self, label: str) -> tuple[NodeId, ...]:
-        return self._nodes_by_label.get(label, _EMPTY)
+        ovl = self._ovl_nodes_by_label
+        if ovl:
+            hit = ovl.get(label)
+            if hit is not None:
+                return hit
+        return self._core_label_members(
+            self._core.nodes_by_label, label, self._memo_nbl
+        )
 
     def directed_edges_with_label(self, label: str) -> tuple[DirectedEdgeId, ...]:
-        return self._dedges_by_label.get(label, _EMPTY)
+        ovl = self._ovl_dedges_by_label
+        if ovl:
+            hit = ovl.get(label)
+            if hit is not None:
+                return hit
+        return self._core_label_members(
+            self._core.dedges_by_label, label, self._memo_dbl
+        )
 
     def undirected_edges_with_label(
         self, label: str
     ) -> tuple[UndirectedEdgeId, ...]:
-        return self._uedges_by_label.get(label, _EMPTY)
+        ovl = self._ovl_uedges_by_label
+        if ovl:
+            hit = ovl.get(label)
+            if hit is not None:
+                return hit
+        return self._core_label_members(
+            self._core.uedges_by_label, label, self._memo_ubl
+        )
 
     def all_labels(self) -> frozenset[str]:
-        return frozenset(self._nodes_by_label) | frozenset(
-            self._dedges_by_label
-        ) | frozenset(self._uedges_by_label)
+        out = self._memo_all_labels
+        if out is not None:
+            return out
+        core = self._core
+        names = core.label_names
+        found: set[str] = set()
+        for table, overlay in (
+            (core.nodes_by_label, self._ovl_nodes_by_label),
+            (core.dedges_by_label, self._ovl_dedges_by_label),
+            (core.uedges_by_label, self._ovl_uedges_by_label),
+        ):
+            for li, arr in table.items():
+                name = names[li]
+                if overlay and name in overlay:
+                    continue  # the overlay decides (may be emptied)
+                if arr:
+                    found.add(name)
+            if overlay:
+                for name, members in overlay.items():
+                    if members:
+                        found.add(name)
+        out = self._memo_all_labels = frozenset(found)
+        return out
 
     # ------------------------------------------------------------------
     # Per-label cardinalities (consumed by the query planner)
     # ------------------------------------------------------------------
 
+    def _label_count(self, table: dict, overlay: dict, label: str) -> int:
+        if overlay:
+            hit = overlay.get(label)
+            if hit is not None:
+                return len(hit)
+        core = self._core
+        li = core.label_index.get(label)
+        arr = table.get(li) if li is not None else None
+        return len(arr) if arr is not None else 0
+
     def num_nodes_with_label(self, label: str) -> int:
-        return len(self._nodes_by_label.get(label, _EMPTY))
+        return self._label_count(
+            self._core.nodes_by_label, self._ovl_nodes_by_label, label
+        )
 
     def num_directed_edges_with_label(self, label: str) -> int:
-        return len(self._dedges_by_label.get(label, _EMPTY))
+        return self._label_count(
+            self._core.dedges_by_label, self._ovl_dedges_by_label, label
+        )
 
     def num_undirected_edges_with_label(self, label: str) -> int:
-        return len(self._uedges_by_label.get(label, _EMPTY))
+        return self._label_count(
+            self._core.uedges_by_label, self._ovl_uedges_by_label, label
+        )
 
     def label_cardinalities(self):
         """The snapshot's per-label count summary, built once.
@@ -577,22 +915,32 @@ class GraphSnapshot:
         if self._label_cards is None:
             from repro.graph.statistics import LabelCardinalities
 
+            names = self._core.label_names
+            counts: list[dict[str, int]] = []
+            for table, overlay in (
+                (self._core.nodes_by_label, self._ovl_nodes_by_label),
+                (self._core.dedges_by_label, self._ovl_dedges_by_label),
+                (self._core.uedges_by_label, self._ovl_uedges_by_label),
+            ):
+                per_label: dict[str, int] = {}
+                for li, arr in table.items():
+                    name = names[li]
+                    if overlay and name in overlay:
+                        continue
+                    if arr:
+                        per_label[name] = len(arr)
+                if overlay:
+                    for name, members in overlay.items():
+                        if members:
+                            per_label[name] = len(members)
+                counts.append(per_label)
             self._label_cards = LabelCardinalities(
-                num_nodes=len(self._nodes),
-                num_directed_edges=len(self._dedges),
-                num_undirected_edges=len(self._uedges),
-                node_counts={
-                    label: len(members)
-                    for label, members in self._nodes_by_label.items()
-                },
-                directed_edge_counts={
-                    label: len(members)
-                    for label, members in self._dedges_by_label.items()
-                },
-                undirected_edge_counts={
-                    label: len(members)
-                    for label, members in self._uedges_by_label.items()
-                },
+                num_nodes=self.num_nodes,
+                num_directed_edges=self.num_directed_edges,
+                num_undirected_edges=self.num_undirected_edges,
+                node_counts=counts[0],
+                directed_edge_counts=counts[1],
+                undirected_edge_counts=counts[2],
             )
         return self._label_cards
 
@@ -600,38 +948,115 @@ class GraphSnapshot:
     # Adjacency
     # ------------------------------------------------------------------
 
+    def _core_node_dense(self, node: NodeId) -> int:
+        core = self._core
+        d = core.dense.get(node)
+        if (
+            d is None
+            or d >= core.n_nodes
+            or (self._removed and node in self._removed)
+        ):
+            raise UnknownIdError(f"unknown node {node!r}")
+        return d
+
     def out_edges(self, node: NodeId) -> tuple[DirectedEdgeId, ...]:
-        try:
-            return self._out[node]
-        except KeyError:
-            raise UnknownIdError(f"unknown node {node!r}") from None
+        ovl = self._row_out
+        if ovl:
+            hit = ovl.get(node)
+            if hit is not None:
+                return hit
+        memo = self._memo_out
+        hit = memo.get(node)
+        if hit is not None:
+            return hit
+        core = self._core
+        d = self._core_node_dense(node)
+        elements = core.elements
+        col = core.out_edge
+        off = core.out_off
+        hit = memo[node] = tuple(
+            elements[col[i]] for i in range(off[d], off[d + 1])
+        )
+        return hit
 
     def in_edges(self, node: NodeId) -> tuple[DirectedEdgeId, ...]:
-        try:
-            return self._in[node]
-        except KeyError:
-            raise UnknownIdError(f"unknown node {node!r}") from None
+        ovl = self._row_in
+        if ovl:
+            hit = ovl.get(node)
+            if hit is not None:
+                return hit
+        memo = self._memo_in
+        hit = memo.get(node)
+        if hit is not None:
+            return hit
+        core = self._core
+        d = self._core_node_dense(node)
+        elements = core.elements
+        col = core.in_edge
+        off = core.in_off
+        hit = memo[node] = tuple(
+            elements[col[i]] for i in range(off[d], off[d + 1])
+        )
+        return hit
 
     def undirected_edges_at(self, node: NodeId) -> tuple[UndirectedEdgeId, ...]:
-        try:
-            return self._undirected_at[node]
-        except KeyError:
-            raise UnknownIdError(f"unknown node {node!r}") from None
+        ovl = self._row_und
+        if ovl:
+            hit = ovl.get(node)
+            if hit is not None:
+                return hit
+        memo = self._memo_und
+        hit = memo.get(node)
+        if hit is not None:
+            return hit
+        core = self._core
+        d = self._core_node_dense(node)
+        elements = core.elements
+        col = core.und_edge
+        off = core.und_off
+        hit = memo[node] = tuple(
+            elements[col[i]] for i in range(off[d], off[d + 1])
+        )
+        return hit
 
-    def degree(self, node: NodeId) -> int:
+    def num_edges_at(self, node: NodeId) -> int:
+        """Total incident edge count via CSR offset subtraction.
+
+        No adjacency tuples are materialised on the fast path, which
+        is what the cluster partitioner's LPT balancing wants.
+        """
+        core = self._core
+        d = core.dense.get(node)
+        if (
+            d is not None
+            and d < core.n_nodes
+            and not (self._dirty and d in self._dirty)
+            and not (self._removed and node in self._removed)
+        ):
+            return (
+                core.out_off[d + 1]
+                - core.out_off[d]
+                + core.in_off[d + 1]
+                - core.in_off[d]
+                + core.und_off[d + 1]
+                - core.und_off[d]
+            )
         return (
             len(self.out_edges(node))
-            + len(self._in[node])
-            + len(self._undirected_at[node])
+            + len(self.in_edges(node))
+            + len(self.undirected_edges_at(node))
         )
+
+    def degree(self, node: NodeId) -> int:
+        return self.num_edges_at(node)
 
     def neighbours(self, node: NodeId) -> frozenset[NodeId]:
         out: set[NodeId] = set()
         for edge in self.out_edges(node):
-            out.add(self._tgt[edge])
-        for edge in self._in[node]:
-            out.add(self._src[edge])
-        for edge in self._undirected_at[node]:
+            out.add(self.target(edge))
+        for edge in self.in_edges(node):
+            out.add(self.source(edge))
+        for edge in self.undirected_edges_at(node):
             out.add(self.other_endpoint(edge, node))
         return frozenset(out)
 
@@ -648,18 +1073,43 @@ class GraphSnapshot:
     # Membership
     # ------------------------------------------------------------------
 
+    def _has(self, element, lo: int, hi: int, overlay: dict) -> bool:
+        d = self._core.dense.get(element)
+        if (
+            d is not None
+            and lo <= d < hi
+            and not (self._removed and element in self._removed)
+        ):
+            return True
+        return bool(overlay) and element in overlay
+
     def has_node(self, node: NodeId) -> bool:
-        return node in self._node_labels
+        return self._has(node, 0, self._core.n_nodes, self._ovl_node_labels)
 
     def has_edge(self, edge: EdgeId) -> bool:
-        return edge in self._dedge_labels or edge in self._uedge_labels
+        core = self._core
+        n = core.n_nodes
+        total = n + core.n_dedges + core.n_uedges
+        return self._has(edge, n, total, self._ovl_dedge_labels) or (
+            bool(self._ovl_uedge_labels) and edge in self._ovl_uedge_labels
+        )
+
+    def has_directed_edge(self, edge: DirectedEdgeId) -> bool:
+        core = self._core
+        n = core.n_nodes
+        return self._has(edge, n, n + core.n_dedges, self._ovl_dedge_labels)
+
+    def has_undirected_edge(self, edge: UndirectedEdgeId) -> bool:
+        core = self._core
+        lo = core.n_nodes + core.n_dedges
+        return self._has(edge, lo, lo + core.n_uedges, self._ovl_uedge_labels)
 
     def has_element(self, element: GraphElementId) -> bool:
-        return (
-            element in self._node_labels
-            or element in self._dedge_labels
-            or element in self._uedge_labels
-        )
+        core = self._core
+        total = core.n_nodes + core.n_dedges + core.n_uedges
+        if self._has(element, 0, total, self._ovl_node_labels):
+            return True
+        return self._has_overlay_element(element)
 
     def snapshot(self) -> "GraphSnapshot":
         """A snapshot of a snapshot is itself (already immutable)."""
@@ -672,7 +1122,7 @@ class GraphSnapshot:
             return False
 
     def __len__(self) -> int:
-        return len(self._nodes)
+        return self.num_nodes
 
     def __repr__(self) -> str:
         return (
@@ -680,3 +1130,59 @@ class GraphSnapshot:
             f"directed_edges={self.num_directed_edges}, "
             f"undirected_edges={self.num_undirected_edges})"
         )
+
+
+def _rebuild_snapshot(
+    version: int,
+    derived: bool,
+    core_payload: tuple,
+    overlay_payload,
+    overlay_ops: int,
+    rows_patched: int,
+) -> GraphSnapshot:
+    """Unpickle hook: reassemble a snapshot from buffer columns."""
+    snap = object.__new__(GraphSnapshot)
+    snap.version = version
+    snap.derived = derived
+    snap._core = SnapshotColumns.from_payload(core_payload)
+    if overlay_payload is None:
+        snap._removed = _EMPTY_SET
+        snap._shadow = _EMPTY_SET
+        snap._dirty = _EMPTY_SET
+        snap._ovl_node_labels = {}
+        snap._ovl_dedge_labels = {}
+        snap._ovl_uedge_labels = {}
+        snap._ovl_src = {}
+        snap._ovl_tgt = {}
+        snap._ovl_endpoints = {}
+        snap._ovl_props = {}
+        snap._row_out = {}
+        snap._row_in = {}
+        snap._row_und = {}
+        snap._ovl_nodes_by_label = {}
+        snap._ovl_dedges_by_label = {}
+        snap._ovl_uedges_by_label = {}
+    else:
+        (
+            snap._removed,
+            snap._shadow,
+            snap._dirty,
+            snap._ovl_node_labels,
+            snap._ovl_dedge_labels,
+            snap._ovl_uedge_labels,
+            snap._ovl_src,
+            snap._ovl_tgt,
+            snap._ovl_endpoints,
+            snap._ovl_props,
+            snap._row_out,
+            snap._row_in,
+            snap._row_und,
+            snap._ovl_nodes_by_label,
+            snap._ovl_dedges_by_label,
+            snap._ovl_uedges_by_label,
+        ) = overlay_payload
+    snap._init_memos()
+    snap._overlay_ops = overlay_ops
+    snap.build_s = 0.0
+    snap.csr_rows_patched = rows_patched
+    return snap

@@ -1,0 +1,705 @@
+"""The seed tuple/dict snapshot layout, kept as a reference baseline.
+
+:class:`LegacyGraphSnapshot` is the pre-columnar implementation of
+:class:`repro.graph.snapshot.GraphSnapshot`: one Python dict or tuple
+per index, one object per element. It is retained verbatim for two
+jobs:
+
+- **differential testing** — the hypothesis equivalence suite
+  (``tests/graph/test_csr_equivalence.py``) asserts the columnar
+  snapshot answers byte-identical frozensets against this layout on
+  randomized graphs and queries;
+- **benchmark baseline** — ``benchmarks/bench_a9_csr.py`` measures the
+  CSR core's ``shortest`` speedup and pickle-size reduction against
+  it.
+
+Production code must not construct it; use
+:meth:`PropertyGraph.snapshot`.
+
+It exposes the read API the evaluation engine consults (``labels``,
+``source``, ``target``, ``endpoints``, ``get_property``, adjacency
+accessors, label indexes) backed by data materialised once at
+construction time:
+
+- adjacency (``out_edges`` / ``in_edges`` / ``undirected_edges_at``)
+  returns pre-built sorted **tuples** instead of re-freezing the
+  mutable ``set`` indexes on every call;
+- the carrier sets (``nodes``, ``directed_edges``,
+  ``undirected_edges``) are pre-sorted tuples, so the engine's
+  deterministic iteration order comes for free;
+- label→elements indexes are inverted once, turning the engine's
+  per-call label scans into dictionary lookups.
+
+Snapshots are the unit of sharing in the query-service runtime
+(:mod:`repro.service`): they are safe to read from many threads
+concurrently and are memoised per graph version by
+:meth:`PropertyGraph.snapshot`, so repeated evaluations against an
+unchanged graph never rebuild the indexes.
+
+Accessors mirror :class:`PropertyGraph` semantically but return tuples
+where the mutable graph returns frozensets; the engine only iterates,
+sorts and counts these collections, so the two are interchangeable.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import TYPE_CHECKING, Iterator, Mapping, Sequence
+
+from repro.errors import GraphError, UnknownIdError
+from repro.graph.delta import GraphDelta
+from repro.graph.ids import (
+    DirectedEdgeId,
+    EdgeId,
+    GraphElementId,
+    NodeId,
+    UndirectedEdgeId,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.graph.property_graph import Constant, PropertyGraph
+
+__all__ = ["LegacyGraphSnapshot"]
+
+_EMPTY: tuple = ()
+
+
+def _invert_labels(table: Mapping) -> dict[str, tuple]:
+    by_label: dict[str, list] = {}
+    for element, labels in table.items():
+        for label in labels:
+            by_label.setdefault(label, []).append(element)
+    return {label: tuple(sorted(members)) for label, members in by_label.items()}
+
+
+# ---------------------------------------------------------------------------
+# Incremental-derivation helpers
+# ---------------------------------------------------------------------------
+
+
+def _tuple_insert(items: tuple, item) -> tuple:
+    """Insert into a sorted tuple (O(log n) compares + one slice copy)."""
+    index = bisect_left(items, item)
+    return items[:index] + (item,) + items[index:]
+
+
+def _tuple_discard(items: tuple, item) -> tuple:
+    """Remove from a sorted tuple if present (bisect, no re-sort)."""
+    index = bisect_left(items, item)
+    if index < len(items) and items[index] == item:
+        return items[:index] + items[index + 1 :]
+    return items
+
+
+class _NetChange:
+    """Net membership change of one sorted collection across a chain.
+
+    Re-adding an element the chain removed (or removing one it added)
+    cancels out, so big carrier tuples are patched once with the *net*
+    effect instead of once per operation.
+    """
+
+    __slots__ = ("added", "removed")
+
+    def __init__(self) -> None:
+        self.added: set = set()
+        self.removed: set = set()
+
+    def add(self, item) -> None:
+        if item in self.removed:
+            self.removed.discard(item)
+        else:
+            self.added.add(item)
+
+    def remove(self, item) -> None:
+        if item in self.added:
+            self.added.discard(item)
+        else:
+            self.removed.add(item)
+
+    def __bool__(self) -> bool:
+        return bool(self.added or self.removed)
+
+    def patch(self, items: tuple) -> tuple:
+        """Apply this net change to a sorted tuple."""
+        out = list(items)
+        for item in sorted(self.removed, reverse=True):
+            index = bisect_left(out, item)
+            if index < len(out) and out[index] == item:
+                del out[index]
+        for item in self.added:
+            insort(out, item)
+        return tuple(out)
+
+
+def _net(nets: dict, label: str) -> _NetChange:
+    net = nets.get(label)
+    if net is None:
+        net = nets[label] = _NetChange()
+    return net
+
+
+def _patch_label_index(index: dict, nets: dict) -> None:
+    for label, net in nets.items():
+        if not net:
+            continue
+        members = net.patch(index.get(label, _EMPTY))
+        if members:
+            index[label] = members
+        else:
+            index.pop(label, None)
+
+
+class LegacyGraphSnapshot:
+    """A read-only, fully indexed copy of one graph version.
+
+    Construct via :meth:`PropertyGraph.snapshot` (memoised per version)
+    rather than directly; direct construction always re-copies.
+    """
+
+    __slots__ = (
+        "version",
+        "derived",
+        "_node_labels",
+        "_dedge_labels",
+        "_uedge_labels",
+        "_src",
+        "_tgt",
+        "_endpoints",
+        "_properties",
+        "_out",
+        "_in",
+        "_undirected_at",
+        "_nodes",
+        "_dedges",
+        "_uedges",
+        "_nodes_by_label",
+        "_dedges_by_label",
+        "_uedges_by_label",
+        "_label_cards",
+    )
+
+    def __init__(self, graph: "PropertyGraph") -> None:
+        self.version = graph.version
+        #: Whether this snapshot was produced by :meth:`derive` rather
+        #: than a full rebuild (observability; no behavioural impact).
+        self.derived = False
+        self._node_labels = dict(graph._node_labels)
+        self._dedge_labels = dict(graph._dedge_labels)
+        self._uedge_labels = dict(graph._uedge_labels)
+        self._src = dict(graph._src)
+        self._tgt = dict(graph._tgt)
+        self._endpoints = dict(graph._endpoints)
+        self._properties = {
+            element: dict(props) for element, props in graph._properties.items()
+        }
+        self._out = {n: tuple(sorted(s)) for n, s in graph._out.items()}
+        self._in = {n: tuple(sorted(s)) for n, s in graph._in.items()}
+        self._undirected_at = {
+            n: tuple(sorted(s)) for n, s in graph._undirected_at.items()
+        }
+        self._nodes = tuple(sorted(self._node_labels))
+        self._dedges = tuple(sorted(self._dedge_labels))
+        self._uedges = tuple(sorted(self._uedge_labels))
+        self._nodes_by_label = _invert_labels(self._node_labels)
+        self._dedges_by_label = _invert_labels(self._dedge_labels)
+        self._uedges_by_label = _invert_labels(self._uedge_labels)
+        self._label_cards = None
+
+    # ------------------------------------------------------------------
+    # Incremental derivation
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def derive(
+        cls, base: "LegacyGraphSnapshot", deltas: Sequence[GraphDelta]
+    ) -> "LegacyGraphSnapshot":
+        """Patch ``base`` with a contiguous delta chain.
+
+        Returns a snapshot structurally identical to a full rebuild at
+        the chain's final version, but built by copying only the
+        mappings the chain touches (untouched dicts and tuples are
+        shared with ``base``, which is immutable) and patching sorted
+        tuples by bisection instead of re-sorting. Cost is
+        ``O(|delta| * (log n + slice))`` rather than the rebuild's
+        ``O(n log n)`` — the win the mutation path needs.
+
+        The chain must start at ``base.version + 1`` and be
+        consecutive; anything else raises :class:`GraphError` (callers
+        fall back to a rebuild).
+        """
+        if not deltas:
+            return base
+        expected = base.version
+        for delta in deltas:
+            expected += 1
+            if delta.version != expected:
+                raise GraphError(
+                    f"delta chain is not contiguous from version "
+                    f"{base.version}: expected {expected}, "
+                    f"got {delta.version}"
+                )
+
+        nodes_touched = any(d.nodes_added or d.nodes_removed for d in deltas)
+        dedges_touched = any(
+            d.dedges_added or d.dedges_removed for d in deltas
+        )
+        uedges_touched = any(
+            d.uedges_added or d.uedges_removed for d in deltas
+        )
+        props_touched = any(
+            d.properties_set
+            or d.properties_removed
+            or any(
+                record.properties
+                for group in (
+                    d.nodes_added,
+                    d.nodes_removed,
+                    d.dedges_added,
+                    d.dedges_removed,
+                    d.uedges_added,
+                    d.uedges_removed,
+                )
+                for record in group
+            )
+            for d in deltas
+        )
+
+        # Copy-on-write: only the mappings this chain mutates are
+        # copied; everything else is shared with the (immutable) base.
+        node_labels = (
+            dict(base._node_labels) if nodes_touched else base._node_labels
+        )
+        dedge_labels = (
+            dict(base._dedge_labels) if dedges_touched else base._dedge_labels
+        )
+        uedge_labels = (
+            dict(base._uedge_labels) if uedges_touched else base._uedge_labels
+        )
+        src = dict(base._src) if dedges_touched else base._src
+        tgt = dict(base._tgt) if dedges_touched else base._tgt
+        endpoints = dict(base._endpoints) if uedges_touched else base._endpoints
+        properties = (
+            dict(base._properties) if props_touched else base._properties
+        )
+        out_ = (
+            dict(base._out)
+            if nodes_touched or dedges_touched
+            else base._out
+        )
+        in_ = (
+            dict(base._in) if nodes_touched or dedges_touched else base._in
+        )
+        und_at = (
+            dict(base._undirected_at)
+            if nodes_touched or uedges_touched
+            else base._undirected_at
+        )
+        nodes_by_label = (
+            dict(base._nodes_by_label)
+            if nodes_touched
+            else base._nodes_by_label
+        )
+        dedges_by_label = (
+            dict(base._dedges_by_label)
+            if dedges_touched
+            else base._dedges_by_label
+        )
+        uedges_by_label = (
+            dict(base._uedges_by_label)
+            if uedges_touched
+            else base._uedges_by_label
+        )
+
+        node_net = _NetChange()
+        dedge_net = _NetChange()
+        uedge_net = _NetChange()
+        node_label_nets: dict[str, _NetChange] = {}
+        dedge_label_nets: dict[str, _NetChange] = {}
+        uedge_label_nets: dict[str, _NetChange] = {}
+
+        for delta in deltas:
+            # Removals first (edge before node: a cascade's adjacency
+            # entries must be empty before its node entry is dropped),
+            # then additions (node before edge), then property edits.
+            for record in delta.dedges_removed:
+                del dedge_labels[record.id]
+                del src[record.id]
+                del tgt[record.id]
+                out_[record.source] = _tuple_discard(
+                    out_[record.source], record.id
+                )
+                in_[record.target] = _tuple_discard(
+                    in_[record.target], record.id
+                )
+                if record.properties:
+                    properties.pop(record.id, None)
+                dedge_net.remove(record.id)
+                for label in record.labels:
+                    _net(dedge_label_nets, label).remove(record.id)
+            for record in delta.uedges_removed:
+                del uedge_labels[record.id]
+                del endpoints[record.id]
+                for endpoint in record.endpoints:
+                    und_at[endpoint] = _tuple_discard(
+                        und_at[endpoint], record.id
+                    )
+                if record.properties:
+                    properties.pop(record.id, None)
+                uedge_net.remove(record.id)
+                for label in record.labels:
+                    _net(uedge_label_nets, label).remove(record.id)
+            for record in delta.nodes_removed:
+                del node_labels[record.id]
+                del out_[record.id]
+                del in_[record.id]
+                del und_at[record.id]
+                if record.properties:
+                    properties.pop(record.id, None)
+                node_net.remove(record.id)
+                for label in record.labels:
+                    _net(node_label_nets, label).remove(record.id)
+            for record in delta.nodes_added:
+                node_labels[record.id] = record.labels
+                out_[record.id] = _EMPTY
+                in_[record.id] = _EMPTY
+                und_at[record.id] = _EMPTY
+                if record.properties:
+                    properties[record.id] = dict(record.properties)
+                node_net.add(record.id)
+                for label in record.labels:
+                    _net(node_label_nets, label).add(record.id)
+            for record in delta.dedges_added:
+                dedge_labels[record.id] = record.labels
+                src[record.id] = record.source
+                tgt[record.id] = record.target
+                out_[record.source] = _tuple_insert(
+                    out_[record.source], record.id
+                )
+                in_[record.target] = _tuple_insert(
+                    in_[record.target], record.id
+                )
+                if record.properties:
+                    properties[record.id] = dict(record.properties)
+                dedge_net.add(record.id)
+                for label in record.labels:
+                    _net(dedge_label_nets, label).add(record.id)
+            for record in delta.uedges_added:
+                uedge_labels[record.id] = record.labels
+                endpoints[record.id] = record.endpoints
+                for endpoint in record.endpoints:
+                    und_at[endpoint] = _tuple_insert(
+                        und_at[endpoint], record.id
+                    )
+                if record.properties:
+                    properties[record.id] = dict(record.properties)
+                uedge_net.add(record.id)
+                for label in record.labels:
+                    _net(uedge_label_nets, label).add(record.id)
+            for element, key, value in delta.properties_set:
+                # Inner property dicts are shared with the base until
+                # first touched, then replaced wholesale.
+                entry = dict(properties.get(element, ()))
+                entry[key] = value
+                properties[element] = entry
+            for element, key in delta.properties_removed:
+                entry = dict(properties.get(element, ()))
+                entry.pop(key, None)
+                if entry:
+                    properties[element] = entry
+                else:
+                    properties.pop(element, None)
+
+        nodes = node_net.patch(base._nodes) if node_net else base._nodes
+        dedges = dedge_net.patch(base._dedges) if dedge_net else base._dedges
+        uedges = uedge_net.patch(base._uedges) if uedge_net else base._uedges
+        _patch_label_index(nodes_by_label, node_label_nets)
+        _patch_label_index(dedges_by_label, dedge_label_nets)
+        _patch_label_index(uedges_by_label, uedge_label_nets)
+
+        label_cards = None
+        if base._label_cards is not None:
+            label_cards = base._label_cards.patched(
+                num_nodes=len(nodes),
+                num_directed_edges=len(dedges),
+                num_undirected_edges=len(uedges),
+                node_counts={
+                    label: len(nodes_by_label.get(label, _EMPTY))
+                    for label, net in node_label_nets.items()
+                    if net
+                },
+                directed_edge_counts={
+                    label: len(dedges_by_label.get(label, _EMPTY))
+                    for label, net in dedge_label_nets.items()
+                    if net
+                },
+                undirected_edge_counts={
+                    label: len(uedges_by_label.get(label, _EMPTY))
+                    for label, net in uedge_label_nets.items()
+                    if net
+                },
+            )
+
+        snap = object.__new__(cls)
+        snap.version = expected
+        snap.derived = True
+        snap._node_labels = node_labels
+        snap._dedge_labels = dedge_labels
+        snap._uedge_labels = uedge_labels
+        snap._src = src
+        snap._tgt = tgt
+        snap._endpoints = endpoints
+        snap._properties = properties
+        snap._out = out_
+        snap._in = in_
+        snap._undirected_at = und_at
+        snap._nodes = nodes
+        snap._dedges = dedges
+        snap._uedges = uedges
+        snap._nodes_by_label = nodes_by_label
+        snap._dedges_by_label = dedges_by_label
+        snap._uedges_by_label = uedges_by_label
+        snap._label_cards = label_cards
+        return snap
+
+    # ------------------------------------------------------------------
+    # Formal accessors (same contracts as PropertyGraph)
+    # ------------------------------------------------------------------
+
+    def labels(self, element: GraphElementId) -> frozenset[str]:
+        for table in (self._node_labels, self._dedge_labels, self._uedge_labels):
+            if element in table:
+                return table[element]
+        raise UnknownIdError(f"unknown element {element!r}")
+
+    def source(self, edge: DirectedEdgeId) -> NodeId:
+        try:
+            return self._src[edge]
+        except KeyError:
+            raise UnknownIdError(f"unknown directed edge {edge!r}") from None
+
+    def target(self, edge: DirectedEdgeId) -> NodeId:
+        try:
+            return self._tgt[edge]
+        except KeyError:
+            raise UnknownIdError(f"unknown directed edge {edge!r}") from None
+
+    def endpoints(self, edge: UndirectedEdgeId) -> frozenset[NodeId]:
+        try:
+            return self._endpoints[edge]
+        except KeyError:
+            raise UnknownIdError(f"unknown undirected edge {edge!r}") from None
+
+    def get_property(self, element: GraphElementId, key: str) -> "Constant | None":
+        props = self._properties.get(element)
+        if props is not None:
+            return props.get(key)
+        if not self.has_element(element):
+            raise UnknownIdError(f"unknown element {element!r}")
+        return None
+
+    def has_property(self, element: GraphElementId, key: str) -> bool:
+        return self.get_property(element, key) is not None
+
+    def properties(self, element: GraphElementId) -> Mapping[str, "Constant"]:
+        if not self.has_element(element):
+            raise UnknownIdError(f"unknown element {element!r}")
+        return dict(self._properties.get(element, {}))
+
+    # ------------------------------------------------------------------
+    # Carrier sets and counting
+    # ------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> tuple[NodeId, ...]:
+        """The node set ``N`` as a sorted tuple."""
+        return self._nodes
+
+    @property
+    def directed_edges(self) -> tuple[DirectedEdgeId, ...]:
+        return self._dedges
+
+    @property
+    def undirected_edges(self) -> tuple[UndirectedEdgeId, ...]:
+        return self._uedges
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_directed_edges(self) -> int:
+        return len(self._dedges)
+
+    @property
+    def num_undirected_edges(self) -> int:
+        return len(self._uedges)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._dedges) + len(self._uedges)
+
+    def iter_nodes(self) -> Iterator[NodeId]:
+        return iter(self._nodes)
+
+    def iter_directed_edges(self) -> Iterator[DirectedEdgeId]:
+        return iter(self._dedges)
+
+    def iter_undirected_edges(self) -> Iterator[UndirectedEdgeId]:
+        return iter(self._uedges)
+
+    # ------------------------------------------------------------------
+    # Label indexes (O(1) lookups, unlike the mutable graph's scans)
+    # ------------------------------------------------------------------
+
+    def nodes_with_label(self, label: str) -> tuple[NodeId, ...]:
+        return self._nodes_by_label.get(label, _EMPTY)
+
+    def directed_edges_with_label(self, label: str) -> tuple[DirectedEdgeId, ...]:
+        return self._dedges_by_label.get(label, _EMPTY)
+
+    def undirected_edges_with_label(
+        self, label: str
+    ) -> tuple[UndirectedEdgeId, ...]:
+        return self._uedges_by_label.get(label, _EMPTY)
+
+    def all_labels(self) -> frozenset[str]:
+        return frozenset(self._nodes_by_label) | frozenset(
+            self._dedges_by_label
+        ) | frozenset(self._uedges_by_label)
+
+    # ------------------------------------------------------------------
+    # Per-label cardinalities (consumed by the query planner)
+    # ------------------------------------------------------------------
+
+    def num_nodes_with_label(self, label: str) -> int:
+        return len(self._nodes_by_label.get(label, _EMPTY))
+
+    def num_directed_edges_with_label(self, label: str) -> int:
+        return len(self._dedges_by_label.get(label, _EMPTY))
+
+    def num_undirected_edges_with_label(self, label: str) -> int:
+        return len(self._uedges_by_label.get(label, _EMPTY))
+
+    def label_cardinalities(self):
+        """The snapshot's per-label count summary, built once.
+
+        Returns a :class:`repro.graph.statistics.LabelCardinalities`;
+        snapshots are immutable, so the summary is cached for the
+        snapshot's lifetime.
+        """
+        if self._label_cards is None:
+            from repro.graph.statistics import LabelCardinalities
+
+            self._label_cards = LabelCardinalities(
+                num_nodes=len(self._nodes),
+                num_directed_edges=len(self._dedges),
+                num_undirected_edges=len(self._uedges),
+                node_counts={
+                    label: len(members)
+                    for label, members in self._nodes_by_label.items()
+                },
+                directed_edge_counts={
+                    label: len(members)
+                    for label, members in self._dedges_by_label.items()
+                },
+                undirected_edge_counts={
+                    label: len(members)
+                    for label, members in self._uedges_by_label.items()
+                },
+            )
+        return self._label_cards
+
+    # ------------------------------------------------------------------
+    # Adjacency
+    # ------------------------------------------------------------------
+
+    def out_edges(self, node: NodeId) -> tuple[DirectedEdgeId, ...]:
+        try:
+            return self._out[node]
+        except KeyError:
+            raise UnknownIdError(f"unknown node {node!r}") from None
+
+    def in_edges(self, node: NodeId) -> tuple[DirectedEdgeId, ...]:
+        try:
+            return self._in[node]
+        except KeyError:
+            raise UnknownIdError(f"unknown node {node!r}") from None
+
+    def undirected_edges_at(self, node: NodeId) -> tuple[UndirectedEdgeId, ...]:
+        try:
+            return self._undirected_at[node]
+        except KeyError:
+            raise UnknownIdError(f"unknown node {node!r}") from None
+
+    def degree(self, node: NodeId) -> int:
+        return (
+            len(self.out_edges(node))
+            + len(self._in[node])
+            + len(self._undirected_at[node])
+        )
+
+    def num_edges_at(self, node: NodeId) -> int:
+        return self.degree(node)
+
+    def neighbours(self, node: NodeId) -> frozenset[NodeId]:
+        out: set[NodeId] = set()
+        for edge in self.out_edges(node):
+            out.add(self._tgt[edge])
+        for edge in self._in[node]:
+            out.add(self._src[edge])
+        for edge in self._undirected_at[node]:
+            out.add(self.other_endpoint(edge, node))
+        return frozenset(out)
+
+    def other_endpoint(self, edge: UndirectedEdgeId, node: NodeId) -> NodeId:
+        ends = self.endpoints(edge)
+        if node not in ends:
+            raise GraphError(f"{node!r} is not an endpoint of {edge!r}")
+        if len(ends) == 1:
+            return node
+        (other,) = ends - {node}
+        return other
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def has_node(self, node: NodeId) -> bool:
+        return node in self._node_labels
+
+    def has_edge(self, edge: EdgeId) -> bool:
+        return edge in self._dedge_labels or edge in self._uedge_labels
+
+    def has_directed_edge(self, edge: DirectedEdgeId) -> bool:
+        return edge in self._dedge_labels
+
+    def has_undirected_edge(self, edge: UndirectedEdgeId) -> bool:
+        return edge in self._uedge_labels
+
+    def has_element(self, element: GraphElementId) -> bool:
+        return (
+            element in self._node_labels
+            or element in self._dedge_labels
+            or element in self._uedge_labels
+        )
+
+    def snapshot(self) -> "LegacyGraphSnapshot":
+        """A snapshot of a snapshot is itself (already immutable)."""
+        return self
+
+    def __contains__(self, element: object) -> bool:
+        try:
+            return self.has_element(element)  # type: ignore[arg-type]
+        except Exception:
+            return False
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __repr__(self) -> str:
+        return (
+            f"LegacyGraphSnapshot(version={self.version}, nodes={self.num_nodes}, "
+            f"directed_edges={self.num_directed_edges}, "
+            f"undirected_edges={self.num_undirected_edges})"
+        )

@@ -129,6 +129,8 @@ class GraphService:
                 self.stats.snapshots_built += 1
                 if snap.derived:
                     self.stats.snapshots_derived += 1
+                self.stats.snapshot_build_s += snap.build_s
+                self.stats.csr_rows_patched += snap.csr_rows_patched
             return snap
 
     def add_node(

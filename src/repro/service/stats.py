@@ -207,6 +207,12 @@ class ServiceStats:
     #: Of the ``snapshots_built``, how many were derived incrementally
     #: from the previous version's snapshot instead of rebuilt.
     snapshots_derived: int = 0
+    #: Cumulative wall-clock seconds spent interning ids and building
+    #: (or incrementally patching) CSR snapshot columns.
+    snapshot_build_s: float = 0.0
+    #: Cumulative CSR adjacency rows patched copy-on-write by
+    #: incremental snapshot derivations.
+    csr_rows_patched: int = 0
     #: Aggregate engine work counters across every evaluation (merged
     #: per-call from the ambient EvalCounters; see repro.obs.counters).
     engine: EvalCounters = field(default_factory=EvalCounters)
@@ -218,6 +224,8 @@ class ServiceStats:
             "batches": self.batches,
             "snapshots_built": self.snapshots_built,
             "snapshots_derived": self.snapshots_derived,
+            "snapshot_build_s": self.snapshot_build_s,
+            "csr_rows_patched": self.csr_rows_patched,
             "plan_cache": self.plan_cache.as_dict(),
             "result_cache": self.result_cache.as_dict(),
             "latency": self.latency.summary(),
