@@ -15,7 +15,11 @@ server:
 - ``GET /metrics`` serves every layer's counters in one Prometheus
   text scrape, including true fixed-bucket latency histograms;
 - ``explain(analyze=True)`` runs the query and appends the observed
-  engine work to the planner summary.
+  engine work — and the planner's estimated-vs-actual table — to the
+  planner summary;
+- ``GET /insights`` aggregates the whole workload by query
+  fingerprint: calls, cache outcomes, latency, engine work, and how
+  far the planner's estimates sat from observed reality.
 """
 
 from repro import GraphService
@@ -100,6 +104,50 @@ def main() -> None:
                 f"{counters['recorded']}, errors {counters['errors']}, "
                 f"slow {counters['slow']}"
             )
+
+            print("\n=== /insights: the workload by fingerprint ===")
+            # Add a constant-conditioned shape: the two variants
+            # collapse into one fingerprint (constants bucket to ?).
+            for name in ("alice", "bob"):
+                client.query(
+                    "TRAIL [ (x:Person) -[:knows]-> (y:Person) ] "
+                    f"<< x.name = '{name}' >>"
+                )
+            payload = client.insights(sort="calls")
+            for entry in payload["insights"]:
+                plan = entry["plan"]
+                print(
+                    f"  [{entry['fingerprint']}] {entry['query']}\n"
+                    f"    calls {entry['calls']}, errors "
+                    f"{entry['errors']}, answers {entry['answers_total']}, "
+                    f"cache hits {entry['cache']['hits']}/"
+                    f"misses {entry['cache']['misses']}\n"
+                    f"    plan: est answers "
+                    f"{plan['estimated_answers_mean']:.1f} vs observed "
+                    f"{plan['observed_answers_mean']:.1f} -> misestimate "
+                    f"{plan['misestimate_factor']:.1f}x "
+                    f"(worst {plan['worst_factor']:.1f}x)"
+                )
+
+            print("\n=== worst planner misestimates first ===")
+            for entry in client.insights(sort="misestimate", limit=3)[
+                "insights"
+            ]:
+                print(
+                    f"  {entry['plan']['misestimate_factor']:6.1f}x  "
+                    f"{entry['query']}"
+                )
+            registry = payload["counters"]
+            print(
+                f"  ({registry['fingerprints']} fingerprints, "
+                f"{registry['records']} records, "
+                f"{registry['evictions']} evictions)"
+            )
+
+            print("\n=== the same profiles as /metrics series ===")
+            for line in client.metrics().splitlines():
+                if line.startswith("repro_insights_calls"):
+                    print(f"  {line}")
 
 
 if __name__ == "__main__":

@@ -44,8 +44,9 @@ from repro.graph.ids import (
 )
 from repro.graph.property_graph import Constant, PropertyGraph
 from repro.graph.snapshot import GraphSnapshot
-from repro.gpc.explain import explain_counters
-from repro.obs import EvalCounters
+from repro.errors import DeadlineExceededError
+from repro.gpc.explain import explain_counters, explain_estimates
+from repro.obs import EvalCounters, InsightsRegistry, current_span
 from repro.obs import span as trace_span
 from repro.service.cache import LRUCache, SemanticResultCache
 from repro.service.prepared import PreparedQuery
@@ -77,6 +78,7 @@ class ClusterService:
         partitioner: Optional[SeedPartitioner] = None,
         plan_cache_size: int = 256,
         result_cache_size: int = 4096,
+        insights: "bool | InsightsRegistry" = True,
     ):
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -84,6 +86,13 @@ class ClusterService:
         self.config = config or DEFAULT_CONFIG
         self.num_workers = num_workers
         self.stats = ClusterStats()
+        # Same contract as GraphService: a registry instance is used
+        # directly, a bool builds an enabled/disabled one.
+        if isinstance(insights, InsightsRegistry):
+            self.insights = insights
+        else:
+            self.insights = InsightsRegistry(enabled=bool(insights))
+        self.stats.insights = self.insights
         self.backend = make_backend(backend, num_workers, self.stats)
         self.partitioner = (
             partitioner
@@ -247,7 +256,15 @@ class ClusterService:
         observed = explain_counters(
             counters, answers=len(result), elapsed_s=elapsed
         )
-        return f"{report}\n{observed}"
+        sections = [report, observed]
+        estimates = self._plan_estimates(prepared, snap)
+        if estimates is not None:
+            sections.append(
+                explain_estimates(
+                    estimates, answers=len(result), counters=counters
+                )
+            )
+        return "\n".join(sections)
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -272,21 +289,29 @@ class ClusterService:
         started = time.perf_counter()
         snap = self.snapshot()
         result_key = (query, config)
+        cache_outcome = "bypass"
         if use_cache:
             with trace_span("cluster.cache_probe") as probe:
-                cached = self._result_cache.get(result_key, snap.version)
+                cached, cache_outcome = self._result_cache.get_with_outcome(
+                    result_key, snap.version
+                )
                 probe.set_attr("hit", cached is not None)
             if cached is not None:
                 self._record_query(started)
+                self._record_insight(
+                    query, started, answers=len(cached), cache=cache_outcome
+                )
                 return cached
         else:
             self._count_bypass()
         with trace_span("cluster.plan"):
             prepared, calls = self._scatter_one(query, config, snap)
+        estimates = self._plan_estimates(prepared, snap)
         # The partitioner guarantees at least one cell today, but an
         # empty scatter must never reach the backend regardless: on the
         # process backend run() warms the pool and ships the snapshot
         # even for zero calls.
+        counters = EvalCounters()
         try:
             with trace_span("cluster.eval", shards=len(calls)) as eval_span:
                 outcomes = (
@@ -301,18 +326,35 @@ class ClusterService:
                 # leaves the shard spans in the request trace.
                 for outcome in outcomes:
                     eval_span.adopt(outcome.span)
+                    counters.merge(outcome.counters)
                 result = self.router.gather(outcomes)
-        except Exception:
+        except Exception as exc:
             # A failed gather still served the query's shards: count it
             # and record its latency, as evaluate_batch does, so error
             # rates computed from queries/shard_failures stay honest.
             self._record_query(started)
+            self._record_insight(
+                query,
+                started,
+                cache=cache_outcome,
+                counters=counters,
+                error=True,
+                timeout=isinstance(exc, DeadlineExceededError),
+            )
             raise
         if use_cache:
             self._result_cache.put(
                 result_key, snap.version, prepared.footprint, result
             )
         self._record_query(started)
+        self._record_insight(
+            query,
+            started,
+            answers=len(result),
+            cache=cache_outcome,
+            counters=counters,
+            estimates=estimates,
+        )
         return result
 
     def evaluate_batch(
@@ -357,15 +399,27 @@ class ClusterService:
             """Cache probe + scatter for one query, in its context.
 
             Returns a cached frozenset, a pre-scatter exception, or a
-            ``(begin, end, footprint)`` window into ``calls``.
+            ``(begin, end, footprint, estimates, cache_outcome)``
+            window into ``calls``.
             """
+            cache_outcome = "bypass"
             if use_cache:
                 with trace_span("cluster.cache_probe") as probe:
-                    cached = self._result_cache.get(
-                        (query, config), snap.version
+                    cached, cache_outcome = (
+                        self._result_cache.get_with_outcome(
+                            (query, config), snap.version
+                        )
                     )
                     probe.set_attr("hit", cached is not None)
                 if cached is not None:
+                    # Recorded here, inside the query's own context, so
+                    # the insight cross-links the right trace id.
+                    self._record_insight(
+                        query,
+                        started,
+                        answers=len(cached),
+                        cache=cache_outcome,
+                    )
                     return cached
             else:
                 self._count_bypass()
@@ -377,22 +431,49 @@ class ClusterService:
             except Exception as exc:
                 return exc
             window = (
-                len(calls), len(calls) + len(shard_calls), prepared.footprint
+                len(calls),
+                len(calls) + len(shard_calls),
+                prepared.footprint,
+                self._plan_estimates(prepared, snap),
+                cache_outcome,
             )
             calls.extend(shard_calls)
             return window
 
-        def _gather_window(begin, end):
+        def _gather_window(begin, end, query, estimates, cache_outcome):
             """Adopt and merge one query's shard outcomes, in its
             context (exceptions propagate to the caller)."""
             chunk = outcomes[begin:end]
+            counters = EvalCounters()
             with trace_span("cluster.eval", shards=end - begin) as eval_span:
                 for outcome in chunk:
                     eval_span.adopt(outcome.span)
-                return self.router.gather(chunk)
+                    counters.merge(outcome.counters)
+                try:
+                    merged = self.router.gather(chunk)
+                except Exception as exc:
+                    self._record_insight(
+                        query,
+                        started,
+                        cache=cache_outcome,
+                        counters=counters,
+                        error=True,
+                        timeout=isinstance(exc, DeadlineExceededError),
+                    )
+                    raise
+                self._record_insight(
+                    query,
+                    started,
+                    answers=len(merged),
+                    cache=cache_outcome,
+                    counters=counters,
+                    estimates=estimates,
+                )
+                return merged
 
-        # Per query: a (start, end, footprint) window into calls, a
-        # cached frozenset, or a pre-scatter exception.
+        # Per query: a (start, end, footprint, estimates, cache
+        # outcome) window into calls, a cached frozenset, or a
+        # pre-scatter exception.
         windows: list = []
         for index, query in enumerate(queries):
             if contexts is None:
@@ -419,13 +500,14 @@ class ClusterService:
                 results.append(window)
                 evaluated += 1
                 continue
-            begin, end, footprint = window
+            begin, end, footprint, estimates, cache_outcome = window
             evaluated += 1
+            gather_args = (begin, end, query, estimates, cache_outcome)
             try:
                 if contexts is None:
-                    merged = _gather_window(begin, end)
+                    merged = _gather_window(*gather_args)
                 else:
-                    merged = contexts[index].run(_gather_window, begin, end)
+                    merged = contexts[index].run(_gather_window, *gather_args)
             except Exception as exc:
                 results.append(exc)
                 continue
@@ -476,6 +558,48 @@ class ClusterService:
         prepared = self.prepare(query, config)
         cells = self.partitioner.partition(snap, prepared)
         return prepared, self.router.scatter(query, config, cells)
+
+    def _plan_estimates(self, prepared: PreparedQuery, snap: GraphSnapshot):
+        """The planner's pre-execution estimates, or ``None`` (insights
+        disabled, or the query shape defeats estimation) — same
+        contract as :meth:`GraphService._plan_estimates`."""
+        if not self.insights.enabled:
+            return None
+        try:
+            return prepared.estimates(snap)
+        except Exception:
+            return None
+
+    def _record_insight(
+        self,
+        query,
+        started: float,
+        *,
+        answers: "int | None" = None,
+        cache: "str | None" = None,
+        counters: "EvalCounters | None" = None,
+        estimates=None,
+        error: bool = False,
+        timeout: bool = False,
+    ) -> None:
+        """Fold one evaluation into the insights registry, stamping the
+        fingerprint onto the active span for slow-log cross-linking."""
+        if not self.insights.enabled:
+            return
+        root = current_span()
+        fingerprint = self.insights.record(
+            query,
+            latency_s=time.perf_counter() - started,
+            answers=answers,
+            cache=cache,
+            counters=counters,
+            estimates=estimates,
+            error=error,
+            timeout=timeout,
+            trace_id=root.trace_id if root else None,
+        )
+        if root and fingerprint is not None:
+            root.set_attr("fingerprint", fingerprint)
 
     def _record_query(self, started: float) -> None:
         self.stats.latency.record(time.perf_counter() - started)

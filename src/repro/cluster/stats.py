@@ -57,6 +57,10 @@ class ClusterStats:
     #: Aggregate engine work across every shard task (merged from each
     #: outcome's per-shard counters at gather time).
     engine: EvalCounters = field(default_factory=EvalCounters)
+    #: The cluster's fingerprint-aggregated workload registry
+    #: (:class:`repro.obs.insights.InsightsRegistry`), set by
+    #: ``ClusterService``; ``None`` for stats objects built standalone.
+    insights: object | None = None
     _lock: threading.Lock = field(
         default_factory=threading.Lock, init=False, repr=False, compare=False
     )
@@ -80,7 +84,7 @@ class ClusterStats:
         """A JSON-serialisable flattening of every metric."""
         with self._lock:
             workers = dict(self.per_worker)
-        return {
+        result = {
             "queries": self.queries,
             "batches": self.batches,
             "scatters": self.scatters,
@@ -100,3 +104,6 @@ class ClusterStats:
                 tag: recorder.summary() for tag, recorder in sorted(workers.items())
             },
         }
+        if self.insights is not None:
+            result["insights"] = self.insights.counters()
+        return result

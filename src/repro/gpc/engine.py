@@ -36,7 +36,9 @@ from repro.gpc.assignments import Assignment
 from repro.gpc.collect import CollectMode
 from repro.gpc.minlength import max_path_length, validate_approach1
 from repro.gpc.planner import (
+    PlanEstimates,
     ShortestPlan,
+    estimate_plan,
     estimate_query_cardinality,
     explain_plan,
     join_shared_variables,
@@ -126,6 +128,10 @@ class QueryPlan:
         self._typechecked: set[ast.Expression] = set()
         self._join_variables: dict[ast.Join, tuple[str, ...]] = {}
         self._shortest_plans: dict[ast.Pattern, ShortestPlan] = {}
+        #: ``(query, snapshot version)`` → :class:`PlanEstimates`;
+        #: bounded (estimates are cheap to recompute) and keyed by
+        #: version because cardinalities shift with the graph.
+        self._estimates: dict[tuple, PlanEstimates] = {}
 
     def ensure_typechecked(self, expression: ast.Expression) -> None:
         """Run ``infer_schema`` once per expression (raises on error)."""
@@ -164,6 +170,18 @@ class QueryPlan:
         if pattern not in self._shortest_plans:
             self._shortest_plans[pattern] = plan_shortest(pattern)
         return self._shortest_plans[pattern]
+
+    def estimates(self, query: ast.Query, view) -> PlanEstimates:
+        """The planner's :class:`PlanEstimates` for ``query`` over
+        ``view`` (a snapshot or graph), memoised per graph version."""
+        key = (query, getattr(view, "version", None))
+        found = self._estimates.get(key)
+        if found is None:
+            if len(self._estimates) >= 8:
+                self._estimates.clear()
+            found = estimate_plan(query, view, plan=self)
+            self._estimates[key] = found
+        return found
 
     def explain(self, query: ast.Query, graph=None) -> str:
         """Human-readable summary of the strategies chosen for

@@ -31,6 +31,7 @@ __all__ = [
     "explain_query",
     "explain",
     "explain_counters",
+    "explain_estimates",
 ]
 
 
@@ -165,4 +166,49 @@ def explain_counters(
         lines.append(f"  elapsed: {elapsed_s * 1000:.2f} ms")
     for name, value in counters.as_dict().items():
         lines.append(f"  {name}: {value}")
+    return "\n".join(lines)
+
+
+def _estimate_row(label: str, estimated: float, observed: float) -> str:
+    est = max(float(estimated), 1.0)
+    obs = max(float(observed), 1.0)
+    if est >= obs:
+        verdict = f"{est / obs:.1f}x over"
+    else:
+        verdict = f"{obs / est:.1f}x under"
+    return f"  {label}: est {estimated:.0f} vs actual {observed:.0f} ({verdict})"
+
+
+def explain_estimates(
+    estimates,
+    *,
+    answers: Optional[int] = None,
+    counters=None,
+) -> str:
+    """Render the planner's estimates against observed actuals.
+
+    ``estimates`` is a :class:`~repro.gpc.planner.PlanEstimates`
+    stamped at plan time; ``answers`` and ``counters`` (an
+    :class:`~repro.obs.counters.EvalCounters`) come from the run being
+    explained. Each row shows the symmetric over/under factor so
+    misestimates read the same in both directions.
+    """
+    lines = ["estimated vs actual:"]
+    if answers is not None:
+        lines.append(_estimate_row("answers", estimates.cardinality, answers))
+    else:
+        lines.append(f"  answers: est {estimates.cardinality:.0f}")
+    if estimates.joins:
+        build = getattr(counters, "join_build_rows", 0) if counters else 0
+        probe = getattr(counters, "join_probe_rows", 0) if counters else 0
+        lines.append(
+            _estimate_row("join build rows", estimates.join_build_rows, build)
+        )
+        lines.append(
+            _estimate_row("join probe rows", estimates.join_probe_rows, probe)
+        )
+    if counters is not None:
+        lines.append(
+            f"  nfa states expanded: {counters.nfa_states_expanded} (observed)"
+        )
     return "\n".join(lines)

@@ -56,6 +56,9 @@ __all__ = [
     "join_shared_variables",
     "estimate_pattern_cardinality",
     "estimate_query_cardinality",
+    "JoinEstimate",
+    "PlanEstimates",
+    "estimate_plan",
     "explain_plan",
 ]
 
@@ -423,6 +426,106 @@ def _estimate_query(query: ast.Query, cards, plan=None) -> float:
             left * right / (float(num_nodes) ** len(shared)),
         )
     raise TypeError(f"not a query: {query!r}")
+
+
+# ---------------------------------------------------------------------------
+# Plan estimates (stamped per plan, validated against observed work)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JoinEstimate:
+    """The planner's pre-execution view of one join node.
+
+    ``left``/``right`` are the estimated side cardinalities; the
+    evaluator builds its hash table on the smaller materialised side
+    and probes with the larger, so the derived ``build_rows``/
+    ``probe_rows`` are what ``EvalCounters.join_build_rows``/
+    ``join_probe_rows`` should observe if the estimates were right.
+    """
+
+    shared: tuple[str, ...]
+    left: float
+    right: float
+
+    @property
+    def build_rows(self) -> float:
+        return min(self.left, self.right)
+
+    @property
+    def probe_rows(self) -> float:
+        return max(self.left, self.right)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "shared": list(self.shared),
+            "left": self.left,
+            "right": self.right,
+            "build_rows": self.build_rows,
+            "probe_rows": self.probe_rows,
+        }
+
+
+@dataclass(frozen=True)
+class PlanEstimates:
+    """Everything the planner predicted about a query on one snapshot:
+    the overall answer cardinality plus one :class:`JoinEstimate` per
+    join node (left-to-right walk order, matching execution)."""
+
+    cardinality: float
+    joins: tuple[JoinEstimate, ...] = ()
+
+    @property
+    def join_build_rows(self) -> float:
+        return sum(j.build_rows for j in self.joins)
+
+    @property
+    def join_probe_rows(self) -> float:
+        return sum(j.probe_rows for j in self.joins)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "cardinality": self.cardinality,
+            "joins": [j.as_dict() for j in self.joins],
+            "join_build_rows": self.join_build_rows,
+            "join_probe_rows": self.join_probe_rows,
+        }
+
+
+def estimate_plan(query: ast.Query, view, plan=None) -> PlanEstimates:
+    """The planner's full pre-execution estimate record for ``query``.
+
+    Like :func:`estimate_query_cardinality` plus a per-join breakdown,
+    so observed hash-join build/probe row counters can be compared
+    against what the cost model predicted. ``plan`` (a
+    :class:`~repro.gpc.engine.QueryPlan`) reuses memoised analyses.
+    """
+    cards = _cardinalities(view)
+    joins: list[JoinEstimate] = []
+
+    def walk(q: ast.Query) -> None:
+        if not isinstance(q, ast.Join):
+            return
+        shared = (
+            plan.join_variables(q)
+            if plan is not None
+            else join_shared_variables(q)
+        )
+        joins.append(
+            JoinEstimate(
+                shared=tuple(shared),
+                left=_estimate_query(q.left, cards, plan),
+                right=_estimate_query(q.right, cards, plan),
+            )
+        )
+        walk(q.left)
+        walk(q.right)
+
+    walk(query)
+    return PlanEstimates(
+        cardinality=_estimate_query(query, cards, plan),
+        joins=tuple(joins),
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -14,7 +14,10 @@ package:
 - :mod:`repro.obs.store` — the bounded ``TraceStore`` ring buffer
   behind ``GET /trace``;
 - :mod:`repro.obs.metrics` — Prometheus text exposition behind
-  ``GET /metrics``.
+  ``GET /metrics``;
+- :mod:`repro.obs.insights` — fingerprint-aggregated workload
+  profiles with planner estimate-vs-actual accounting behind
+  ``GET /insights``.
 
 Stdlib-only, and importable without the serving stack (its only
 intra-repo dependency is :mod:`repro.errors`).
@@ -33,7 +36,23 @@ from repro.obs.trace import (
     span,
 )
 
+# Imported last: insights lazy-imports gpc/service modules that
+# themselves import repro.obs, so it must not run during the eager
+# imports above.
+from repro.obs.insights import (
+    InsightsRegistry,
+    PlanQuality,
+    QueryInsight,
+    canonical_query,
+    query_fingerprint,
+)
+
 __all__ = [
+    "InsightsRegistry",
+    "PlanQuality",
+    "QueryInsight",
+    "canonical_query",
+    "query_fingerprint",
     "EvalCounters",
     "active_counters",
     "use_counters",

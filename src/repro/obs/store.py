@@ -34,6 +34,23 @@ def _has_error(span_dict: dict) -> bool:
     return any(_has_error(child) for child in span_dict.get("children", ()))
 
 
+def _find_fingerprint(span_dict: dict) -> Optional[str]:
+    """The first ``fingerprint`` attribute in the tree, depth-first.
+
+    The service layer stamps it on whatever span is ambient at
+    evaluate time — the request root locally, a dispatch child behind
+    the server's coalescer — so the whole tree is searched.
+    """
+    found = (span_dict.get("attributes") or {}).get("fingerprint")
+    if found is not None:
+        return found
+    for child in span_dict.get("children", ()):
+        found = _find_fingerprint(child)
+        if found is not None:
+            return found
+    return None
+
+
 class TraceStore:
     """Ring-buffered retention of finished span trees."""
 
@@ -53,6 +70,11 @@ class TraceStore:
         self.sample_every = sample_every
         self._recent: deque[dict] = deque(maxlen=capacity)
         self._slow: deque[dict] = deque(maxlen=slow_capacity)
+        #: ``trace_id`` → retained trees bearing it, oldest first. One
+        #: list entry per ring occurrence (a slow tree sits in both
+        #: rings and must survive in the index until *both* evict it),
+        #: so entries are removed by identity, not equality.
+        self._index: dict[str, list[dict]] = {}
         self._lock = threading.Lock()
         self._seen = 0
         self._recorded = 0
@@ -64,11 +86,18 @@ class TraceStore:
         """Consider one finished root span for retention.
 
         Returns the serialised tree when kept (in either buffer),
-        ``None`` when sampled out.
+        ``None`` when sampled out. A ``fingerprint`` root-span
+        attribute (stamped by the service layer's insights recording)
+        is lifted to the top of the tree so slow-log entries cross-link
+        to ``GET /insights`` without clients digging through
+        attributes.
         """
         tree = root.to_dict()
         if tree is None:  # a NullSpan — tracing disabled
             return None
+        fingerprint = _find_fingerprint(tree)
+        if fingerprint is not None:
+            tree["fingerprint"] = fingerprint
         with self._lock:
             self._seen += 1
             slow = tree["duration_s"] >= self.slow_threshold_s
@@ -79,13 +108,40 @@ class TraceStore:
                 self._dropped += 1
                 return None
             self._recorded += 1
-            self._recent.append(tree)
+            self._append(self._recent, tree)
             if error:
                 self._error_recorded += 1
             if slow:
                 self._slow_recorded += 1
-                self._slow.append(tree)
+                self._append(self._slow, tree)
             return tree
+
+    def _append(self, ring: deque, tree: dict) -> None:
+        """Append with *explicit* eviction so the index stays exact.
+
+        ``deque(maxlen=…)`` would silently drop the oldest entry,
+        leaving a dangling index reference — evict by hand instead.
+        """
+        if ring.maxlen is not None and len(ring) == ring.maxlen:
+            self._unindex(ring.popleft())
+        ring.append(tree)
+        trace_id = tree.get("trace_id")
+        if trace_id is not None:
+            self._index.setdefault(trace_id, []).append(tree)
+
+    def _unindex(self, tree: dict) -> None:
+        trace_id = tree.get("trace_id")
+        bucket = self._index.get(trace_id)
+        if bucket is None:
+            return
+        # Remove ONE occurrence by identity: the same tree object may
+        # legitimately appear once per ring it was retained in.
+        for position, candidate in enumerate(bucket):
+            if candidate is tree:
+                del bucket[position]
+                break
+        if not bucket:
+            del self._index[trace_id]
 
     # -- retrieval ------------------------------------------------------
 
@@ -104,15 +160,14 @@ class TraceStore:
         return items[:limit] if limit is not None else items
 
     def find(self, trace_id: str) -> Optional[dict]:
-        """The retained tree for ``trace_id`` (newest match wins)."""
+        """The retained tree for ``trace_id`` (newest match wins).
+
+        O(1) via the trace-id index — a slow-log entry stays findable
+        long after the recent ring has cycled past it.
+        """
         with self._lock:
-            for tree in reversed(self._recent):
-                if tree.get("trace_id") == trace_id:
-                    return tree
-            for tree in reversed(self._slow):
-                if tree.get("trace_id") == trace_id:
-                    return tree
-        return None
+            bucket = self._index.get(trace_id)
+            return bucket[-1] if bucket else None
 
     def counters(self) -> dict[str, int]:
         """Retention counters for the /metrics surface."""
@@ -131,6 +186,7 @@ class TraceStore:
         with self._lock:
             self._recent.clear()
             self._slow.clear()
+            self._index.clear()
 
     def __repr__(self) -> str:
         return (

@@ -98,6 +98,14 @@ ENCODE_INLINE_LIMIT = 64
 #: Content type of the Prometheus text exposition format.
 METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
+#: How many fingerprints get per-fingerprint labeled series in
+#: ``GET /metrics`` (bounds the exposition size; the full registry
+#: stays available as JSON under ``GET /insights``).
+INSIGHTS_METRICS_TOPK = 10
+
+#: Default number of fingerprints returned by ``GET /insights``.
+INSIGHTS_DEFAULT_LIMIT = 20
+
 
 @dataclass
 class _Pending:
@@ -149,6 +157,7 @@ class GraphServer:
         "/stats": ("GET",),
         "/trace": ("GET",),
         "/metrics": ("GET",),
+        "/insights": ("GET",),
         "/healthz": ("GET",),
     }
 
@@ -392,6 +401,8 @@ class GraphServer:
             return self._handle_trace(request)
         if request.path == "/metrics":
             return 200, self._render_metrics()
+        if request.path == "/insights":
+            return self._handle_insights(request)
         if self._draining:
             raise ProtocolError(503, "server is draining")
         if request.path == "/query":
@@ -562,6 +573,40 @@ class GraphServer:
             "counters": store.counters(),
         }
 
+    def _handle_insights(self, request: HttpRequest) -> tuple[int, Any]:
+        """Top-K fingerprint-aggregated workload profiles as JSON.
+
+        ``?sort=`` picks the ranking (``total_time`` default, or
+        ``calls`` / ``misestimate`` / ``errors``); ``?limit=`` bounds
+        the result count. Answered during drain, like the other
+        read-only observability endpoints.
+        """
+        registry = getattr(self.service, "insights", None)
+        if registry is None:
+            raise ProtocolError(
+                404, "the service exposes no insights registry"
+            )
+        sort = request.params.get("sort", "total_time")
+        limit_param = request.params.get("limit")
+        limit = INSIGHTS_DEFAULT_LIMIT
+        if limit_param is not None:
+            try:
+                limit = int(limit_param)
+            except ValueError as exc:
+                raise ProtocolError(
+                    400, f"bad limit {limit_param!r}"
+                ) from exc
+        try:
+            top = registry.top(sort=sort, limit=limit)
+        except ValueError as exc:
+            raise ProtocolError(400, str(exc)) from exc
+        return 200, {
+            "insights": top,
+            "counters": registry.counters(),
+            "sort": sort,
+            "limit": limit,
+        }
+
     def _render_metrics(self) -> PreRendered:
         """The whole serving stack's counters as one Prometheus text
         exposition: transport (``repro_server_*``), service or cluster
@@ -612,6 +657,17 @@ class GraphServer:
             )
         if engine:
             lines.extend(obs_metrics.mapping_lines("repro_engine", engine))
+        insights = getattr(self.service, "insights", None)
+        if insights is not None and insights.enabled:
+            # Bounded top-K per-fingerprint series; registry-level
+            # counters already flow via the stats "insights" sub-dict.
+            lines.extend(
+                obs_metrics.labeled_summary_lines(
+                    "repro_insights",
+                    "fingerprint",
+                    insights.labeled_series(INSIGHTS_METRICS_TOPK),
+                )
+            )
         lines.extend(
             obs_metrics.mapping_lines(
                 "repro_traces", self.tracer.store.counters()

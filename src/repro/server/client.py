@@ -178,5 +178,21 @@ class HttpServiceClient:
         """``GET /metrics`` — the Prometheus text exposition body."""
         return self.request("GET", "/metrics").raise_for_status().payload
 
+    def insights(
+        self, *, sort: str | None = None, limit: int | None = None
+    ) -> dict:
+        """``GET /insights`` — top-K fingerprint-aggregated workload
+        profiles (``sort`` ∈ total_time / calls / misestimate / errors)
+        plus registry counters."""
+        from urllib.parse import quote
+
+        params = []
+        if sort is not None:
+            params.append(f"sort={quote(str(sort))}")
+        if limit is not None:
+            params.append(f"limit={limit}")
+        target = "/insights" + ("?" + "&".join(params) if params else "")
+        return self.request("GET", target).raise_for_status().payload
+
     def healthz(self) -> dict:
         return self.request("GET", "/healthz").raise_for_status().payload

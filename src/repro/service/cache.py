@@ -210,25 +210,34 @@ class SemanticResultCache:
     def get(self, key: Hashable, version: int):
         """The cached answers valid at ``version``, or ``None``.
 
-        Exact version match is a plain hit. An older stamp triggers the
-        semantic check; surviving entries are re-stamped to ``version``
-        so the next lookup is exact again. A *newer* stamp (a reader
-        holding an older snapshot than a concurrent writer) is treated
-        as a miss — recomputing against the older snapshot is always
-        sound.
+        See :meth:`get_with_outcome` for the full lookup semantics.
+        """
+        return self.get_with_outcome(key, version)[0]
+
+    def get_with_outcome(self, key: Hashable, version: int):
+        """``(result, outcome)`` for a lookup at ``version``.
+
+        ``outcome`` is one of ``"hit"`` / ``"restamp"`` / ``"miss"`` /
+        ``"invalidated"``; ``result`` is ``None`` unless the outcome is
+        a hit or restamp. Exact version match is a plain hit. An older
+        stamp triggers the semantic check; surviving entries are
+        re-stamped to ``version`` so the next lookup is exact again. A
+        *newer* stamp (a reader holding an older snapshot than a
+        concurrent writer) is treated as a miss — recomputing against
+        the older snapshot is always sound.
         """
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 self.stats.misses += 1
-                return None
+                return None, "miss"
             if entry.version == version:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
-                return entry.result
+                return entry.result, "hit"
             if entry.version > version or self._delta_source is None:
                 self.stats.misses += 1
-                return None
+                return None, "miss"
             footprint = entry.footprint
             entry_version = entry.version
         # Delta fetch and footprint intersection run outside the lock;
@@ -243,7 +252,7 @@ class SemanticResultCache:
             current = self._entries.get(key)
             if current is not entry or entry.version != entry_version:
                 self.stats.misses += 1  # raced with a concurrent update
-                return None
+                return None, "miss"
             if (
                 summary is not None
                 and footprint is not None
@@ -253,11 +262,11 @@ class SemanticResultCache:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
                 self.stats.restamps += 1
-                return entry.result
+                return entry.result, "restamp"
             del self._entries[key]
             self.stats.misses += 1
             self.stats.invalidations += 1
-            return None
+            return None, "invalidated"
 
     def put(self, key: Hashable, version: int, footprint, result) -> None:
         """Store ``result`` computed at ``version`` with ``footprint``.

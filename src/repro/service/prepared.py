@@ -83,6 +83,14 @@ class PreparedQuery:
             self.query, typecheck=False, start_restriction=start_restriction
         )
 
+    def estimates(self, graph: PropertyGraph | GraphSnapshot):
+        """The planner's :class:`~repro.gpc.planner.PlanEstimates` for
+        this query over ``graph`` (memoised per graph version on the
+        plan). The pre-execution half of estimate-vs-actual insight
+        accounting."""
+        view = graph.snapshot() if hasattr(graph, "snapshot") else graph
+        return self.plan.estimates(self.query, view)
+
     def explain(self, graph: PropertyGraph | GraphSnapshot | None = None) -> str:
         """The planner's strategy summary for this query.
 

@@ -43,8 +43,15 @@ from repro.graph.ids import (
 )
 from repro.graph.property_graph import Constant, PropertyGraph
 from repro.graph.snapshot import GraphSnapshot
-from repro.gpc.explain import explain_counters
-from repro.obs import EvalCounters, span, use_counters
+from repro.errors import DeadlineExceededError
+from repro.gpc.explain import explain_counters, explain_estimates
+from repro.obs import (
+    EvalCounters,
+    InsightsRegistry,
+    current_span,
+    span,
+    use_counters,
+)
 from repro.service.cache import LRUCache, SemanticResultCache
 from repro.service.prepared import PreparedQuery
 from repro.service.stats import ServiceStats
@@ -79,10 +86,19 @@ class GraphService:
         plan_cache_size: int = 256,
         result_cache_size: int = 4096,
         max_workers: int | None = None,
+        insights: bool | InsightsRegistry = True,
     ):
         self._graph = graph if graph is not None else PropertyGraph()
         self.config = config or DEFAULT_CONFIG
         self.stats = ServiceStats()
+        # ``insights`` accepts a pre-built registry (shared or tuned)
+        # or a bool; a disabled registry keeps record() a cheap no-op
+        # so call sites never branch.
+        if isinstance(insights, InsightsRegistry):
+            self.insights = insights
+        else:
+            self.insights = InsightsRegistry(enabled=bool(insights))
+        self.stats.insights = self.insights
         self._plan_cache = LRUCache(plan_cache_size, self.stats.plan_cache)
         self._result_cache = SemanticResultCache(
             result_cache_size,
@@ -235,7 +251,15 @@ class GraphService:
         observed = explain_counters(
             counters, answers=len(result), elapsed_s=elapsed
         )
-        return f"{report}\n{observed}"
+        sections = [report, observed]
+        estimates = self._plan_estimates(prepared, snap)
+        if estimates is not None:
+            sections.append(
+                explain_estimates(
+                    estimates, answers=len(result), counters=counters
+                )
+            )
+        return "\n".join(sections)
 
     # ------------------------------------------------------------------
     # Evaluation (result cache + snapshots)
@@ -266,12 +290,18 @@ class GraphService:
         # rather than a stale entry served as current.
         snap = self.snapshot()
         result_key = (query, config)
+        cache_outcome = "bypass"
         if use_cache:
             with span("service.cache_probe") as probe:
-                cached = self._result_cache.get(result_key, snap.version)
+                cached, cache_outcome = self._result_cache.get_with_outcome(
+                    result_key, snap.version
+                )
                 probe.set_attr("hit", cached is not None)
             if cached is not None:
                 self._record_query(started)
+                self._record_insight(
+                    query, started, answers=len(cached), cache=cache_outcome
+                )
                 return cached
         else:
             # A deliberate cache skip is not a lookup: count it as a
@@ -280,13 +310,80 @@ class GraphService:
                 self.stats.result_cache.bypasses += 1
         with span("service.plan"):
             prepared = self.prepare(query, config)
-        result = self._execute(prepared, snap)
+        estimates = self._plan_estimates(prepared, snap)
+        try:
+            result, counters = self._execute(prepared, snap)
+        except Exception as exc:
+            self._record_insight(
+                query,
+                started,
+                cache=cache_outcome,
+                error=True,
+                timeout=isinstance(exc, DeadlineExceededError),
+            )
+            raise
         if use_cache:
             self._result_cache.put(
                 result_key, snap.version, prepared.footprint, result
             )
         self._record_query(started)
+        self._record_insight(
+            query,
+            started,
+            answers=len(result),
+            cache=cache_outcome,
+            counters=counters,
+            estimates=estimates,
+        )
         return result
+
+    def _plan_estimates(self, prepared: PreparedQuery, snap: GraphSnapshot):
+        """The planner's pre-execution estimates, or ``None``.
+
+        ``None`` both when insights are disabled (skip the work) and
+        when estimation rejects the query shape — estimates feed
+        observability only and must never fail an evaluation.
+        """
+        if not self.insights.enabled:
+            return None
+        try:
+            return prepared.estimates(snap)
+        except Exception:
+            return None
+
+    def _record_insight(
+        self,
+        query,
+        started: float,
+        *,
+        answers: int | None = None,
+        cache: str | None = None,
+        counters: EvalCounters | None = None,
+        estimates=None,
+        error: bool = False,
+        timeout: bool = False,
+    ) -> None:
+        """Fold one evaluation into the insights registry.
+
+        Stamps the fingerprint onto the active root span so slow-log
+        entries in the trace store cross-link to ``GET /insights``.
+        """
+        if not self.insights.enabled:
+            return
+        root = current_span()
+        fingerprint = self.insights.record(
+            query,
+            latency_s=time.perf_counter() - started,
+            answers=answers,
+            cache=cache,
+            counters=counters,
+            estimates=estimates,
+            error=error,
+            timeout=timeout,
+            trace_id=root.trace_id if root else None,
+        )
+        if root and fingerprint is not None:
+            root.set_attr("fingerprint", fingerprint)
 
     def _execute(
         self,
@@ -294,12 +391,14 @@ class GraphService:
         snap: GraphSnapshot,
         *,
         start_restriction=None,
-    ) -> frozenset[Answer]:
+    ) -> tuple[frozenset[Answer], EvalCounters]:
         """Run one prepared execution with engine work accounting.
 
         A fresh :class:`EvalCounters` is made ambient for the call, then
         merged into the service-wide aggregate and — when a trace is
-        active — attached to the ``service.eval`` span.
+        active — attached to the ``service.eval`` span. Returns the
+        answers together with the per-call counters (the observed side
+        of insight plan-quality accounting).
         """
         counters = EvalCounters()
         with span("service.eval") as eval_span:
@@ -313,7 +412,7 @@ class GraphService:
                 if eval_span:
                     eval_span.set_attrs(counters.as_dict())
             eval_span.set_attr("answers", len(result))
-        return result
+        return result, counters
 
     def evaluate_batch(
         self,

@@ -216,10 +216,14 @@ class ServiceStats:
     #: Aggregate engine work counters across every evaluation (merged
     #: per-call from the ambient EvalCounters; see repro.obs.counters).
     engine: EvalCounters = field(default_factory=EvalCounters)
+    #: The service's fingerprint-aggregated workload registry
+    #: (:class:`repro.obs.insights.InsightsRegistry`), set by
+    #: ``GraphService``; ``None`` for stats objects built standalone.
+    insights: object | None = None
 
     def as_dict(self) -> dict[str, object]:
         """A JSON-serialisable flattening of every metric."""
-        return {
+        result = {
             "queries": self.queries,
             "batches": self.batches,
             "snapshots_built": self.snapshots_built,
@@ -231,3 +235,6 @@ class ServiceStats:
             "latency": self.latency.summary(),
             "engine": self.engine.as_dict(),
         }
+        if self.insights is not None:
+            result["insights"] = self.insights.counters()
+        return result

@@ -1,0 +1,150 @@
+"""Fingerprint stability: canonicalisation must be a projection.
+
+The insights registry keys every aggregate by query fingerprint, so
+the fingerprint must be *stable* — parse → ``pretty`` → parse lands on
+the same fingerprint (idempotence), whitespace variants collapse, and
+queries differing only in condition constants collapse. Checked over
+the deterministic query families from the planner equivalence suite
+and property-tested over the random expression generators.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpc import ast
+from repro.gpc.conditions_ast import PropertyEqualsConst
+from repro.gpc.parser import parse_query
+from repro.gpc.pretty import pretty
+from repro.obs.insights import canonical_query, query_fingerprint
+
+from test_planner_equivalence import (
+    JOIN_QUERIES,
+    MIXED_QUERIES,
+    SHORTEST_QUERIES,
+)
+
+sys.path.insert(
+    0, str(Path(__file__).resolve().parent.parent / "properties")
+)
+from strategies import conditions_for, restrictors, well_typed_patterns
+
+ALL_QUERIES = JOIN_QUERIES + SHORTEST_QUERIES + MIXED_QUERIES
+
+CONDITIONED_QUERIES = [
+    "TRAIL (x:A) -[:a]-> (y) << x.k = 1 >>",
+    "SHORTEST (x:A) -[:a]->{1,2} (y) << x.k = 'v' AND y.m = 2 >>",
+    "TRAIL (x) -[:a]-> (y) << NOT x.k = TRUE >>",
+]
+
+
+@pytest.mark.parametrize("text", ALL_QUERIES + CONDITIONED_QUERIES)
+class TestDeterministicFamilies:
+    def test_parse_pretty_parse_round_trips(self, text):
+        fingerprint, canonical = query_fingerprint(text)
+        assert query_fingerprint(canonical) == (fingerprint, canonical)
+
+    def test_whitespace_variants_collapse(self, text):
+        squeezed = " ".join(text.split())
+        padded = text.replace(" ", "  ")
+        assert (
+            query_fingerprint(text)
+            == query_fingerprint(squeezed)
+            == query_fingerprint(padded)
+        )
+
+    def test_ast_and_text_agree(self, text):
+        assert query_fingerprint(parse_query(text)) == query_fingerprint(text)
+
+
+@pytest.mark.parametrize("text", CONDITIONED_QUERIES)
+def test_constant_rewrites_collapse(text):
+    """Swapping every constant for another value keeps the fingerprint."""
+    query = parse_query(text)
+    rewritten = _replace_constants(query, 99)
+    restrung = _replace_constants(query, "other")
+    assert (
+        query_fingerprint(query)
+        == query_fingerprint(rewritten)
+        == query_fingerprint(restrung)
+    )
+
+
+def _replace_constants(node, value):
+    """Structurally rewrite every PropertyEqualsConst constant."""
+    if isinstance(node, PropertyEqualsConst):
+        return PropertyEqualsConst(node.variable, node.key, value)
+    if isinstance(node, ast.Join):
+        return ast.Join(
+            _replace_constants(node.left, value),
+            _replace_constants(node.right, value),
+        )
+    if isinstance(node, ast.PatternQuery):
+        return ast.PatternQuery(
+            node.restrictor, _replace_constants(node.pattern, value), node.name
+        )
+    if isinstance(node, ast.Conditioned):
+        return ast.Conditioned(
+            _replace_constants(node.pattern, value),
+            _replace_constants(node.condition, value),
+        )
+    if isinstance(node, (ast.Union, ast.Concat)):
+        return type(node)(
+            _replace_constants(node.left, value),
+            _replace_constants(node.right, value),
+        )
+    if isinstance(node, ast.Repeat):
+        return ast.Repeat(
+            _replace_constants(node.pattern, value), node.lower, node.upper
+        )
+    if hasattr(node, "left") and hasattr(node, "right"):  # And / Or
+        return type(node)(
+            _replace_constants(node.left, value),
+            _replace_constants(node.right, value),
+        )
+    if hasattr(node, "inner"):  # Not
+        return type(node)(_replace_constants(node.inner, value))
+    return node
+
+
+@st.composite
+def pattern_queries(draw):
+    """Random well-typed single-item queries, optionally conditioned."""
+    pattern = draw(well_typed_patterns())
+    restrictor = draw(restrictors())
+    from repro.gpc.typing import infer_schema
+
+    schema = infer_schema(pattern)
+    singleton_vars = sorted(
+        name for name, kind in schema.items() if "Maybe" not in str(kind)
+    )
+    if singleton_vars and draw(st.booleans()):
+        condition = draw(conditions_for(singleton_vars))
+        pattern = ast.Conditioned(pattern, condition)
+    return ast.PatternQuery(restrictor, pattern)
+
+
+@settings(max_examples=120, deadline=None)
+@given(query=pattern_queries())
+def test_fingerprint_idempotent_on_random_queries(query):
+    """canonical(canonical(q)) == canonical(q) for arbitrary queries."""
+    try:
+        rendered = pretty(query)
+    except TypeError:
+        return  # unrenderable extension shapes fall back to repr
+    fingerprint, canonical = query_fingerprint(query)
+    assert query_fingerprint(canonical) == (fingerprint, canonical)
+    assert query_fingerprint(rendered) == (fingerprint, canonical)
+
+
+@settings(max_examples=120, deadline=None)
+@given(query=pattern_queries(), replacement=st.integers(0, 1000))
+def test_fingerprint_constant_invariant_on_random_queries(
+    query, replacement
+):
+    """Random constant rewrites never move a query's fingerprint."""
+    rewritten = _replace_constants(query, replacement)
+    assert query_fingerprint(rewritten) == query_fingerprint(query)

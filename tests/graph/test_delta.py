@@ -417,6 +417,27 @@ def _apply_random_mutation(rng: random.Random, graph: PropertyGraph) -> None:
         graph.remove_node(rng.choice(nodes))
 
 
+def _derive_in_budget(graph: PropertyGraph, cached) -> bool:
+    """Whether a snapshot call now would derive from ``cached``.
+
+    Mirrors the decision in :meth:`PropertyGraph.snapshot` from public
+    inputs only: a recorded delta chain whose accumulated size (plus
+    the cached snapshot's copy-on-write overlay) fits the derive
+    budget.
+    """
+    if cached.version == graph.version:
+        return False
+    deltas = graph.deltas_since(cached.version)
+    if deltas is None:
+        return False
+    budget = max(
+        16.0,
+        graph.snapshot_delta_threshold * (graph.num_nodes + graph.num_edges),
+    )
+    overlay = getattr(cached, "overlay_ops", 0)
+    return overlay + sum(delta.size for delta in deltas) <= budget
+
+
 @given(seed=st.integers(min_value=0, max_value=10_000))
 @settings(max_examples=40, deadline=None)
 def test_derived_equals_rebuild_on_random_mutation_sequences(seed):
@@ -424,15 +445,25 @@ def test_derived_equals_rebuild_on_random_mutation_sequences(seed):
     graph = PropertyGraph()
     for i in range(rng.randrange(2, 6)):
         graph.add_node(f"seed{i}", labels=("P",) if i % 2 else ())
-    graph.snapshot().label_cardinalities()
+    previous = graph.snapshot()
+    previous.label_cardinalities()
+    derivable = False
     for _ in range(rng.randrange(5, 25)):
         _apply_random_mutation(rng, graph)
         # Sometimes skip the snapshot so chains of length > 1 derive.
         if rng.random() < 0.5:
             continue
-        assert_snapshots_identical(graph.snapshot(), GraphSnapshot(graph))
+        derivable = derivable or _derive_in_budget(graph, previous)
+        previous = graph.snapshot()
+        assert_snapshots_identical(previous, GraphSnapshot(graph))
+    derivable = derivable or _derive_in_budget(graph, previous)
     assert_snapshots_identical(graph.snapshot(), GraphSnapshot(graph))
-    assert graph.snapshot_derivations > 0
+    # Vacuity guard: whenever the sequence offered an in-budget delta
+    # chain, at least one snapshot must have taken the derive path.
+    # (Rare sequences — e.g. every chain blown past the budget by
+    # remove_node cascades — legitimately never derive.)
+    if derivable:
+        assert graph.snapshot_derivations > 0
 
 
 @given(seed=st.integers(min_value=0, max_value=10_000))

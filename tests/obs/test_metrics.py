@@ -85,6 +85,62 @@ class TestRenderMetrics:
         assert text == "a_x 1\nb_y 2\n"
 
 
+class TestByteDeterminism:
+    """The exposition must be byte-stable against map-ordering drift:
+    equal stats must render to identical bytes however the source
+    dicts' insertion orders came about."""
+
+    def test_mapping_lines_ignore_insertion_order(self):
+        forward = {"b": 1, "a": 2, "nested": {"y": 3, "x": 4}}
+        backward = {"nested": {"x": 4, "y": 3}, "a": 2, "b": 1}
+        assert mapping_lines("m", forward) == mapping_lines("m", backward)
+
+    def test_labeled_series_ignore_insertion_order(self):
+        forward = {"k1": {"b": 1, "a": 2}, "k2": {"a": 3, "b": 4}}
+        backward = {"k2": {"b": 4, "a": 3}, "k1": {"a": 2, "b": 1}}
+        assert labeled_summary_lines(
+            "s", "key", forward
+        ) == labeled_summary_lines("s", "key", backward)
+
+    def test_two_full_renders_are_byte_identical(self):
+        def build(shuffled: bool) -> bytes:
+            fields = [("x", 1), ("y", 2.5), ("flags", {"on": True})]
+            series = [("fp1", {"calls": 3}), ("fp2", {"calls": 9})]
+            if shuffled:
+                fields = list(reversed(fields))
+                series = list(reversed(series))
+            lines = mapping_lines("repro_test", dict(fields))
+            lines.extend(
+                labeled_summary_lines(
+                    "repro_test_insights", "fingerprint", dict(series)
+                )
+            )
+            lines.extend(
+                histogram_lines(
+                    "repro_test_latency",
+                    {"buckets": [(0.1, 1), (0.5, 2)], "sum": 0.7, "count": 3},
+                )
+            )
+            return ("\n".join(lines) + "\n").encode("utf-8")
+
+        assert build(shuffled=False) == build(shuffled=True)
+
+    def test_render_metrics_ignores_section_content_order(self):
+        first = render_metrics({"a": {"y": 2, "x": 1}, "b": {"z": 3}})
+        second = render_metrics({"a": {"x": 1, "y": 2}, "b": {"z": 3}})
+        assert first.encode("utf-8") == second.encode("utf-8")
+
+    def test_label_special_characters_are_escaped(self):
+        tricky = 'quote:" backslash:\\ newline:\n'
+        (line,) = labeled_summary_lines(
+            "work", "worker", {tricky: {"count": 1}}
+        )
+        assert line == (
+            'work_count{worker="quote:\\" backslash:\\\\ newline:\\n"} 1'
+        )
+        assert "\n" not in line  # a raw newline would split the series
+
+
 class TestLatencyRecorderHistogram:
     def test_empty_histogram_shape(self):
         histogram = LatencyRecorder().histogram()

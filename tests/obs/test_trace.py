@@ -201,6 +201,96 @@ class TestTraceStore:
         assert [t["name"] for t in store.recent(2)] == ["c", "b"]
 
 
+class TestTraceStoreIndex:
+    """The trace_id → tree index behind O(1) ``find``."""
+
+    def _root(self, trace_id, *, duration=0.0, attrs=None):
+        root = Span("request", trace_id, None, attrs)
+        root.end()
+        root._end = root._start + duration
+        return root
+
+    def test_full_ring_still_resolves_a_retained_slow_trace(self):
+        # The regression: a slow trace older than the whole recent ring
+        # must stay findable via the slow log, and the index must agree
+        # with the rings rather than dangling into evicted trees.
+        store = TraceStore(capacity=4, slow_capacity=8, slow_threshold_s=0.1)
+        slow_id = "feed" * 4
+        store.record(self._root(slow_id, duration=0.5))
+        for index in range(20):  # cycle the recent ring many times over
+            store.record(self._root(f"{index:016d}"))
+        assert store.find(slow_id) is not None
+        assert store.find(slow_id)["trace_id"] == slow_id
+        # Evicted recent-only traces are gone from the index too.
+        assert store.find(f"{0:016d}") is None
+        assert store.find(f"{19:016d}") is not None
+
+    def test_find_matches_linear_scan_under_churn(self):
+        store = TraceStore(capacity=3, slow_capacity=2, slow_threshold_s=0.1)
+        ids = []
+        for index in range(12):
+            trace_id = f"{index:016x}"
+            ids.append(trace_id)
+            store.record(
+                self._root(
+                    trace_id, duration=0.5 if index % 3 == 0 else 0.0
+                )
+            )
+        retained = {t["trace_id"] for t in store.recent()} | {
+            t["trace_id"] for t in store.slow()
+        }
+        for trace_id in ids:
+            found = store.find(trace_id)
+            if trace_id in retained:
+                assert found is not None and found["trace_id"] == trace_id
+            else:
+                assert found is None
+
+    def test_duplicate_trace_ids_resolve_newest(self):
+        store = TraceStore(capacity=4)
+        shared = "abcd" * 4
+        first = self._root(shared)
+        second = self._root(shared)
+        store.record(first)
+        store.record(second)
+        assert store.find(shared) is store._recent[-1]
+
+    def test_slow_eviction_keeps_recent_occurrence_indexed(self):
+        # A slow tree lives in both rings; evicting it from one ring
+        # must not unindex the copy still held by the other.
+        store = TraceStore(capacity=16, slow_capacity=1, slow_threshold_s=0.1)
+        first_slow = "aaaa" * 4
+        store.record(self._root(first_slow, duration=0.5))
+        store.record(self._root("bbbb" * 4, duration=0.5))  # evicts from slow
+        assert [t["trace_id"] for t in store.slow()] == ["bbbb" * 4]
+        assert store.find(first_slow) is not None  # still in recent
+
+    def test_clear_resets_the_index(self):
+        store = TraceStore()
+        store.record(self._root("cafe" * 4))
+        store.clear()
+        assert store.find("cafe" * 4) is None
+        assert store._index == {}
+
+    def test_fingerprint_attribute_lifted_to_tree_top(self):
+        store = TraceStore()
+        tree = store.record(
+            self._root("dead" * 4, attrs={"fingerprint": "fp123"})
+        )
+        assert tree["fingerprint"] == "fp123"
+        assert store.find("dead" * 4)["fingerprint"] == "fp123"
+
+    def test_fingerprint_found_on_descendant_spans(self):
+        root = Span("request", "beef" * 4, None)
+        child = root.child("service.eval")
+        child.set_attr("fingerprint", "fp456")
+        child.end()
+        root.end()
+        store = TraceStore()
+        tree = store.record(root)
+        assert tree["fingerprint"] == "fp456"
+
+
 class TestDeadline:
     def test_no_deadline_by_default(self):
         assert remaining() is None
