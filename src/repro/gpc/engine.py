@@ -52,9 +52,11 @@ from repro.gpc.register_nfa import (
     RegisterNFA,
     UnsupportedPattern,
     compile_dense_program,
+    compile_flat_program,
     compile_register_nfa,
     dense_shortest_pair_lengths,
     enumerate_exact_length_walks,
+    flat_shortest_pair_lengths,
     shortest_pair_lengths,
 )
 from repro.automata.product import pairs_and_distances
@@ -89,6 +91,13 @@ class EngineConfig:
         sides, endpoint-pruned ``shortest`` starts). All of them are
         answer-preserving; the flag exists so benchmarks and
         differential tests can compare against naive evaluation.
+    ``use_pushdown``
+        Enables predicate pushdown in the ``shortest`` register
+        compiler: ``x.key = const`` atoms move from final CHECK ops to
+        the bind/step sites of ``x`` (bitmask probes over the columnar
+        core), and fully register-free programs run on the flat-array
+        fast lane. Answer-preserving by construction; the flag exists
+        for differential testing and A/B benchmarks.
     """
 
     collect_mode: CollectMode = CollectMode.GROUPING
@@ -99,6 +108,7 @@ class EngineConfig:
     max_intermediate_results: int = 2_000_000
     max_power_iterations: int = 10_000
     use_planner: bool = True
+    use_pushdown: bool = True
 
 
 DEFAULT_CONFIG = EngineConfig()
@@ -144,7 +154,9 @@ class QueryPlan:
         if pattern not in self._register_nfas:
             try:
                 rnfa = compile_register_nfa(
-                    pattern, state_limit=self.config.automaton_state_limit
+                    pattern,
+                    state_limit=self.config.automaton_state_limit,
+                    pushdown=self.config.use_pushdown,
                 )
             except UnsupportedPattern:
                 rnfa = None
@@ -463,14 +475,25 @@ class Evaluator:
         view = self._view
         # Columnar snapshots get the dense-id search: the register
         # program is lowered onto the snapshot's interning tables once
-        # and shared across every seed.
+        # and shared across every seed. When pushdown left the program
+        # register-free and the snapshot is pristine, the flat-array
+        # lane replaces the dict-state search entirely.
         use_dense = isinstance(view, GraphSnapshot)
         program = compile_dense_program(rnfa, view) if use_dense else None
+        flat = (
+            compile_flat_program(rnfa, view)
+            if use_dense and self.config.use_pushdown
+            else None
+        )
+        if counters is not None:
+            counters.conditions_pushed += rnfa.pushed_atoms
         for start in starts:
             # The per-seed search dominates shortest evaluation, so the
             # request deadline is checked once per seed.
             check_deadline()
-            if use_dense:
+            if flat is not None:
+                best = flat_shortest_pair_lengths(view, flat, start)
+            elif use_dense:
                 best = dense_shortest_pair_lengths(
                     view, rnfa, start, program=program
                 )

@@ -68,14 +68,23 @@ class QueryFootprint:
     Each label set is either a ``frozenset`` (only elements carrying
     one of these labels are observable; the empty set means *no*
     mutation of that class alone can change the answers) or ``None``
-    (the whole class is observable). ``property_keys`` works the same
-    way for condition-read keys.
+    (the whole class is observable). ``node_keys`` / ``edge_keys`` work
+    the same way for condition-read property keys, split by the class
+    of the variable each condition atom dereferences — so an
+    edge-property mutation leaves answers (and cached entries) of
+    queries that only read node keys provably intact, and vice versa.
     """
 
     node_labels: Optional[frozenset[str]] = frozenset()
     dedge_labels: Optional[frozenset[str]] = frozenset()
     uedge_labels: Optional[frozenset[str]] = frozenset()
-    property_keys: Optional[frozenset[str]] = frozenset()
+    node_keys: Optional[frozenset[str]] = frozenset()
+    edge_keys: Optional[frozenset[str]] = frozenset()
+
+    @property
+    def property_keys(self) -> Optional[frozenset[str]]:
+        """Class-blind union of the key sets (back-compat view)."""
+        return _union(self.node_keys, self.edge_keys)
 
     @property
     def is_bottom(self) -> bool:
@@ -84,7 +93,8 @@ class QueryFootprint:
             self.node_labels is None
             and self.dedge_labels is None
             and self.uedge_labels is None
-            and self.property_keys is None
+            and self.node_keys is None
+            and self.edge_keys is None
         )
 
     def merge(self, other: "QueryFootprint") -> "QueryFootprint":
@@ -93,7 +103,8 @@ class QueryFootprint:
             node_labels=_union(self.node_labels, other.node_labels),
             dedge_labels=_union(self.dedge_labels, other.dedge_labels),
             uedge_labels=_union(self.uedge_labels, other.uedge_labels),
-            property_keys=_union(self.property_keys, other.property_keys),
+            node_keys=_union(self.node_keys, other.node_keys),
+            edge_keys=_union(self.edge_keys, other.edge_keys),
         )
 
     def affected_by(self, summary: DeltaSummary) -> bool:
@@ -116,11 +127,10 @@ class QueryFootprint:
             self.uedge_labels, summary.uedges_changed, summary.uedge_labels
         ):
             return True
-        if summary.property_keys:
-            if self.property_keys is None:
-                return True
-            if not self.property_keys.isdisjoint(summary.property_keys):
-                return True
+        if _keys_intersect(self.node_keys, summary.node_property_keys):
+            return True
+        if _keys_intersect(self.edge_keys, summary.edge_property_keys):
+            return True
         return False
 
     def describe(self) -> str:
@@ -136,14 +146,15 @@ class QueryFootprint:
                 _render("nodes", self.node_labels),
                 _render("directed", self.dedge_labels),
                 _render("undirected", self.uedge_labels),
-                _render("keys", self.property_keys),
+                _render("node-keys", self.node_keys),
+                _render("edge-keys", self.edge_keys),
             )
         )
 
 
 #: The conservative "reads everything" footprint: every mutation
 #: invalidates, which is exactly the old global per-version flush.
-BOTTOM = QueryFootprint(None, None, None, None)
+BOTTOM = QueryFootprint(None, None, None, None, None)
 
 _EMPTY = QueryFootprint()
 
@@ -168,22 +179,92 @@ def _intersects(
     return not footprint_labels.isdisjoint(delta_labels)
 
 
+def _keys_intersect(
+    footprint_keys: Optional[frozenset[str]],
+    delta_keys: frozenset[str],
+) -> bool:
+    if not delta_keys:
+        return False
+    if footprint_keys is None:
+        return True
+    return not footprint_keys.isdisjoint(delta_keys)
+
+
 # ---------------------------------------------------------------------------
 # Derivation
 # ---------------------------------------------------------------------------
 
 
-def _condition_footprint(condition) -> QueryFootprint:
-    """Property keys a condition reads (``BOTTOM`` for unknown nodes)."""
-    keys: set[str] = set()
+#: Sentinel class for variables whose element class the walk could not
+#: pin down (conflicting bind sites, or an extension construct).
+_UNKNOWN = "unknown"
+
+
+def _variable_classes(pattern: ast.Pattern) -> dict[str, str]:
+    """Map each variable bound in ``pattern`` to ``'node'``/``'edge'``.
+
+    Variables bound at conflicting sites (or inside extension
+    constructs the walk cannot see through) map to :data:`_UNKNOWN`,
+    which routes their condition keys into *both* key classes.
+    """
+    classes: dict[str, str] = {}
+
+    def _note(variable: Optional[str], element_class: str) -> None:
+        if variable is None:
+            return
+        seen = classes.get(variable)
+        if seen is None:
+            classes[variable] = element_class
+        elif seen != element_class:
+            classes[variable] = _UNKNOWN
+
+    stack = [pattern]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, ast.NodePattern):
+            _note(current.variable, "node")
+        elif isinstance(current, ast.EdgePattern):
+            _note(current.variable, "edge")
+        elif isinstance(current, (ast.Union, ast.Concat)):
+            stack.append(current.left)
+            stack.append(current.right)
+        elif isinstance(current, (ast.Conditioned, ast.Repeat)):
+            stack.append(current.pattern)
+        # Extension constructs bind variables the walk cannot see; the
+        # caller treats absent variables as _UNKNOWN, which is what a
+        # hidden bind site deserves.
+    return classes
+
+
+def _condition_footprint(
+    condition, var_classes: Optional[dict[str, str]] = None
+) -> QueryFootprint:
+    """Property keys a condition reads (``BOTTOM`` for unknown nodes).
+
+    ``var_classes`` (from :func:`_variable_classes`) routes each key to
+    the class of the variable dereferencing it; keys read through a
+    variable of unknown class land in both sets.
+    """
+    if var_classes is None:
+        var_classes = {}
+    node_keys: set[str] = set()
+    edge_keys: set[str] = set()
+
+    def _note(variable: str, key: str) -> None:
+        element_class = var_classes.get(variable, _UNKNOWN)
+        if element_class in ("node", _UNKNOWN):
+            node_keys.add(key)
+        if element_class in ("edge", _UNKNOWN):
+            edge_keys.add(key)
+
     stack = [condition]
     while stack:
         current = stack.pop()
         if isinstance(current, PropertyEqualsConst):
-            keys.add(current.key)
+            _note(current.variable, current.key)
         elif isinstance(current, PropertyEqualsProperty):
-            keys.add(current.left_key)
-            keys.add(current.right_key)
+            _note(current.left_variable, current.left_key)
+            _note(current.right_variable, current.right_key)
         elif isinstance(current, (And, Or)):
             stack.append(current.left)
             stack.append(current.right)
@@ -191,10 +272,14 @@ def _condition_footprint(condition) -> QueryFootprint:
             stack.append(current.inner)
         else:  # an extension condition we cannot see through
             return BOTTOM
-    return QueryFootprint(property_keys=frozenset(keys))
+    return QueryFootprint(
+        node_keys=frozenset(node_keys), edge_keys=frozenset(edge_keys)
+    )
 
 
-def _walk_pattern(pattern: ast.Pattern) -> QueryFootprint:
+def _walk_pattern(
+    pattern: ast.Pattern, var_classes: Optional[dict[str, str]] = None
+) -> QueryFootprint:
     if isinstance(pattern, ast.NodePattern):
         if pattern.label is not None:
             return QueryFootprint(node_labels=frozenset((pattern.label,)))
@@ -207,13 +292,15 @@ def _walk_pattern(pattern: ast.Pattern) -> QueryFootprint:
             return QueryFootprint(uedge_labels=labels)
         return QueryFootprint(dedge_labels=labels)
     if isinstance(pattern, (ast.Union, ast.Concat)):
-        return _walk_pattern(pattern.left).merge(_walk_pattern(pattern.right))
+        return _walk_pattern(pattern.left, var_classes).merge(
+            _walk_pattern(pattern.right, var_classes)
+        )
     if isinstance(pattern, ast.Conditioned):
-        return _walk_pattern(pattern.pattern).merge(
-            _condition_footprint(pattern.condition)
+        return _walk_pattern(pattern.pattern, var_classes).merge(
+            _condition_footprint(pattern.condition, var_classes)
         )
     if isinstance(pattern, ast.Repeat):
-        inner = _walk_pattern(pattern.pattern)
+        inner = _walk_pattern(pattern.pattern, var_classes)
         if pattern.lower == 0:
             # Zero iterations match a single-node path at *any* node.
             inner = inner.merge(QueryFootprint(node_labels=None))
@@ -232,7 +319,7 @@ def pattern_footprint(pattern: ast.Pattern) -> QueryFootprint:
     empty — maximally prunable — set. The refinement is skipped when
     the walk hit a construct it cannot bound.
     """
-    footprint = _walk_pattern(pattern)
+    footprint = _walk_pattern(pattern, _variable_classes(pattern))
     if footprint.is_bottom:
         # Some construct defeated the analysis (merging BOTTOM floods
         # every class); the length-0 refinement is not justified then.
@@ -246,7 +333,8 @@ def pattern_footprint(pattern: ast.Pattern) -> QueryFootprint:
             node_labels=frozenset(),
             dedge_labels=footprint.dedge_labels,
             uedge_labels=footprint.uedge_labels,
-            property_keys=footprint.property_keys,
+            node_keys=footprint.node_keys,
+            edge_keys=footprint.edge_keys,
         )
     return footprint
 

@@ -53,6 +53,7 @@ __all__ = [
     "EndpointConstraint",
     "ShortestPlan",
     "plan_shortest",
+    "split_pushdown",
     "join_shared_variables",
     "estimate_pattern_cardinality",
     "estimate_query_cardinality",
@@ -201,6 +202,46 @@ def _required_const_atoms(
                 (current.key, current.constant)
             )
     return {variable: frozenset(atoms) for variable, atoms in out.items()}
+
+
+def split_pushdown(
+    condition: Condition,
+) -> tuple[dict[str, frozenset[tuple[str, object]]], Optional[Condition]]:
+    """Decompose a condition for predicate pushdown.
+
+    Returns ``(atoms, residue)``: ``atoms`` maps each variable to the
+    ``x.key = const`` atoms on the condition's positive ``And`` spine
+    (the same walk :func:`_required_const_atoms` uses for endpoint
+    pruning — every satisfying assignment must meet them), and
+    ``residue`` is the condition with those atoms removed, or ``None``
+    when the conjunction was consumed entirely. Re-conjoining every
+    atom with the residue is equivalent to the original condition, so
+    a compiler may evaluate the atoms early (at the bind/step site of
+    their variable) and only the residue at check time.
+    """
+    atoms: dict[str, set[tuple[str, object]]] = {}
+
+    def walk(current: Condition) -> Optional[Condition]:
+        if isinstance(current, And):
+            left = walk(current.left)
+            right = walk(current.right)
+            if left is None:
+                return right
+            if right is None:
+                return left
+            return And(left, right)
+        if isinstance(current, PropertyEqualsConst):
+            atoms.setdefault(current.variable, set()).add(
+                (current.key, current.constant)
+            )
+            return None
+        return current
+
+    residue = walk(condition)
+    return (
+        {variable: frozenset(found) for variable, found in atoms.items()},
+        residue,
+    )
 
 
 def _endpoint_alternatives(

@@ -39,6 +39,7 @@ from array import array
 from typing import TYPE_CHECKING
 
 from repro.graph.ids import DirectedEdgeId, NodeId, UndirectedEdgeId
+from repro.obs.counters import active_counters as _active_counters
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.graph.property_graph import PropertyGraph
@@ -84,7 +85,112 @@ class SnapshotColumns:
         "nodes_by_label",
         "dedges_by_label",
         "uedges_by_label",
+        # Lazily built dense-id bitmask indexes (never pickled): one
+        # bytes mask over the whole dense id space per (key, const)
+        # property equality and per interned label.
+        "_prop_masks",
+        "_label_masks",
+        # Lazily built label-restricted CSR triples (never pickled),
+        # keyed by (adjacency kind, label int).
+        "_filtered_csr",
     )
+
+    # ------------------------------------------------------------------
+    # Bitmask indexes (predicate/label pushdown)
+    # ------------------------------------------------------------------
+
+    def prop_mask(self, key: str, const) -> bytes:
+        """Dense-id bitmask of ``element.key == const`` over the core.
+
+        Bit ``d`` (``mask[d >> 3] & (1 << (d & 7))``) is set iff dense
+        element ``d`` carries property ``key`` with value equal to
+        ``const`` in the immutable core columns. Built lazily from the
+        property column in one pass and cached forever — the core never
+        changes, so derived snapshots share the same mask and only
+        patch overlay bits on their own copies.
+        """
+        cache = self._prop_masks
+        cache_key = (key, const)
+        mask = cache.get(cache_key)
+        if mask is None:
+            buf = bytearray((len(self.elements) + 7) >> 3)
+            col = self.prop_cols.get(key)
+            if col is not None and const is not None:
+                for d, value in col.items():
+                    if value == const:
+                        buf[d >> 3] |= 1 << (d & 7)
+            mask = cache[cache_key] = bytes(buf)
+            counters = _active_counters()
+            if counters is not None:
+                counters.masks_built += 1
+        return mask
+
+    def label_mask(self, label_int: int) -> bytes:
+        """Dense-id bitmask of label membership (all element classes).
+
+        ``label_int`` is an index into :attr:`label_names`; a negative
+        value (label not interned — no core element carries it) yields
+        an all-zero mask, so compiled probes fail uniformly instead of
+        branching on interning misses.
+        """
+        cache = self._label_masks
+        mask = cache.get(label_int)
+        if mask is None:
+            buf = bytearray((len(self.elements) + 7) >> 3)
+            if label_int >= 0:
+                for table in (
+                    self.nodes_by_label,
+                    self.dedges_by_label,
+                    self.uedges_by_label,
+                ):
+                    arr = table.get(label_int)
+                    if arr:
+                        for d in arr:
+                            buf[d >> 3] |= 1 << (d & 7)
+            mask = cache[label_int] = bytes(buf)
+            counters = _active_counters()
+            if counters is not None:
+                counters.masks_built += 1
+        return mask
+
+    def filtered_csr(self, kind: str, label_int: int) -> tuple:
+        """CSR triple restricted to edges carrying ``label_int``.
+
+        ``kind`` selects the adjacency (``"out"``/``"in"``/``"und"``);
+        the result is an ``(off, edge, other)`` triple shaped exactly
+        like the full CSR but containing only the label's edges, so a
+        labelled traversal walks matching edges contiguously instead of
+        probing a bitmask per edge. Built lazily in one pass over the
+        full CSR against :meth:`label_mask` and cached forever (the
+        core is immutable; overlays never reach this index because the
+        flat lane requires a pristine snapshot).
+        """
+        cache = self._filtered_csr
+        cache_key = (kind, label_int)
+        hit = cache.get(cache_key)
+        if hit is None:
+            if kind == "out":
+                off, edge, other = self.out_off, self.out_edge, self.out_tgt
+            elif kind == "in":
+                off, edge, other = self.in_off, self.in_edge, self.in_src
+            else:
+                off, edge, other = self.und_off, self.und_edge, self.und_other
+            mask = self.label_mask(label_int)
+            new_off = array(DENSE_TYPECODE, [0])
+            new_edge = array(DENSE_TYPECODE)
+            new_other = array(DENSE_TYPECODE)
+            for node in range(self.n_nodes):
+                for i in range(off[node], off[node + 1]):
+                    e = edge[i]
+                    if mask[e >> 3] & (1 << (e & 7)):
+                        new_edge.append(e)
+                        new_other.append(other[i])
+                new_off.append(len(new_edge))
+            hit = cache[cache_key] = (new_off, new_edge, new_other)
+            counters = _active_counters()
+            if counters is not None:
+                counters.masks_built += 1
+        return hit
 
     # ------------------------------------------------------------------
     # Buffer pickling
@@ -161,6 +267,9 @@ class SnapshotColumns:
             key: dict(zip(_unrle_ascending(idx_enc), values))
             for key, (idx_enc, values) in prop_payload.items()
         }
+        core._prop_masks = {}
+        core._label_masks = {}
+        core._filtered_csr = {}
 
         # Rebuild CSR + reverse CSR from the endpoint columns. Edges
         # are visited in dense (= sorted-id) order, so each bucketed
@@ -435,4 +544,7 @@ def build_columns(graph: "PropertyGraph") -> SnapshotColumns:
                     arr = by_label[li] = array(DENSE_TYPECODE)
                 arr.append(d)
         setattr(core, attr, by_label)
+    core._prop_masks = {}
+    core._label_masks = {}
+    core._filtered_csr = {}
     return core

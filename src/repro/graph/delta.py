@@ -163,10 +163,13 @@ class DeltaSummary:
     removed, and the union of the labels those elements carry (an
     unlabelled element contributes to the ``*_changed`` flag but to no
     label set — only an unconstrained footprint can observe it).
-    ``property_keys`` collects keys from explicit property mutations;
-    properties riding on added/removed elements are already covered by
-    the element-class flags, because a query can only observe them
-    through the element itself.
+    ``node_property_keys`` / ``edge_property_keys`` collect keys from
+    explicit property mutations, split by the mutated element's class
+    (both edge classes share one set — conditions observe edge
+    properties the same way regardless of direction); properties riding
+    on added/removed elements are already covered by the element-class
+    flags, because a query can only observe them through the element
+    itself.
 
     A query whose :class:`~repro.gpc.footprint.QueryFootprint` is
     disjoint from this summary is guaranteed to have equal answers
@@ -179,7 +182,13 @@ class DeltaSummary:
     dedge_labels: frozenset[str] = frozenset()
     uedges_changed: bool = False
     uedge_labels: frozenset[str] = frozenset()
-    property_keys: frozenset[str] = frozenset()
+    node_property_keys: frozenset[str] = frozenset()
+    edge_property_keys: frozenset[str] = frozenset()
+
+    @property
+    def property_keys(self) -> frozenset[str]:
+        """All mutated keys regardless of class (back-compat view)."""
+        return self.node_property_keys | self.edge_property_keys
 
     @property
     def is_empty(self) -> bool:
@@ -187,7 +196,8 @@ class DeltaSummary:
             self.nodes_changed
             or self.dedges_changed
             or self.uedges_changed
-            or self.property_keys
+            or self.node_property_keys
+            or self.edge_property_keys
         )
 
     def describe(self) -> str:
@@ -198,8 +208,10 @@ class DeltaSummary:
             parts.append(f"directed{sorted(self.dedge_labels)}")
         if self.uedges_changed:
             parts.append(f"undirected{sorted(self.uedge_labels)}")
-        if self.property_keys:
-            parts.append(f"keys{sorted(self.property_keys)}")
+        if self.node_property_keys:
+            parts.append(f"node-keys{sorted(self.node_property_keys)}")
+        if self.edge_property_keys:
+            parts.append(f"edge-keys{sorted(self.edge_property_keys)}")
         return " + ".join(parts) if parts else "(no changes)"
 
 
@@ -209,7 +221,8 @@ def summarize_deltas(deltas: Sequence[GraphDelta]) -> DeltaSummary:
     node_labels: set[str] = set()
     dedge_labels: set[str] = set()
     uedge_labels: set[str] = set()
-    property_keys: set[str] = set()
+    node_property_keys: set[str] = set()
+    edge_property_keys: set[str] = set()
 
     def _labels(records: Iterable) -> Iterable[frozenset[str]]:
         for record in records:
@@ -234,10 +247,16 @@ def summarize_deltas(deltas: Sequence[GraphDelta]) -> DeltaSummary:
                 uedge_labels.update(labels)
             for labels in _labels(delta.uedges_removed):
                 uedge_labels.update(labels)
-        for _, key, _value in delta.properties_set:
-            property_keys.add(key)
-        for _, key in delta.properties_removed:
-            property_keys.add(key)
+        for element, key, _value in delta.properties_set:
+            if isinstance(element, NodeId):
+                node_property_keys.add(key)
+            else:
+                edge_property_keys.add(key)
+        for element, key in delta.properties_removed:
+            if isinstance(element, NodeId):
+                node_property_keys.add(key)
+            else:
+                edge_property_keys.add(key)
 
     return DeltaSummary(
         nodes_changed=nodes_changed,
@@ -246,5 +265,6 @@ def summarize_deltas(deltas: Sequence[GraphDelta]) -> DeltaSummary:
         dedge_labels=frozenset(dedge_labels),
         uedges_changed=uedges_changed,
         uedge_labels=frozenset(uedge_labels),
-        property_keys=frozenset(property_keys),
+        node_property_keys=frozenset(node_property_keys),
+        edge_property_keys=frozenset(edge_property_keys),
     )

@@ -53,6 +53,7 @@ from repro.graph.ids import (
     NodeId,
     UndirectedEdgeId,
 )
+from repro.obs.counters import active_counters
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.graph.property_graph import Constant, PropertyGraph
@@ -175,6 +176,7 @@ class GraphSnapshot:
         "_memo_endpoints",
         "_memo_all_labels",
         "_label_cards",
+        "_mask_cache",
         # Metadata / observability.
         "_overlay_ops",
         "build_s",
@@ -226,6 +228,7 @@ class GraphSnapshot:
         self._memo_endpoints = {}
         self._memo_all_labels = None
         self._label_cards = None
+        self._mask_cache = {}
 
     @property
     def overlay_ops(self) -> int:
@@ -597,6 +600,86 @@ class GraphSnapshot:
         ):
             return node
         return d
+
+    @property
+    def pristine(self) -> bool:
+        """True when no overlay masks the core.
+
+        Every element is then a live core element whose columns (and
+        bitmask indexes) are authoritative, so register-free searches
+        may run entirely on dense ints without per-element fallbacks.
+        """
+        return not (
+            self._removed
+            or self._shadow
+            or self._dirty
+            or self._ovl_node_labels
+            or self._ovl_dedge_labels
+            or self._ovl_uedge_labels
+            or self._ovl_src
+            or self._ovl_tgt
+            or self._ovl_endpoints
+            or self._ovl_props
+            or self._row_out
+            or self._row_in
+            or self._row_und
+            or self._ovl_nodes_by_label
+            or self._ovl_dedges_by_label
+            or self._ovl_uedges_by_label
+        )
+
+    def label_mask(self, label: str) -> bytes:
+        """Dense-id bitmask of core label membership for ``label``.
+
+        Valid for any *non-shadowed* dense id: label edits always force
+        the element into the shadow/overlay path, so the core mask is
+        never stale for ids the dense search keeps as ints. Unknown
+        labels yield the cached all-zero mask.
+        """
+        core = self._core
+        return core.label_mask(core.label_index.get(label, -1))
+
+    def property_mask(self, key: str, const) -> bytes:
+        """Dense-id bitmask of ``element.key = const`` *at this version*.
+
+        The base mask comes from the shared immutable core
+        (:meth:`SnapshotColumns.prop_mask`); snapshots with property
+        overlays or removals patch a private copy — set the bit iff the
+        overlaid value is defined and equal, clear it for removed
+        elements — and cache it in ``_mask_cache``. The cache is
+        per-snapshot (reset by ``_init_memos`` on derive/unpickle), so
+        a delta chain can never see a stale mask. Mirrors
+        :meth:`get_property`'s ``_ovl_props``-first resolution exactly.
+        """
+        cache = self._mask_cache
+        cache_key = (key, const)
+        mask = cache.get(cache_key)
+        if mask is None:
+            mask = self._core.prop_mask(key, const)
+            ovl = self._ovl_props
+            removed = self._removed
+            if ovl or removed:
+                buf = bytearray(mask)
+                dense = self._core.dense
+                for element, props in ovl.items():
+                    d = dense.get(element)
+                    if d is None:
+                        continue
+                    value = props.get(key)
+                    if value is not None and value == const:
+                        buf[d >> 3] |= 1 << (d & 7)
+                    else:
+                        buf[d >> 3] &= 0xFF ^ (1 << (d & 7))
+                for element in removed:
+                    d = dense.get(element)
+                    if d is not None:
+                        buf[d >> 3] &= 0xFF ^ (1 << (d & 7))
+                mask = bytes(buf)
+                counters = active_counters()
+                if counters is not None:
+                    counters.masks_built += 1
+            cache[cache_key] = mask
+        return mask
 
     # ------------------------------------------------------------------
     # Formal accessors (same contracts as PropertyGraph)

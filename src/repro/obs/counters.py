@@ -43,7 +43,16 @@ class EvalCounters:
       probed against join tables (nested-loop joins count both sides);
     - ``seeds_pruned`` — start nodes the planner's candidate analysis
       removed before the per-seed shortest search;
-    - ``condition_evals`` — top-level ``WHERE`` condition evaluations.
+    - ``condition_evals`` — top-level ``WHERE`` condition evaluations;
+    - ``conditions_pushed`` — condition atoms the compiler pushed out
+      of final CHECK ops into bind/step sites of the register program;
+    - ``masks_built`` — per-(key, const) / per-label dense bitmask
+      indexes materialised (core builds plus per-snapshot overlay
+      patches; cache hits do not count);
+    - ``mask_probes`` — single-bit bitmask tests performed by the
+      dense search in place of full condition/label evaluations;
+    - ``dense_fast_lane`` — per-seed shortest searches served by the
+      register-free flat-array lane instead of the dict-state search.
     """
 
     nfa_states_expanded: int = 0
@@ -53,6 +62,10 @@ class EvalCounters:
     join_probe_rows: int = 0
     seeds_pruned: int = 0
     condition_evals: int = 0
+    conditions_pushed: int = 0
+    masks_built: int = 0
+    mask_probes: int = 0
+    dense_fast_lane: int = 0
 
     def merge(self, other: "Union[EvalCounters, dict, None]") -> None:
         """Add ``other``'s counts into this struct (thread-safe: used

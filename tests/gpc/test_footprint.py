@@ -14,6 +14,7 @@ import pytest
 
 from repro.extensions import ArithConditioned, PropertyTerm, TermConst
 from repro.gpc import ast
+from repro.gpc.conditions_ast import PropertyEqualsConst
 from repro.gpc.engine import Evaluator
 from repro.gpc.footprint import (
     BOTTOM,
@@ -69,6 +70,30 @@ class TestDerivation:
         footprint = fp("TRAIL [ (x:A) ] << x.a = 1 >>")
         assert footprint.property_keys == {"a"}
 
+    def test_condition_keys_split_by_variable_class(self):
+        footprint = fp("TRAIL [ (x:A) -[e:r]-> (y:B) ] << x.team = 1 >>")
+        assert footprint.node_keys == {"team"}
+        assert footprint.edge_keys == frozenset()
+        footprint = fp("TRAIL [ (x:A) -[e:r]-> (y:B) ] << e.w = 1 >>")
+        assert footprint.node_keys == frozenset()
+        assert footprint.edge_keys == {"w"}
+
+    def test_cross_class_comparison_splits_sides(self):
+        footprint = fp(
+            "p = TRAIL [ (x:A) -[e:r]-> (y:B) ] << x.cost = e.cost >>"
+        )
+        assert footprint.node_keys == {"cost"}
+        assert footprint.edge_keys == {"cost"}
+
+    def test_unknown_variable_keys_land_in_both_classes(self):
+        # A condition over a variable the pattern never binds: no class
+        # can be proven, so the key must guard both.
+        condition = PropertyEqualsConst("ghost", "k", 1)
+        pattern = ast.Conditioned(ast.node("x", "A"), condition)
+        footprint = pattern_footprint(pattern)
+        assert footprint.node_keys == {"k"}
+        assert footprint.edge_keys == {"k"}
+
     def test_zero_repetition_reads_all_nodes(self):
         footprint = fp("SHORTEST (x:A) ->{0,3} (y:B)")
         assert footprint.node_labels is None  # {0,..} matches any node
@@ -104,7 +129,7 @@ class TestAffectedBy:
     summary_node_p = DeltaSummary(
         nodes_changed=True, node_labels=frozenset({"P"})
     )
-    summary_props = DeltaSummary(property_keys=frozenset({"age"}))
+    summary_props = DeltaSummary(node_property_keys=frozenset({"age"}))
 
     def test_disjoint_labels_do_not_affect(self):
         footprint = fp("TRAIL (x) -[:likes]-> (y)")
@@ -134,6 +159,19 @@ class TestAffectedBy:
         assert reader.affected_by(self.summary_props)
         other = fp("TRAIL [ (x:P) ] << x.name = 'a' >>")
         assert not other.affected_by(self.summary_props)
+
+    def test_property_keys_do_not_cross_element_classes(self):
+        # Same key, different class: an edge-property mutation cannot
+        # invalidate a query that only reads the key off nodes.
+        node_reader = fp("TRAIL [ (x:P) -[e:r]-> (y) ] << x.age = 3 >>")
+        edge_summary = DeltaSummary(edge_property_keys=frozenset({"age"}))
+        assert not node_reader.affected_by(edge_summary)
+        node_summary = DeltaSummary(node_property_keys=frozenset({"age"}))
+        assert node_reader.affected_by(node_summary)
+
+        edge_reader = fp("TRAIL [ (x:P) -[e:r]-> (y) ] << e.age = 3 >>")
+        assert edge_reader.affected_by(edge_summary)
+        assert not edge_reader.affected_by(node_summary)
 
 
 # ---------------------------------------------------------------------------

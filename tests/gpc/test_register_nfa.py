@@ -3,13 +3,20 @@ enumeration."""
 
 import pytest
 
+from repro.errors import (
+    DeadlineExceededError,
+    EvaluationError,
+    EvaluationLimitError,
+)
 from repro.graph.builder import GraphBuilder
 from repro.graph.generators import chain_graph, cycle_graph, theorem13_gadget
 from repro.graph.ids import NodeId as N
+from repro.graph.snapshot import GraphSnapshot
 from repro.gpc.parser import parse_pattern
 from repro.gpc.register_nfa import (
     UnsupportedPattern,
     compile_register_nfa,
+    dense_shortest_pair_lengths,
     enumerate_exact_length_walks,
     shortest_pair_lengths,
 )
@@ -134,3 +141,62 @@ class TestWitnessEnumeration:
         nfa = compile_register_nfa(parse_pattern("<-{1,}"))
         walks = enumerate_exact_length_walks(graph, nfa, N("n2"), N("n0"), 2)
         assert len(walks) == 1
+
+
+class TestCheckErrorPropagation:
+    """Errors raised while evaluating a ``_Check`` condition.
+
+    The search swallows :class:`EvaluationError` from malformed
+    conditions (an unsatisfiable check just kills the run), but
+    deadline expiry and engine safety limits are *control flow*: they
+    must escape the search so the service can answer 504 / 422 instead
+    of silently returning a truncated answer set.
+    """
+
+    def _graph(self):
+        return (
+            GraphBuilder()
+            .node("a", k=1)
+            .node("b", k=1)
+            .edge("a", "b")
+            .build()
+        )
+
+    def _nfa(self):
+        # Two-variable condition: never pushable, always a _Check.
+        return compile_register_nfa(
+            parse_pattern("[(x) ->{1,} (y)] << x.k = y.k >>")
+        )
+
+    @pytest.mark.parametrize(
+        "error", [DeadlineExceededError, EvaluationLimitError]
+    )
+    def test_generic_search_propagates(self, error, monkeypatch):
+        def boom(graph, assignment, condition):
+            raise error("expired inside a CHECK")
+
+        monkeypatch.setattr("repro.gpc.register_nfa.satisfies", boom)
+        with pytest.raises(error):
+            shortest_pair_lengths(self._graph(), self._nfa(), N("a"))
+
+    @pytest.mark.parametrize(
+        "error", [DeadlineExceededError, EvaluationLimitError]
+    )
+    def test_dense_search_propagates(self, error, monkeypatch):
+        def boom(graph, assignment, condition):
+            raise error("expired inside a CHECK")
+
+        monkeypatch.setattr("repro.gpc.register_nfa.satisfies", boom)
+        snapshot = GraphSnapshot(self._graph())
+        with pytest.raises(error):
+            dense_shortest_pair_lengths(snapshot, self._nfa(), N("a"))
+
+    def test_plain_evaluation_errors_still_swallowed(self, monkeypatch):
+        def boom(graph, assignment, condition):
+            raise EvaluationError("malformed condition")
+
+        monkeypatch.setattr("repro.gpc.register_nfa.satisfies", boom)
+        graph = self._graph()
+        assert shortest_pair_lengths(graph, self._nfa(), N("a")) == {}
+        snapshot = GraphSnapshot(graph)
+        assert dense_shortest_pair_lengths(snapshot, self._nfa(), N("a")) == {}

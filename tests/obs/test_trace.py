@@ -361,4 +361,8 @@ class TestEvalCounters:
             "join_probe_rows",
             "seeds_pruned",
             "condition_evals",
+            "conditions_pushed",
+            "masks_built",
+            "mask_probes",
+            "dense_fast_lane",
         }
