@@ -8,8 +8,6 @@ returns only the 0th power, grouping returns grouped answers), plus
 agreement of all approaches on positive-length bodies.
 """
 
-import pytest
-
 from repro.bench.harness import Table
 from repro.errors import CollectError
 from repro.gpc.collect import CollectMode

@@ -13,7 +13,6 @@ from repro.enumeration.bounds import (
     lemma17_mu_bound,
     mu_size,
 )
-from repro.gpc import ast
 from repro.gpc.engine import evaluate
 from repro.gpc.parser import parse_query
 from repro.graph.generators import cycle_graph, ladder_graph

@@ -1,0 +1,66 @@
+"""Static query analysis: unsat proofs, rewrites and lint diagnostics.
+
+Run with: PYTHONPATH=src python examples/lint_demo.py
+
+Demonstrates :mod:`repro.gpc.analysis` — the compositional static
+analyzer that runs before every evaluation. It proves some queries
+empty on *every* graph (the engine then short-circuits without touching
+the snapshot), simplifies conditions, prunes dead union branches, and
+emits structured ``Diagnostic`` records for query smells. The same
+diagnostics are served by ``GraphService.lint``, ``GET /lint`` on the
+HTTP server, and the ``python -m repro.lint`` CLI that CI runs over
+``examples/lint_demo.gpc``.
+"""
+
+from repro import GraphService
+from repro.gpc.analysis import analyze_query, lint_query, render_diagnostics
+from repro.gpc.parser import parse_query
+from repro.graph.generators import social_network
+
+SHOWCASE = [
+    # A contradiction the saturation proves empty: short-circuits.
+    "TRAIL [(x:Person) -[:knows]-> (y)] << x.age = 30 AND x.age = 40 >>",
+    # One dead union branch; the query itself still runs.
+    "TRAIL [(x:Person) << x.age = 1 AND x.age = 2 >> + (x:Person)] -[:knows]-> (y)",
+    # Redundant conjunct and a double negation: simplified in place.
+    "TRAIL [(x:Person) -[:knows]-> (y)] << x.age = 30 AND (x.age = 30 AND NOT (NOT y.age = 25)) >>",
+    # Unanchored shortest: a warning, not a rewrite.
+    "SHORTEST (x) -[:knows]->{1,} (y)",
+    # Malformed input: lint_query is total, GPC000 instead of a raise.
+    "TRAIL (x:",
+]
+
+
+def main() -> None:
+    print("=== analyzer verdicts ===")
+    for text in SHOWCASE:
+        print(f"\nquery: {text}")
+        diagnostics = lint_query(text)
+        print(render_diagnostics(diagnostics))
+        if any(d.severity == "error" for d in diagnostics):
+            continue
+        verdict = analyze_query(parse_query(text))
+        if verdict.provably_empty:
+            print("  => provably empty: evaluation never touches the graph")
+        elif verdict.simplified is not verdict.query:
+            print(
+                f"  => rewritten "
+                f"({verdict.conditions_simplified} condition(s) simplified, "
+                f"{verdict.dead_branches_pruned} branch(es) pruned)"
+            )
+
+    print("\n=== the engine acts on the verdicts ===")
+    graph = social_network(num_people=14, friend_degree=2, seed=4)
+    with GraphService(graph) as service:
+        empty = SHOWCASE[0]
+        answers = service.evaluate(empty)
+        print(f"  {len(answers)} answers for the provably-empty query")
+        print(
+            "  service.lint codes:",
+            [d.code for d in service.lint(empty)],
+        )
+        print("\n" + service.explain(SHOWCASE[1]))
+
+
+if __name__ == "__main__":
+    main()

@@ -17,7 +17,6 @@ over binary predicates. This module provides the generic substrate:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
 
 from repro.errors import DatalogError
 from repro.graph.ids import NodeId

@@ -44,7 +44,8 @@ from repro.graph.ids import (
 )
 from repro.graph.property_graph import Constant, PropertyGraph
 from repro.graph.snapshot import GraphSnapshot
-from repro.errors import DeadlineExceededError
+from repro.errors import DeadlineExceededError, GPCError
+from repro.gpc.analysis import lint_query
 from repro.gpc.explain import explain_counters, explain_estimates
 from repro.obs import EvalCounters, InsightsRegistry, current_span
 from repro.obs import span as trace_span
@@ -265,6 +266,22 @@ class ClusterService:
                 )
             )
         return "\n".join(sections)
+
+    def lint(
+        self,
+        query: "str | ast.Query",
+        config: Optional[EngineConfig] = None,
+    ):
+        """Static-analysis diagnostics for ``query`` (router-side —
+        nothing is shipped to workers). Total: parse/type failures
+        yield ``GPC000``/``GPC001`` diagnostics instead of raising.
+        Returns a tuple of :class:`~repro.gpc.analysis.Diagnostic`.
+        """
+        try:
+            prepared = self.prepare(query, config)
+        except GPCError:
+            return lint_query(query)
+        return prepared.diagnostics
 
     # ------------------------------------------------------------------
     # Evaluation

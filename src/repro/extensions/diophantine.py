@@ -212,9 +212,16 @@ def solve_bounded(
         values = []
         for i in range(instance.num_variables):
             binding = mu[f"x{i}"]
-            assert isinstance(binding, GroupValue)
+            if not isinstance(binding, GroupValue):
+                raise WorkloadError(
+                    f"gadget variable x{i} bound "
+                    f"{type(binding).__name__}, expected a group value"
+                )
             values.append(len(binding))
         solution = tuple(values)
-        assert instance.evaluate(solution) == 0, "gadget produced a non-solution"
+        if instance.evaluate(solution) != 0:
+            raise WorkloadError(
+                f"gadget produced a non-solution {solution!r}"
+            )
         return solution
     return None

@@ -32,6 +32,7 @@ __all__ = [
     "LabelWildcard",
     "LabelExpr",
     "satisfies_label_expr",
+    "label_expr_satisfiable",
     "NodeWithLabelExpr",
     "EdgeWithLabelExpr",
 ]
@@ -65,6 +66,38 @@ class LabelWildcard:
 
 
 LabelExpr = TUnion[LabelAtom, LabelAnd, LabelOr, LabelNot, LabelWildcard]
+
+
+def label_expr_satisfiable(expression: LabelExpr, atom_cap: int = 12) -> bool:
+    """Whether *some* label set satisfies the expression.
+
+    Label expressions only mention finitely many atoms, so this is a
+    small boolean SAT check: enumerate assignments over the distinct
+    atoms (an element can carry any subset of labels — the atoms are
+    independent). Expressions with more than ``atom_cap`` atoms are
+    conservatively reported satisfiable; the static analyzer only acts
+    on a provably-``False`` verdict, so the cap never costs soundness.
+    """
+    atoms = sorted(_label_atoms(expression))
+    if len(atoms) > atom_cap:
+        return True
+    for bits in range(1 << len(atoms)):
+        labels = frozenset(
+            atom for index, atom in enumerate(atoms) if bits >> index & 1
+        )
+        if satisfies_label_expr(labels, expression):
+            return True
+    return False
+
+
+def _label_atoms(expression: LabelExpr) -> set[str]:
+    if isinstance(expression, LabelAtom):
+        return {expression.label}
+    if isinstance(expression, (LabelAnd, LabelOr)):
+        return _label_atoms(expression.left) | _label_atoms(expression.right)
+    if isinstance(expression, LabelNot):
+        return _label_atoms(expression.inner)
+    return set()
 
 
 def satisfies_label_expr(labels: frozenset[str], expression: LabelExpr) -> bool:
@@ -108,6 +141,9 @@ class NodeWithLabelExpr(ast.PatternExtension):
     def max_path_length_ext(self, child_maxes) -> Optional[int]:
         return 0
 
+    def provably_empty_ext(self) -> bool:
+        return not label_expr_satisfiable(self.expression)
+
     def evaluate_ext(self, evaluator, max_length: int):
         graph = evaluator.graph
         for node in graph.nodes:
@@ -149,6 +185,9 @@ class EdgeWithLabelExpr(ast.PatternExtension):
 
     def max_path_length_ext(self, child_maxes) -> Optional[int]:
         return 1
+
+    def provably_empty_ext(self) -> bool:
+        return not label_expr_satisfiable(self.expression)
 
     def evaluate_ext(self, evaluator, max_length: int):
         if max_length < 1:

@@ -144,7 +144,11 @@ def evaluate_gql_rationale(
     minima: dict[tuple, int] = {}
     for answer in answers:
         sub = answer.assignment[witness]
-        assert isinstance(sub, Path)
+        if not isinstance(sub, Path):
+            raise RestrictorError(
+                f"witness marker {witness!r} bound {type(sub).__name__}, "
+                "expected a path"
+            )
         key = (sub.src, sub.tgt)
         if key not in minima or len(sub) < minima[key]:
             minima[key] = len(sub)

@@ -15,7 +15,9 @@ Subpackage map (mirroring the paper's sections):
 - :mod:`repro.gpc.engine` — the bounded compositional evaluator;
 - :mod:`repro.gpc.planner` — cost-aware query planning (hash joins,
   endpoint pruning, cardinality estimation);
-- :mod:`repro.gpc.gpc_plus` — GPC+ (projection + top-level union).
+- :mod:`repro.gpc.gpc_plus` — GPC+ (projection + top-level union);
+- :mod:`repro.gpc.analysis` — compositional static analysis: unsat
+  proofs, condition simplification, and lint diagnostics.
 """
 
 from repro.gpc.ast import (
@@ -35,6 +37,14 @@ from repro.gpc.ast import (
     forward,
     node,
     undirected,
+)
+from repro.gpc.analysis import (
+    Diagnostic,
+    QueryAnalysis,
+    analyze_query,
+    lint_query,
+    render_diagnostics,
+    simplify_condition,
 )
 from repro.gpc.conditions_ast import (
     And,
@@ -137,6 +147,13 @@ __all__ = [
     "estimate_pattern_cardinality",
     "estimate_query_cardinality",
     "explain_plan",
+    # Static analysis
+    "Diagnostic",
+    "QueryAnalysis",
+    "analyze_query",
+    "lint_query",
+    "render_diagnostics",
+    "simplify_condition",
     # Footprints
     "QueryFootprint",
     "pattern_footprint",

@@ -1,0 +1,861 @@
+"""Compositional static analysis of GPC queries.
+
+The calculus is built to be analysed: schemas are syntax-directed
+(Figure 2), conditions only ever compare properties of *singleton*
+variables, and every pattern constructor combines its parts'
+denotations pointwise. This module folds per-subpattern facts over
+that structure — which ``x.key = const`` atoms every match must
+satisfy, which labels a variable's element must carry, whether any
+match can exist at all — and turns them into three artifacts:
+
+**Unsat proofs.** A query is *provably empty* when every model is
+excluded syntactically: contradictory constant-equality atoms forced
+onto one variable (on the positive ``And`` spine, or saturated across
+``Concat``/``Join`` sides — shared variables are singletons, so both
+sides constrain the same element), an always-false condition, a
+repetition whose body is empty and must run at least once, or an
+extension construct that reports itself unsatisfiable (label
+expressions do boolean SAT over their atoms). The proof is
+conservative and sound: ``provably_empty`` implies the answer set is
+empty on *every* graph, so the engine may short-circuit without
+touching the snapshot.
+
+**Simplification.** Conditions are constant-folded (``And``/``Or``/
+``Not``), structurally deduplicated, complement pairs collapse, and
+tautologies are dropped — the simplified condition reaches
+:func:`repro.gpc.planner.split_pushdown` with a cleaner positive
+spine, so more atoms become bitmask probes. Provably-dead ``Union``
+branches are pruned; a repetition with an empty body and ``lower = 0``
+is rewritten to its zero-iteration form. Every rewrite preserves the
+answer set exactly (a hypothesis differential suite gates this).
+
+**Diagnostics.** Structured :class:`Diagnostic` records with a stable
+code, severity, message and a pretty-printed span pointer — the lint
+surface behind ``GraphService.lint``, ``GET /lint`` and
+``python -m repro.lint``.
+
+Note one deliberate non-simplification: ``x.k = x.k`` is *not* a
+tautology. The paper's semantics make any comparison over an
+undefined property false, so the atom tests definedness of ``x.k``.
+Equally, core label descriptors never make a pattern unsatisfiable —
+elements carry label *sets*, so ``(x:A) (x:B)`` just requires both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from functools import lru_cache
+from typing import Iterator, Optional
+
+from repro.errors import GPCTypeError, ParseError
+from repro.gpc import ast
+from repro.gpc.conditions_ast import (
+    And,
+    Condition,
+    Not,
+    Or,
+    PropertyEqualsConst,
+    PropertyEqualsProperty,
+    iter_atoms,
+)
+from repro.gpc.minlength import max_path_length, may_match_edgeless
+from repro.gpc.planner import _required_const_atoms, plan_shortest
+from repro.gpc.pretty import pretty, pretty_condition
+
+__all__ = [
+    "Diagnostic",
+    "QueryAnalysis",
+    "analyze_query",
+    "simplify_condition",
+    "lint_query",
+    "render_diagnostics",
+    "PARSE_ERROR",
+    "TYPE_ERROR",
+    "PROVABLY_EMPTY",
+    "ALWAYS_FALSE_CONDITION",
+    "DEAD_UNION_BRANCH",
+    "CONDITION_SIMPLIFIED",
+    "TAUTOLOGY_DROPPED",
+    "UNANCHORED_SHORTEST",
+    "UNBOUNDED_REPEAT",
+    "EDGELESS_REPEAT_BODY",
+    "REPEAT_ONLY_ZERO",
+    "ATOM_NOT_ON_SPINE",
+    "ATOM_VARIABLE_REBINDS",
+]
+
+
+# ---------------------------------------------------------------------------
+# Diagnostics
+# ---------------------------------------------------------------------------
+
+#: Stable diagnostic codes. Codes are part of the lint surface —
+#: tests, CI scripts and clients match on them — so they never change
+#: meaning; new diagnostics get new codes.
+PARSE_ERROR = "GPC000"
+TYPE_ERROR = "GPC001"
+PROVABLY_EMPTY = "GPC010"
+ALWAYS_FALSE_CONDITION = "GPC011"
+DEAD_UNION_BRANCH = "GPC012"
+CONDITION_SIMPLIFIED = "GPC013"
+TAUTOLOGY_DROPPED = "GPC014"
+UNANCHORED_SHORTEST = "GPC020"
+UNBOUNDED_REPEAT = "GPC021"
+EDGELESS_REPEAT_BODY = "GPC022"
+REPEAT_ONLY_ZERO = "GPC023"
+ATOM_NOT_ON_SPINE = "GPC030"
+ATOM_VARIABLE_REBINDS = "GPC031"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One structured finding of the static analyzer.
+
+    ``severity`` is ``"error"`` (the query cannot run), ``"warning"``
+    (it runs but is almost certainly not what was meant, or degrades
+    badly) or ``"info"`` (an applied rewrite or a missed optimisation).
+    ``span`` points at the offending subexpression in concrete syntax.
+    """
+
+    code: str
+    severity: str
+    message: str
+    span: str
+
+    def render(self) -> str:
+        return f"[{self.code}] {self.severity}: {self.message} (at: {self.span})"
+
+    def as_dict(self) -> dict[str, str]:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "span": self.span,
+        }
+
+
+def render_diagnostics(diagnostics: tuple[Diagnostic, ...]) -> str:
+    """The ``explain`` diagnostics section (one line per finding)."""
+    if not diagnostics:
+        return "diagnostics: none"
+    lines = ["diagnostics:"]
+    lines.extend(f"  {diagnostic.render()}" for diagnostic in diagnostics)
+    return "\n".join(lines)
+
+
+def _span(expression: object) -> str:
+    """A pretty-printed pointer at ``expression`` (extensions and other
+    constructs the printer does not know fall back to ``repr``)."""
+    try:
+        if isinstance(
+            expression,
+            (PropertyEqualsConst, PropertyEqualsProperty, And, Or, Not),
+        ):
+            return pretty_condition(expression)
+        return pretty(expression)
+    except TypeError:
+        return repr(expression)
+
+
+# ---------------------------------------------------------------------------
+# Condition simplification
+# ---------------------------------------------------------------------------
+
+#: Constant types whose ``==`` is sane and transitive, so two distinct
+#: constants provably exclude each other. (Floats included: NaN never
+#: equals anything — not even a stored NaN — so flagging it is sound.)
+_SCALAR_TYPES = (str, int, float, bool, type(None))
+
+_ATOM_TYPES = (PropertyEqualsConst, PropertyEqualsProperty)
+
+
+def _connective_parts(condition: Condition, cls: type) -> Iterator[Condition]:
+    """The leaves of a same-connective spine, left to right."""
+    if isinstance(condition, (And, Or)) and isinstance(condition, cls):
+        yield from _connective_parts(condition.left, cls)
+        yield from _connective_parts(condition.right, cls)
+    else:
+        yield condition
+
+
+def _const_conflict(
+    atoms: frozenset[tuple[str, object]],
+) -> Optional[tuple[str, object, object]]:
+    """A ``(key, a, b)`` witness that the atom set forces one property
+    to equal two provably-different constants, or ``None``."""
+    by_key: dict[str, list[object]] = {}
+    for key, value in sorted(atoms, key=repr):
+        if not isinstance(value, _SCALAR_TYPES):
+            continue
+        for prior in by_key.setdefault(key, []):
+            if prior != value:
+                return (key, prior, value)
+        by_key[key].append(value)
+    return None
+
+
+def _parts_conflict(parts: list[Condition]) -> bool:
+    """Whether a conjunction's leaves contain contradictory
+    ``x.key = const`` atoms on one variable."""
+    by_var: dict[str, set[tuple[str, object]]] = {}
+    for part in parts:
+        if isinstance(part, PropertyEqualsConst):
+            by_var.setdefault(part.variable, set()).add(
+                (part.key, part.constant)
+            )
+    return any(
+        _const_conflict(frozenset(atoms)) is not None
+        for atoms in by_var.values()
+    )
+
+
+def simplify_condition(condition: Condition) -> "Condition | bool":
+    """Simplify a condition; ``True``/``False`` mean it is a tautology
+    or a contradiction under the paper's two-valued semantics.
+
+    Applied rules: constant folding through ``And``/``Or``/``Not``,
+    double-negation elimination, structural deduplication along a
+    connective spine, complement-pair collapse (two-valued semantics
+    make ``theta or not theta`` a genuine tautology), and
+    conjunction-spine saturation of ``x.key = const`` atoms (two
+    different scalar constants for one ``(variable, key)`` exclude
+    every model). Atoms are never invented, so the result references a
+    subset of the original variables and stays well-typed. Returns the
+    *same object* when nothing changed, which callers use as the
+    cheap "was anything rewritten" test.
+    """
+    if isinstance(condition, _ATOM_TYPES):
+        return condition
+    if isinstance(condition, Not):
+        inner = simplify_condition(condition.inner)
+        if inner is True:
+            return False
+        if inner is False:
+            return True
+        if isinstance(inner, Not):
+            return inner.inner
+        return condition if inner is condition.inner else Not(inner)
+    if isinstance(condition, (And, Or)):
+        cls = type(condition)
+        is_and = cls is And
+        identity, absorbing = (True, False) if is_and else (False, True)
+        parts: list[Condition] = []
+        changed = False
+        for raw in _connective_parts(condition, cls):
+            part = simplify_condition(raw)
+            if part is not raw:
+                changed = True
+            if isinstance(part, bool):
+                if part is absorbing:
+                    return absorbing
+                continue  # the identity contributes nothing
+            # Simplification may surface nested same-connective spines
+            # (e.g. NOT NOT (a AND b) under an AND): flatten them too.
+            leaves = (
+                _connective_parts(part, cls)
+                if isinstance(part, cls)
+                else (part,)
+            )
+            for leaf in leaves:
+                if leaf in parts:
+                    changed = True
+                    continue
+                parts.append(leaf)
+        # Complement pair on one spine: `a AND NOT a` is absurd,
+        # `a OR NOT a` exhausts the two-valued semantics.
+        for part in parts:
+            if isinstance(part, Not) and part.inner in parts:
+                return absorbing
+        if is_and and _parts_conflict(parts):
+            return False
+        if not parts:
+            return identity
+        if len(parts) == 1:
+            return parts[0]
+        if not changed:
+            return condition
+        rebuilt = parts[0]
+        for part in parts[1:]:
+            rebuilt = cls(rebuilt, part)
+        return rebuilt
+    raise TypeError(f"not a condition: {condition!r}")
+
+
+# ---------------------------------------------------------------------------
+# Pattern facts
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Facts:
+    """What the fold knows about every possible match of a subpattern.
+
+    ``required`` maps each variable to ``(key, const)`` atoms every
+    match's binding of that variable must satisfy; ``labels`` maps each
+    variable to labels its element must carry. Both only ever speak
+    about variables that are singletons *at this point of the fold* —
+    repetition boundaries drop their body's variables (they rebind per
+    iteration and turn into groups), extensions are opaque.
+    """
+
+    empty: bool = False
+    required: dict[str, frozenset[tuple[str, object]]] = field(
+        default_factory=dict
+    )
+    labels: dict[str, frozenset[str]] = field(default_factory=dict)
+
+
+class _Stats:
+    __slots__ = ("conditions_simplified", "dead_branches_pruned")
+
+    def __init__(self) -> None:
+        self.conditions_simplified = 0
+        self.dead_branches_pruned = 0
+
+
+def _merge_required(
+    left: dict[str, frozenset[tuple[str, object]]],
+    right: dict[str, frozenset[tuple[str, object]]],
+) -> tuple[
+    dict[str, frozenset[tuple[str, object]]],
+    Optional[tuple[str, str, object, object]],
+]:
+    """Conjunctive merge (both parts constrain the same elements —
+    shared variables are singletons, and unification forces equal
+    bindings). Returns the merged map and, if saturation produced a
+    contradiction, a ``(variable, key, a, b)`` witness."""
+    merged = dict(left)
+    witness = None
+    for variable, atoms in right.items():
+        combined = merged.get(variable, frozenset()) | atoms
+        merged[variable] = combined
+        if witness is None:
+            conflict = _const_conflict(combined)
+            if conflict is not None:
+                witness = (variable,) + conflict
+    return merged, witness
+
+
+def _intersect_facts(left: _Facts, right: _Facts) -> _Facts:
+    """Disjunctive merge (a union match comes from either branch): only
+    facts common to both branches survive."""
+    required = {}
+    for variable in left.required.keys() & right.required.keys():
+        common = left.required[variable] & right.required[variable]
+        if common:
+            required[variable] = common
+    labels = {}
+    for variable in left.labels.keys() & right.labels.keys():
+        common_labels = left.labels[variable] & right.labels[variable]
+        if common_labels:
+            labels[variable] = common_labels
+    return _Facts(empty=False, required=required, labels=labels)
+
+
+def _merge_labels(
+    left: dict[str, frozenset[str]], right: dict[str, frozenset[str]]
+) -> dict[str, frozenset[str]]:
+    merged = dict(left)
+    for variable, labels in right.items():
+        merged[variable] = merged.get(variable, frozenset()) | labels
+    return merged
+
+
+def _descriptor_facts(
+    pattern: "ast.NodePattern | ast.EdgePattern",
+) -> _Facts:
+    if pattern.variable is not None and pattern.label is not None:
+        return _Facts(
+            labels={pattern.variable: frozenset((pattern.label,))}
+        )
+    return _Facts()
+
+
+def _rewrite(
+    pattern: ast.Pattern, diagnostics: list[Diagnostic], stats: _Stats
+) -> tuple[ast.Pattern, _Facts]:
+    if isinstance(pattern, (ast.NodePattern, ast.EdgePattern)):
+        return pattern, _descriptor_facts(pattern)
+    if isinstance(pattern, ast.Union):
+        return _rewrite_union(pattern, diagnostics, stats)
+    if isinstance(pattern, ast.Concat):
+        return _rewrite_concat(pattern, diagnostics, stats)
+    if isinstance(pattern, ast.Conditioned):
+        return _rewrite_conditioned(pattern, diagnostics, stats)
+    if isinstance(pattern, ast.Repeat):
+        return _rewrite_repeat(pattern, diagnostics, stats)
+    if isinstance(pattern, ast.PatternExtension):
+        probe = getattr(pattern, "provably_empty_ext", None)
+        empty = bool(probe()) if callable(probe) else False
+        if empty:
+            diagnostics.append(
+                Diagnostic(
+                    PROVABLY_EMPTY,
+                    "warning",
+                    "extension construct is unsatisfiable "
+                    "(no element can ever match it)",
+                    _span(pattern),
+                )
+            )
+        return pattern, _Facts(empty=empty)
+    raise TypeError(f"not a pattern: {pattern!r}")
+
+
+def _rewrite_union(
+    pattern: ast.Union, diagnostics: list[Diagnostic], stats: _Stats
+) -> tuple[ast.Pattern, _Facts]:
+    left, left_facts = _rewrite(pattern.left, diagnostics, stats)
+    right, right_facts = _rewrite(pattern.right, diagnostics, stats)
+    if left_facts.empty != right_facts.empty:
+        dead, live, live_facts = (
+            (pattern.left, right, right_facts)
+            if left_facts.empty
+            else (pattern.right, left, left_facts)
+        )
+        diagnostics.append(
+            Diagnostic(
+                DEAD_UNION_BRANCH,
+                "warning",
+                "union branch is provably empty and was pruned; every "
+                "answer comes from the other branch",
+                _span(dead),
+            )
+        )
+        stats.dead_branches_pruned += 1
+        return live, live_facts
+    if left_facts.empty and right_facts.empty:
+        rebuilt = (
+            pattern
+            if left is pattern.left and right is pattern.right
+            else ast.Union(left, right)
+        )
+        return rebuilt, _Facts(empty=True)
+    rebuilt = (
+        pattern
+        if left is pattern.left and right is pattern.right
+        else ast.Union(left, right)
+    )
+    return rebuilt, _intersect_facts(left_facts, right_facts)
+
+
+def _rewrite_concat(
+    pattern: ast.Concat, diagnostics: list[Diagnostic], stats: _Stats
+) -> tuple[ast.Pattern, _Facts]:
+    left, left_facts = _rewrite(pattern.left, diagnostics, stats)
+    right, right_facts = _rewrite(pattern.right, diagnostics, stats)
+    empty = left_facts.empty or right_facts.empty
+    required, witness = _merge_required(left_facts.required, right_facts.required)
+    if witness is not None and not empty:
+        variable, key, first, second = witness
+        diagnostics.append(
+            Diagnostic(
+                PROVABLY_EMPTY,
+                "warning",
+                f"contradictory property constraints on `{variable}`: "
+                f"{variable}.{key} = {first!r} and {variable}.{key} = "
+                f"{second!r} cannot both hold",
+                _span(pattern),
+            )
+        )
+        empty = True
+    rebuilt = (
+        pattern
+        if left is pattern.left and right is pattern.right
+        else ast.Concat(left, right)
+    )
+    return rebuilt, _Facts(
+        empty=empty,
+        required=required,
+        labels=_merge_labels(left_facts.labels, right_facts.labels),
+    )
+
+
+def _rewrite_conditioned(
+    pattern: ast.Conditioned, diagnostics: list[Diagnostic], stats: _Stats
+) -> tuple[ast.Pattern, _Facts]:
+    inner, inner_facts = _rewrite(pattern.pattern, diagnostics, stats)
+    try:
+        simplified = simplify_condition(pattern.condition)
+    except TypeError:
+        # An extension condition type the simplifier cannot see
+        # through: keep it verbatim and learn nothing from it.
+        rebuilt = (
+            pattern
+            if inner is pattern.pattern
+            else ast.Conditioned(inner, pattern.condition)
+        )
+        return rebuilt, inner_facts
+    if simplified is False:
+        diagnostics.append(
+            Diagnostic(
+                ALWAYS_FALSE_CONDITION,
+                "warning",
+                "condition is always false; the subpattern can never "
+                "match",
+                _span(pattern.condition),
+            )
+        )
+        stats.conditions_simplified += 1
+        rebuilt = (
+            pattern
+            if inner is pattern.pattern
+            else ast.Conditioned(inner, pattern.condition)
+        )
+        return rebuilt, _Facts(empty=True)
+    if simplified is True:
+        diagnostics.append(
+            Diagnostic(
+                TAUTOLOGY_DROPPED,
+                "info",
+                "condition is a tautology and was dropped",
+                _span(pattern.condition),
+            )
+        )
+        stats.conditions_simplified += 1
+        return inner, inner_facts
+    if simplified is not pattern.condition:
+        diagnostics.append(
+            Diagnostic(
+                CONDITION_SIMPLIFIED,
+                "info",
+                f"condition simplified to "
+                f"`{pretty_condition(simplified)}`",
+                _span(pattern.condition),
+            )
+        )
+        stats.conditions_simplified += 1
+    _pushdown_diagnostics(inner, simplified, diagnostics)
+    spine = _required_const_atoms(simplified)
+    required, witness = _merge_required(inner_facts.required, spine)
+    empty = inner_facts.empty
+    if witness is not None and not empty:
+        variable, key, first, second = witness
+        diagnostics.append(
+            Diagnostic(
+                PROVABLY_EMPTY,
+                "warning",
+                f"contradictory property constraints on `{variable}`: "
+                f"{variable}.{key} = {first!r} and {variable}.{key} = "
+                f"{second!r} cannot both hold",
+                _span(simplified),
+            )
+        )
+        empty = True
+    rebuilt = (
+        pattern
+        if inner is pattern.pattern and simplified is pattern.condition
+        else ast.Conditioned(inner, simplified)
+    )
+    return rebuilt, _Facts(
+        empty=empty, required=required, labels=inner_facts.labels
+    )
+
+
+def _rewrite_repeat(
+    pattern: ast.Repeat, diagnostics: list[Diagnostic], stats: _Stats
+) -> tuple[ast.Pattern, _Facts]:
+    body, body_facts = _rewrite(pattern.pattern, diagnostics, stats)
+    if pattern.upper is not None and pattern.lower > pattern.upper:
+        # Unreachable through the constructor (it validates n <= m);
+        # kept so a hand-built AST still gets a sound verdict.
+        return pattern, _Facts(empty=True)  # pragma: no cover
+    if body_facts.empty:
+        if pattern.lower >= 1:
+            rebuilt = (
+                pattern
+                if body is pattern.pattern
+                else ast.Repeat(body, pattern.lower, pattern.upper)
+            )
+            return rebuilt, _Facts(empty=True)
+        if pattern.upper != 0:
+            diagnostics.append(
+                Diagnostic(
+                    REPEAT_ONLY_ZERO,
+                    "info",
+                    "repetition body is provably empty; only the "
+                    "zero-iteration (single-node) match remains",
+                    _span(pattern),
+                )
+            )
+            return ast.Repeat(body, 0, 0), _Facts()
+    rebuilt = (
+        pattern
+        if body is pattern.pattern
+        else ast.Repeat(body, pattern.lower, pattern.upper)
+    )
+    # Body variables rebind per iteration (group-typed outside), so no
+    # per-variable fact survives the repetition boundary.
+    return rebuilt, _Facts()
+
+
+# ---------------------------------------------------------------------------
+# Pushdown usability diagnostics
+# ---------------------------------------------------------------------------
+
+
+def _plain_bind_sites(pattern: ast.Pattern) -> frozenset[str]:
+    """Variables bound at a plain descriptor site — outside repetition
+    bodies (which rebind per iteration) and extension constructs
+    (opaque to the register compiler's push environment)."""
+    out: set[str] = set()
+    stack: list[ast.Pattern] = [pattern]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, (ast.NodePattern, ast.EdgePattern)):
+            if current.variable is not None:
+                out.add(current.variable)
+        elif isinstance(current, (ast.Union, ast.Concat)):
+            stack.append(current.left)
+            stack.append(current.right)
+        elif isinstance(current, ast.Conditioned):
+            stack.append(current.pattern)
+        # Repeat bodies and extension children are deliberately not
+        # descended into.
+    return frozenset(out)
+
+
+def _pushdown_diagnostics(
+    inner: ast.Pattern, condition: Condition, diagnostics: list[Diagnostic]
+) -> None:
+    """Explain which constant-equality atoms cannot become bitmask
+    probes, and why."""
+    try:
+        atoms = [
+            atom
+            for atom in iter_atoms(condition)
+            if isinstance(atom, PropertyEqualsConst)
+        ]
+    except TypeError:  # extension condition nodes: nothing to say
+        return
+    spine = _required_const_atoms(condition)
+    bindable = _plain_bind_sites(inner)
+    seen: set[PropertyEqualsConst] = set()
+    for atom in atoms:
+        if atom in seen:
+            continue
+        seen.add(atom)
+        on_spine = (atom.key, atom.constant) in spine.get(
+            atom.variable, frozenset()
+        )
+        if not on_spine:
+            diagnostics.append(
+                Diagnostic(
+                    ATOM_NOT_ON_SPINE,
+                    "info",
+                    f"atom sits under OR/NOT, so it cannot be pushed "
+                    f"to `{atom.variable}`'s bind site (it stays in "
+                    f"the residual check)",
+                    _span(atom),
+                )
+            )
+        elif atom.variable not in bindable:
+            diagnostics.append(
+                Diagnostic(
+                    ATOM_VARIABLE_REBINDS,
+                    "info",
+                    f"`{atom.variable}` binds inside a repetition or "
+                    f"extension construct (it rebinds per iteration / "
+                    f"binds opaquely), so the atom cannot become a "
+                    f"bitmask probe",
+                    _span(atom),
+                )
+            )
+
+
+# ---------------------------------------------------------------------------
+# Query-shape diagnostics
+# ---------------------------------------------------------------------------
+
+
+def _shape_diagnostics(
+    restrictor: ast.Restrictor,
+    pattern: ast.Pattern,
+    diagnostics: list[Diagnostic],
+) -> None:
+    plain_shortest = restrictor.shortest and restrictor.mode is None
+    if plain_shortest:
+        shortest = plan_shortest(pattern)
+        if not shortest.start.constrains and not shortest.end.constrains:
+            diagnostics.append(
+                Diagnostic(
+                    UNANCHORED_SHORTEST,
+                    "warning",
+                    "unanchored `shortest`: neither endpoint is "
+                    "constrained by a label or property, so the "
+                    "register search seeds from every node",
+                    _span(pattern),
+                )
+            )
+    for sub in ast.iter_subpatterns(pattern):
+        if not isinstance(sub, ast.Repeat):
+            continue
+        if max_path_length(sub) is None:
+            diagnostics.append(
+                Diagnostic(
+                    UNBOUNDED_REPEAT,
+                    "warning" if plain_shortest else "info",
+                    "unbounded repetition: under plain `shortest` the "
+                    "engine iteratively deepens up to the configured "
+                    "limit; under trail/simple the bound is the graph "
+                    "size",
+                    _span(sub),
+                )
+            )
+        if may_match_edgeless(sub.pattern) and (
+            sub.lower != 0 or sub.upper != 0
+        ):
+            diagnostics.append(
+                Diagnostic(
+                    EDGELESS_REPEAT_BODY,
+                    "warning",
+                    "repetition body may match an edgeless path — "
+                    "rejected under Approach 1 (the GQL rule, "
+                    "CollectMode.SYNTACTIC) and a source of duplicate "
+                    "single-node matches elsewhere",
+                    _span(sub),
+                )
+            )
+
+
+# ---------------------------------------------------------------------------
+# Query analysis
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, eq=False)
+class QueryAnalysis:
+    """The static-analysis verdict for one query.
+
+    ``simplified`` is answer-equivalent to ``query`` on every graph
+    (and is ``query`` itself when nothing was rewritten).
+    ``provably_empty`` guarantees the answer set is empty on every
+    graph — the engine short-circuits without touching the snapshot.
+    ``required`` / ``required_labels`` expose the saturated
+    per-variable facts the proof used.
+    """
+
+    query: ast.Query
+    simplified: ast.Query
+    provably_empty: bool
+    diagnostics: tuple[Diagnostic, ...]
+    conditions_simplified: int
+    dead_branches_pruned: int
+    required: dict[str, frozenset[tuple[str, object]]]
+    required_labels: dict[str, frozenset[str]]
+
+
+def _rewrite_query(
+    query: ast.Query, diagnostics: list[Diagnostic], stats: _Stats
+) -> tuple[ast.Query, _Facts]:
+    if isinstance(query, ast.PatternQuery):
+        pattern, facts = _rewrite(query.pattern, diagnostics, stats)
+        _shape_diagnostics(query.restrictor, pattern, diagnostics)
+        rebuilt = (
+            query
+            if pattern is query.pattern
+            else replace(query, pattern=pattern)
+        )
+        return rebuilt, facts
+    if isinstance(query, ast.Join):
+        left, left_facts = _rewrite_query(query.left, diagnostics, stats)
+        right, right_facts = _rewrite_query(query.right, diagnostics, stats)
+        empty = left_facts.empty or right_facts.empty
+        required, witness = _merge_required(
+            left_facts.required, right_facts.required
+        )
+        if witness is not None and not empty:
+            variable, key, first, second = witness
+            diagnostics.append(
+                Diagnostic(
+                    PROVABLY_EMPTY,
+                    "warning",
+                    f"join sides force contradictory constraints on "
+                    f"shared variable `{variable}`: {variable}.{key} = "
+                    f"{first!r} vs {variable}.{key} = {second!r}",
+                    _span(query),
+                )
+            )
+            empty = True
+        rebuilt = (
+            query
+            if left is query.left and right is query.right
+            else ast.Join(left, right)
+        )
+        return rebuilt, _Facts(
+            empty=empty,
+            required=required,
+            labels=_merge_labels(left_facts.labels, right_facts.labels),
+        )
+    raise TypeError(f"not a query: {query!r}")
+
+
+@lru_cache(maxsize=1024)
+def analyze_query(query: ast.Query) -> QueryAnalysis:
+    """Run the full compositional analysis over a *well-typed* query.
+
+    Callers are expected to have run
+    :func:`repro.gpc.typing.infer_schema` first (the engine's
+    :class:`~repro.gpc.engine.QueryPlan` does); the soundness of
+    cross-part atom saturation leans on the typing guarantees (shared
+    variables are singletons, conditions only mention singletons).
+
+    Pure in the immutable AST, so verdicts are memoised at module
+    level: every plan built for a recurring query shape (the service
+    layer builds a fresh :class:`~repro.gpc.engine.QueryPlan` per
+    prepared query) shares one analysis instead of re-walking the
+    tree, which keeps the prepare-path overhead at hash cost.
+    """
+    diagnostics: list[Diagnostic] = []
+    stats = _Stats()
+    simplified, facts = _rewrite_query(query, diagnostics, stats)
+    if facts.empty:
+        diagnostics.append(
+            Diagnostic(
+                PROVABLY_EMPTY,
+                "warning",
+                "query is provably empty on every graph; evaluation "
+                "short-circuits to the empty answer set",
+                _span(query),
+            )
+        )
+    return QueryAnalysis(
+        query=query,
+        simplified=simplified,
+        provably_empty=facts.empty,
+        diagnostics=tuple(diagnostics),
+        conditions_simplified=stats.conditions_simplified,
+        dead_branches_pruned=stats.dead_branches_pruned,
+        required=dict(facts.required),
+        required_labels=dict(facts.labels),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Lint entry point (string in, diagnostics out — never raises)
+# ---------------------------------------------------------------------------
+
+
+def lint_query(query: "str | ast.Query") -> tuple[Diagnostic, ...]:
+    """Diagnostics for a query given as text or AST.
+
+    Unlike :func:`analyze_query` this is total: parse and type errors
+    come back as ``GPC000`` / ``GPC001`` error diagnostics instead of
+    exceptions, so CI lint runs can report every file.
+    """
+    from repro.gpc.parser import parse_query
+    from repro.gpc.typing import infer_schema
+
+    if isinstance(query, str):
+        try:
+            parsed: ast.Query = parse_query(query)
+        except ParseError as exc:
+            return (
+                Diagnostic(PARSE_ERROR, "error", str(exc), query.strip()),
+            )
+    else:
+        parsed = query
+    try:
+        infer_schema(parsed)
+    except GPCTypeError as exc:
+        return (Diagnostic(TYPE_ERROR, "error", str(exc), _span(parsed)),)
+    return analyze_query(parsed).diagnostics

@@ -220,6 +220,14 @@ class PatternExtension:
         """Maximum match length (``None`` = unbounded)."""
         raise NotImplementedError
 
+    def provably_empty_ext(self) -> bool:
+        """Whether the construct is statically unsatisfiable (no
+        element on any graph can match). ``True`` must be a proof —
+        the analyzer (:mod:`repro.gpc.analysis`) short-circuits
+        provably-empty queries to the empty answer set. The default is
+        the always-sound ``False``."""
+        return False
+
     def evaluate_ext(self, evaluator, max_length: int):
         """Bounded evaluation; ``evaluator`` is the
         :class:`~repro.gpc.semantics.BoundedEvaluator`."""

@@ -21,7 +21,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from repro.errors import EvaluationLimitError, RestrictorError
 from repro.obs.counters import active_counters
@@ -32,7 +32,6 @@ from repro.graph.property_graph import PropertyGraph
 from repro.graph.snapshot import GraphSnapshot
 from repro.gpc import ast
 from repro.gpc.answers import Answer
-from repro.gpc.assignments import Assignment
 from repro.gpc.collect import CollectMode
 from repro.gpc.minlength import max_path_length, validate_approach1
 from repro.gpc.planner import (
@@ -44,6 +43,7 @@ from repro.gpc.planner import (
     join_shared_variables,
     plan_shortest,
 )
+from repro.gpc.analysis import QueryAnalysis, analyze_query, render_diagnostics
 from repro.gpc.semantics import BoundedEvaluator, Match, _Limits
 from repro.gpc.typing import infer_schema
 from repro.gpc.abstraction import compile_pattern_abstraction
@@ -98,6 +98,14 @@ class EngineConfig:
         core), and fully register-free programs run on the flat-array
         fast lane. Answer-preserving by construction; the flag exists
         for differential testing and A/B benchmarks.
+    ``use_analysis``
+        Enables the static analyzer (:mod:`repro.gpc.analysis`):
+        queries it proves empty short-circuit to the empty answer set
+        without touching the snapshot, and otherwise the simplified
+        query (constant-folded conditions, pruned dead union branches)
+        is evaluated in place of the original. Answer-preserving —
+        gated by a hypothesis differential suite; the flag exists for
+        that suite and A/B benchmarks.
     """
 
     collect_mode: CollectMode = CollectMode.GROUPING
@@ -109,6 +117,7 @@ class EngineConfig:
     max_power_iterations: int = 10_000
     use_planner: bool = True
     use_pushdown: bool = True
+    use_analysis: bool = True
 
 
 DEFAULT_CONFIG = EngineConfig()
@@ -148,6 +157,25 @@ class QueryPlan:
         if expression not in self._typechecked:
             infer_schema(expression)
             self._typechecked.add(expression)
+
+    def analysis(self, query: ast.Query) -> QueryAnalysis:
+        """The static analyzer's verdict for ``query``, memoised at
+        module level (see :func:`repro.gpc.analysis.analyze_query` —
+        verdicts are pure in the immutable AST, so plans share them).
+        Computed on demand regardless of ``config.use_analysis``: lint
+        and explain always report diagnostics, the flag only gates
+        whether the *evaluator* acts on the verdict."""
+        self.ensure_typechecked(query)
+        return analyze_query(query)
+
+    def provably_empty(self, query: ast.Query) -> bool:
+        """Whether the analyzer proved the query empty on every graph."""
+        return self.analysis(query).provably_empty
+
+    def diagnostics(self, query: ast.Query):
+        """The analyzer's :class:`~repro.gpc.analysis.Diagnostic`
+        records for ``query``."""
+        return self.analysis(query).diagnostics
 
     def register_nfa(self, pattern: ast.Pattern) -> RegisterNFA | None:
         """The pattern's register NFA, or ``None`` if unsupported."""
@@ -205,12 +233,31 @@ class QueryPlan:
             if graph is not None and hasattr(graph, "snapshot")
             else graph
         )
-        return explain_plan(query, view, plan=self)
+        report = explain_plan(query, view, plan=self)
+        analysis = self.analysis(query)
+        if analysis.provably_empty and self.config.use_analysis:
+            report += (
+                "\nanalysis: provably empty — evaluation short-circuits"
+                " to the empty answer set"
+            )
+        return report + "\n" + render_diagnostics(analysis.diagnostics)
 
     def precompile(self, query: ast.Query) -> None:
         """Typecheck and compile every automaton the query can need."""
         self.ensure_typechecked(query)
-        for pattern_query in self._pattern_queries(query):
+        target = query
+        if self.config.use_analysis:
+            # Just typechecked above: call the memoised analyzer
+            # directly rather than paying analysis()'s re-check.
+            analysis = analyze_query(query)
+            if analysis.provably_empty:
+                # The evaluator never touches the snapshot (or any
+                # automaton) for a proven-empty query.
+                return
+            if analysis.simplified is not query:
+                self.ensure_typechecked(analysis.simplified)
+                target = analysis.simplified
+        for pattern_query in self._pattern_queries(target):
             restrictor = pattern_query.restrictor
             if restrictor.shortest and restrictor.mode is None:
                 self.shortest_plan(pattern_query.pattern)
@@ -310,6 +357,37 @@ class Evaluator:
         restriction = (
             None if start_restriction is None else frozenset(start_restriction)
         )
+        if self.config.use_analysis and isinstance(
+            query, (ast.PatternQuery, ast.Join)
+        ):
+            analysis = self.plan.analysis(query)
+            counters = active_counters()
+            if analysis.provably_empty:
+                # Short-circuit without touching the snapshot — but the
+                # original query must still surface the validation
+                # errors full evaluation would have raised (the same
+                # principle as _eval_join's skipped-side handling:
+                # query validity must not become analysis-dependent).
+                for pattern_query in self.plan._pattern_queries(query):
+                    self._validate_collect(pattern_query.pattern)
+                if counters is not None:
+                    counters.queries_proven_empty += 1
+                return frozenset()
+            if analysis.simplified is not query:
+                if counters is not None:
+                    counters.conditions_simplified += (
+                        analysis.conditions_simplified
+                    )
+                    counters.dead_branches_pruned += (
+                        analysis.dead_branches_pruned
+                    )
+                # Validate the original's collects before substituting:
+                # a pruned branch may contain the construct SYNTACTIC
+                # mode rejects.
+                for pattern_query in self.plan._pattern_queries(query):
+                    self._validate_collect(pattern_query.pattern)
+                self.plan.ensure_typechecked(analysis.simplified)
+                query = analysis.simplified
         return self._eval_query(query, restriction)
 
     def eval_pattern(

@@ -42,6 +42,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.direction import Direction
+from repro.errors import DeadlineExceededError, EvaluationLimitError
 from repro.gpc import ast
 from repro.gpc.conditions_ast import (
     And,
@@ -326,7 +327,11 @@ def pattern_footprint(pattern: ast.Pattern) -> QueryFootprint:
         return footprint
     try:
         edgeless_possible = min_path_length(pattern) == 0
-    except Exception:  # pragma: no cover - defensive (odd extensions)
+    except (DeadlineExceededError, EvaluationLimitError):
+        # Resource budgets must propagate — swallowing one here would
+        # let a cancelled request keep running on a stale footprint.
+        raise
+    except Exception:  # pragma: no cover - lint: allow-broad-except
         edgeless_possible = True
     if not edgeless_possible:
         footprint = QueryFootprint(
@@ -353,6 +358,10 @@ def query_footprint(query: ast.Query) -> QueryFootprint:
             return query_footprint(query.left).merge(
                 query_footprint(query.right)
             )
-    except Exception:  # pragma: no cover - defensive
+    except (DeadlineExceededError, EvaluationLimitError):
+        # See pattern_footprint: budget errors are control flow, not
+        # analysis failures, and must reach the caller.
+        raise
+    except Exception:  # pragma: no cover - lint: allow-broad-except
         return BOTTOM
     return BOTTOM

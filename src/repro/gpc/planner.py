@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
+from functools import lru_cache
 from typing import Optional
 
 from repro.gpc import ast
@@ -176,8 +177,15 @@ class ShortestPlan:
     end: EndpointConstraint
 
 
+@lru_cache(maxsize=1024)
 def plan_shortest(pattern: ast.Pattern) -> ShortestPlan:
-    """Extract the leading and trailing endpoint constraints."""
+    """Extract the leading and trailing endpoint constraints.
+
+    Pure in an immutable pattern, and wanted by several independent
+    consumers per query (the static analyzer's unanchored-``shortest``
+    check, each :class:`~repro.gpc.engine.QueryPlan`'s precompile),
+    so it is memoised at module level rather than per plan.
+    """
     return ShortestPlan(
         start=EndpointConstraint(_endpoint_alternatives(pattern, leading=True)),
         end=EndpointConstraint(_endpoint_alternatives(pattern, leading=False)),

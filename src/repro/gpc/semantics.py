@@ -25,7 +25,7 @@ capturing the grouped bindings so far. Termination for ``m = infinity``:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping
 
 from repro.errors import EvaluationLimitError

@@ -18,7 +18,7 @@ Example
 
 from __future__ import annotations
 
-from typing import Hashable, Mapping
+from typing import Hashable
 
 from repro.errors import GraphError
 from repro.graph.ids import DirectedEdgeId, NodeId, UndirectedEdgeId

@@ -676,7 +676,10 @@ class PropertyGraph:
     def __contains__(self, element: object) -> bool:
         try:
             return self.has_element(element)  # type: ignore[arg-type]
-        except Exception:
+        except TypeError:
+            # Unhashable probes are "not an element", full stop; any
+            # other exception (a deadline firing inside a user-defined
+            # __hash__, say) is real and must propagate.
             return False
 
     def __len__(self) -> int:

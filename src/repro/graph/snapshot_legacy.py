@@ -691,7 +691,9 @@ class LegacyGraphSnapshot:
     def __contains__(self, element: object) -> bool:
         try:
             return self.has_element(element)  # type: ignore[arg-type]
-        except Exception:
+        except TypeError:
+            # Unhashable probes are "not an element"; anything else
+            # (deadline/limit errors included) must propagate.
             return False
 
     def __len__(self) -> int:

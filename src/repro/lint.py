@@ -1,0 +1,119 @@
+"""``python -m repro.lint`` — lint GPC queries from files or stdin.
+
+Input is one query per line; blank lines and lines starting with ``#``
+are skipped. Each query is run through the total
+:func:`repro.gpc.analysis.lint_query` entry point, so malformed input
+produces ``GPC000``/``GPC001`` diagnostics rather than a traceback.
+
+Usage::
+
+    python -m repro.lint queries.gpc more.gpc
+    echo 'TRAIL (x:A) -[:r]-> (y)' | python -m repro.lint
+    python -m repro.lint --format json queries.gpc
+    python -m repro.lint --strict queries.gpc   # warnings also fail
+
+Exit status: 0 when no query produced an ``error`` diagnostic (or,
+under ``--strict``, an ``error`` *or* ``warning``); 1 otherwise; 2 for
+usage problems (unreadable file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Iterable, Iterator, TextIO
+
+from repro.gpc.analysis import Diagnostic, lint_query
+
+__all__ = ["main", "lint_lines"]
+
+#: One linted query: (source, line number, query text, diagnostics).
+Finding = tuple[str, int, str, tuple[Diagnostic, ...]]
+
+
+def lint_lines(
+    lines: Iterable[str], source: str = "<stdin>"
+) -> Iterator[Finding]:
+    """Yield ``(source, line_number, query, diagnostics)`` per query."""
+    for number, raw in enumerate(lines, start=1):
+        query = raw.strip()
+        if not query or query.startswith("#"):
+            continue
+        yield source, number, query, lint_query(query)
+
+
+def _report_text(findings: "list[Finding]", stream: TextIO) -> None:
+    for source, number, query, diagnostics in findings:
+        if not diagnostics:
+            continue
+        print(f"{source}:{number}: {query}", file=stream)
+        for diagnostic in diagnostics:
+            print(f"  {diagnostic.render()}", file=stream)
+
+
+def _report_json(findings: "list[Finding]", stream: TextIO) -> None:
+    payload = [
+        {
+            "source": source,
+            "line": number,
+            "query": query,
+            "diagnostics": [d.as_dict() for d in diagnostics],
+        }
+        for source, number, query, diagnostics in findings
+    ]
+    json.dump(payload, stream, indent=2, sort_keys=True)
+    print(file=stream)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Statically analyse GPC queries (one per line).",
+    )
+    parser.add_argument(
+        "files",
+        nargs="*",
+        help="query files (one query per line; '-' or none reads stdin)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on warnings too, not just errors",
+    )
+    options = parser.parse_args(argv)
+
+    findings: list[Finding] = []
+    for name in options.files or ["-"]:
+        if name == "-":
+            findings.extend(lint_lines(sys.stdin, "<stdin>"))
+        else:
+            try:
+                with open(name, encoding="utf-8") as handle:
+                    findings.extend(lint_lines(handle, name))
+            except OSError as exc:
+                print(f"error: cannot read {name}: {exc}", file=sys.stderr)
+                return 2
+
+    if options.format == "json":
+        _report_json(findings, sys.stdout)
+    else:
+        _report_text(findings, sys.stdout)
+
+    failing = {"error"} if not options.strict else {"error", "warning"}
+    failed = any(
+        diagnostic.severity in failing
+        for _, _, _, diagnostics in findings
+        for diagnostic in diagnostics
+    )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,7 +52,15 @@ class EvalCounters:
     - ``mask_probes`` — single-bit bitmask tests performed by the
       dense search in place of full condition/label evaluations;
     - ``dense_fast_lane`` — per-seed shortest searches served by the
-      register-free flat-array lane instead of the dict-state search.
+      register-free flat-array lane instead of the dict-state search;
+    - ``queries_proven_empty`` — evaluations the static analyzer
+      short-circuited to the empty answer set without touching the
+      snapshot (the query is provably empty on every graph);
+    - ``conditions_simplified`` — conditions the analyzer rewrote
+      before evaluation (constant-folded, deduplicated, or dropped as
+      tautological), counted per evaluation;
+    - ``dead_branches_pruned`` — provably-empty union branches the
+      analyzer removed before evaluation, counted per evaluation.
     """
 
     nfa_states_expanded: int = 0
@@ -66,6 +74,9 @@ class EvalCounters:
     masks_built: int = 0
     mask_probes: int = 0
     dense_fast_lane: int = 0
+    queries_proven_empty: int = 0
+    conditions_simplified: int = 0
+    dead_branches_pruned: int = 0
 
     def merge(self, other: "Union[EvalCounters, dict, None]") -> None:
         """Add ``other``'s counts into this struct (thread-safe: used

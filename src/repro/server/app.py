@@ -11,6 +11,8 @@ layer in :mod:`repro.server.protocol`):
 ``POST /mutate``  apply a list of graph mutations in order
 ``GET /explain``  the planner's strategy summary (``?query=...``,
                   add ``&analyze=1`` to run it and report engine work)
+``GET /lint``     static-analysis diagnostics (``?query=...``; also
+                  ``POST`` with ``{"query": ...}``) — no evaluation
 ``GET /stats``    transport + service metrics (one composed payload)
 ``GET /trace``    recorded span trees (``?id=<trace-id>`` for one)
 ``GET /metrics``  the same counters in Prometheus text exposition
@@ -69,6 +71,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import DeadlineExceededError, GPCError
+from repro.gpc import analysis
 from repro.obs import metrics as obs_metrics
 from repro.obs import NULL_SPAN, Tracer, TraceStore, current_span, deadline_scope, span
 from repro.server import wire
@@ -154,6 +157,7 @@ class GraphServer:
         "/batch": ("POST",),
         "/mutate": ("POST",),
         "/explain": ("GET",),
+        "/lint": ("GET", "POST"),
         "/stats": ("GET",),
         "/trace": ("GET",),
         "/metrics": ("GET",),
@@ -403,6 +407,10 @@ class GraphServer:
             return 200, self._render_metrics()
         if request.path == "/insights":
             return self._handle_insights(request)
+        if request.path == "/lint":
+            # Static analysis only — never touches the graph, so it is
+            # answered during drain like the other read-only endpoints.
+            return await self._handle_lint(request)
         if self._draining:
             raise ProtocolError(503, "server is draining")
         if request.path == "/query":
@@ -523,6 +531,36 @@ class GraphServer:
                 self.service.explain, query, analyze=analyze
             )
         return 200, {"explain": text, "version": self.service.version}
+
+    async def _handle_lint(self, request: HttpRequest) -> tuple[int, Any]:
+        """Static-analysis diagnostics for one query, no evaluation.
+
+        ``GET /lint?query=<gpc>`` or ``POST /lint`` with
+        ``{"query": "<gpc>"}`` (POST avoids URL-length limits for big
+        queries). Parse/type failures come back as ``GPC000``/``GPC001``
+        diagnostics in a 200, not as a 4xx — the endpoint is total.
+        """
+        if request.method == "GET":
+            query = request.params.get("query")
+            if not query:
+                raise ProtocolError(400, "/lint expects ?query=<gpc>")
+        else:
+            body = json_body(request)
+            if not isinstance(body, dict) or not isinstance(
+                body.get("query"), str
+            ):
+                raise ProtocolError(400, 'body must be {"query": "<gpc>"}')
+            query = body["query"]
+        # Linting compiles the plan (cached), so hop off the event loop.
+        diagnostics = await asyncio.to_thread(self.service.lint, query)
+        self.stats.count(lints=1)
+        return 200, {
+            "diagnostics": [d.as_dict() for d in diagnostics],
+            "provably_empty": any(
+                d.code == analysis.PROVABLY_EMPTY for d in diagnostics
+            ),
+            "version": self.service.version,
+        }
 
     def _render_answers(self, result, version: int) -> PreRendered:
         payload = wire.encode_answers(result)

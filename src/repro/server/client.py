@@ -165,6 +165,17 @@ class HttpServiceClient:
         reply = self.request("GET", target).raise_for_status()
         return reply.payload["explain"]
 
+    def lint(self, text: str) -> dict:
+        """``POST /lint`` — static-analysis diagnostics for one query.
+
+        Returns the raw payload: ``{"diagnostics": [...],
+        "provably_empty": bool, "version": int}``. Total — malformed
+        queries come back as ``GPC000``/``GPC001`` diagnostics, not
+        HTTP errors.
+        """
+        reply = self.request("POST", "/lint", {"query": text})
+        return reply.raise_for_status().payload
+
     def stats(self) -> dict:
         return self.request("GET", "/stats").raise_for_status().payload
 

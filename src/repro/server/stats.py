@@ -57,6 +57,8 @@ class ServerStats:
     max_batch: int = 0
     batches: int = 0
     mutations: int = 0
+    #: ``/lint`` requests answered (static analysis only, no evaluation).
+    lints: int = 0
     draining: bool = False
     latency: LatencyRecorder = field(default_factory=LatencyRecorder)
     _lock: threading.Lock = field(
@@ -100,6 +102,7 @@ class ServerStats:
                 "max_batch": self.max_batch,
                 "batches": self.batches,
                 "mutations": self.mutations,
+                "lints": self.lints,
                 "draining": self.draining,
             }
         payload["latency"] = self.latency.summary()

@@ -52,6 +52,19 @@ class PreparedQuery:
         self.plan.precompile(self.query)
 
     @property
+    def analysis(self):
+        """The static analyzer's verdict for this query (memoised on
+        the plan): the simplified query, an unsat proof when one
+        exists, and lint diagnostics. See :mod:`repro.gpc.analysis`."""
+        return self.plan.analysis(self.query)
+
+    @property
+    def diagnostics(self):
+        """Static-analysis diagnostics for this query, as a tuple of
+        :class:`~repro.gpc.analysis.Diagnostic` records."""
+        return self.analysis.diagnostics
+
+    @property
     def footprint(self) -> QueryFootprint:
         """The query's read footprint (memoised; see
         :mod:`repro.gpc.footprint`). Drives semantic result-cache

@@ -43,7 +43,8 @@ from repro.graph.ids import (
 )
 from repro.graph.property_graph import Constant, PropertyGraph
 from repro.graph.snapshot import GraphSnapshot
-from repro.errors import DeadlineExceededError
+from repro.errors import DeadlineExceededError, GPCError
+from repro.gpc.analysis import lint_query
 from repro.gpc.explain import explain_counters, explain_estimates
 from repro.obs import (
     EvalCounters,
@@ -260,6 +261,25 @@ class GraphService:
                 )
             )
         return "\n".join(sections)
+
+    def lint(
+        self, query: str | ast.Query, config: EngineConfig | None = None
+    ):
+        """Static-analysis diagnostics for ``query``, without touching
+        the graph.
+
+        Total: queries that fail to parse or typecheck yield an error
+        diagnostic (``GPC000`` / ``GPC001``) instead of raising, so the
+        caller can lint untrusted input in one call. Well-formed
+        queries go through the (plan-cached) prepared query, so linting
+        a query that will later be evaluated costs nothing extra.
+        Returns a tuple of :class:`~repro.gpc.analysis.Diagnostic`.
+        """
+        try:
+            prepared = self.prepare(query, config)
+        except GPCError:
+            return lint_query(query)
+        return prepared.diagnostics
 
     # ------------------------------------------------------------------
     # Evaluation (result cache + snapshots)

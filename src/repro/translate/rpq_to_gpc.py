@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import itertools
 
+from repro.errors import TranslationError
 from repro.gpc import ast
 from repro.gpc.gpc_plus import GPCPlusQuery, Rule
 from repro.automata import regex as rx
@@ -73,7 +74,10 @@ def _c2rpq_rule(query: C2RPQ) -> Rule:
             atom.subject, regex_to_pattern(atom.parsed_regex()), atom.object
         )
         joined = pattern_query if joined is None else ast.Join(joined, pattern_query)
-    assert joined is not None  # C2RPQ validates non-empty atoms
+    if joined is None:
+        # C2RPQ construction validates non-empty atoms, but a raise
+        # (unlike an assert) survives ``python -O``.
+        raise TranslationError("C2RPQ has no atoms to translate")
     return Rule(tuple(query.head), joined)
 
 

@@ -40,7 +40,7 @@ import itertools
 from repro.errors import TranslationError
 from repro.gpc import ast
 from repro.gpc.gpc_plus import GPCPlusQuery, Rule
-from repro.baselines.datalog import Clause, DatalogAtom, Program
+from repro.baselines.datalog import Clause, DatalogAtom
 from repro.baselines.regular_queries import RegularQuery
 
 __all__ = ["regular_query_to_gpc_plus"]
@@ -222,7 +222,6 @@ def _eliminate_disconnected(
     clauses: list[Clause], answer: str, counter: itertools.count
 ) -> list[Clause]:
     for _ in range(_MAX_REWRITES):
-        idb = frozenset(c.head.predicate for c in clauses)
         target = next(
             (
                 c
@@ -316,7 +315,6 @@ def _eliminate_disconnected(
                 clauses, frozenset({bang}), answer, counter
             )
             clauses = [c for c in clauses if c.head.predicate != bang]
-        del idb
     raise TranslationError(
         "disconnected-rule elimination did not terminate; the program may "
         "be pathological"

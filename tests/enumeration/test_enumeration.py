@@ -2,10 +2,8 @@
 
 import pytest
 
-from repro.graph.builder import GraphBuilder
-from repro.graph.generators import chain_graph, cycle_graph, theorem13_gadget
+from repro.graph.generators import chain_graph, theorem13_gadget
 from repro.graph.ids import NodeId as N
-from repro.graph.paths import Path
 from repro.gpc import ast
 from repro.gpc.engine import Evaluator, evaluate
 from repro.gpc.parser import parse_pattern, parse_query

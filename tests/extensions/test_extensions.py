@@ -6,11 +6,7 @@ import pytest
 from repro.direction import Direction
 from repro.errors import CollectError, GPCTypeError
 from repro.graph.builder import GraphBuilder
-from repro.graph.generators import (
-    chain_graph,
-    cycle_graph,
-    section7_counterexample,
-)
+from repro.graph.generators import chain_graph
 from repro.graph.ids import NodeId as N
 from repro.gpc import ast
 from repro.gpc.assignments import Assignment

@@ -5,7 +5,6 @@ import pytest
 from repro.errors import CollectError, EvaluationError
 from repro.graph.builder import GraphBuilder
 from repro.graph.ids import NodeId as N
-from repro.gpc import ast
 from repro.gpc.assignments import Assignment
 from repro.gpc.conditions import satisfies
 from repro.gpc.conditions_ast import (

@@ -19,7 +19,7 @@ from repro.gpc import ast
 from repro.gpc.conditions_ast import PropertyEqualsConst
 from repro.gpc.parser import parse_query
 from repro.gpc.pretty import pretty
-from repro.obs.insights import canonical_query, query_fingerprint
+from repro.obs.insights import query_fingerprint
 
 from test_planner_equivalence import (
     JOIN_QUERIES,

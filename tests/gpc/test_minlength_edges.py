@@ -1,0 +1,145 @@
+"""Edge-case tests for the syntactic length analysis
+(:mod:`repro.gpc.minlength`): extension constructs, zero-width
+repetitions, nested unions, unbounded uppers, and the Approach 1
+validation over all of them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CollectError
+from repro.extensions.arithmetic import ArithConditioned, Count, TermConst
+from repro.extensions.label_expressions import (
+    EdgeWithLabelExpr,
+    LabelAtom,
+    NodeWithLabelExpr,
+)
+from repro.extensions.mixed_restrictors import (
+    RestrictedSubpattern,
+    WitnessMarked,
+)
+from repro.gpc import ast
+from repro.gpc.minlength import (
+    max_path_length,
+    may_match_edgeless,
+    min_path_length,
+    validate_approach1,
+)
+from repro.gpc.parser import parse_query
+
+
+def pattern_of(text: str) -> ast.Pattern:
+    return parse_query(text).pattern
+
+
+NODE = pattern_of("TRAIL (x)")
+EDGE_HOP = pattern_of("TRAIL (x) -[:r]-> (y)")
+
+
+class TestCoreShapes:
+    def test_zero_width_repeat(self):
+        repeat = ast.Repeat(NODE, 0, 0)
+        assert min_path_length(repeat) == 0
+        assert max_path_length(repeat) == 0
+        assert may_match_edgeless(repeat)
+
+    def test_edgeless_body_any_bounds_has_max_zero(self):
+        # inner max 0: m * 0 = 0 even with m = None (unbounded).
+        repeat = ast.Repeat(NODE, 2, None)
+        assert min_path_length(repeat) == 0
+        assert max_path_length(repeat) == 0
+
+    def test_unbounded_upper_is_none(self):
+        assert max_path_length(pattern_of("TRAIL (x) -[:r]->{1,} (y)")) is None
+
+    def test_bounded_repeat_multiplies(self):
+        pattern = pattern_of("TRAIL (s) [(x) -[:r]-> (y) -[:s]-> (z)]{2,3} (t)")
+        assert min_path_length(pattern) == 4
+        assert max_path_length(pattern) == 6
+
+    def test_nested_union_min_max(self):
+        # (1 hop | (2 hops | 3 hops)): min 1, max 3.
+        pattern = pattern_of(
+            "TRAIL [(a) -[:r]-> (b)"
+            " + [(a) -[:r]-> (b) -[:r]-> (c)"
+            " + (a) -[:r]-> (b) -[:r]-> (c) -[:r]-> (d)]]"
+        )
+        assert min_path_length(pattern) == 1
+        assert max_path_length(pattern) == 3
+
+    def test_union_with_unbounded_branch(self):
+        pattern = pattern_of("TRAIL [(x) -[:r]-> (y) + (x) -[:r]->{1,} (y)]")
+        assert min_path_length(pattern) == 1
+        assert max_path_length(pattern) is None
+
+    def test_conditioned_is_neutral(self):
+        pattern = pattern_of("TRAIL [(x) -[:r]-> (y)] << x.k = 1 >>")
+        assert min_path_length(pattern) == 1
+        assert max_path_length(pattern) == 1
+
+    def test_non_pattern_raises(self):
+        with pytest.raises(TypeError):
+            min_path_length("nope")
+        with pytest.raises(TypeError):
+            max_path_length("nope")
+
+
+class TestExtensionHooks:
+    def test_node_with_label_expr_is_width_zero(self):
+        node = NodeWithLabelExpr(LabelAtom("P"), "x")
+        assert min_path_length(node) == 0
+        assert max_path_length(node) == 0
+        assert may_match_edgeless(node)
+
+    def test_edge_with_label_expr_is_width_one(self):
+        edge = EdgeWithLabelExpr(ast.Direction.FORWARD, LabelAtom("r"), "e")
+        assert min_path_length(edge) == 1
+        assert max_path_length(edge) == 1
+        assert not may_match_edgeless(edge)
+
+    def test_arith_conditioned_delegates_to_child(self):
+        wrapped = ArithConditioned(EDGE_HOP, Count("x"), TermConst(1))
+        assert min_path_length(wrapped) == 1
+        assert max_path_length(wrapped) == 1
+
+    def test_restricted_subpattern_delegates_to_child(self):
+        wrapped = RestrictedSubpattern(ast.Restrictor.TRAIL, EDGE_HOP)
+        assert min_path_length(wrapped) == 1
+        assert max_path_length(wrapped) == 1
+
+    def test_witness_marked_delegates_to_child(self):
+        unbounded = pattern_of("TRAIL (x) -[:r]->{2,} (y)")
+        wrapped = WitnessMarked(unbounded, "w")
+        assert min_path_length(wrapped) == 2
+        assert max_path_length(wrapped) is None
+
+    def test_extension_inside_concat_and_repeat(self):
+        node = NodeWithLabelExpr(LabelAtom("P"), "x")
+        concat = ast.Concat(node, EDGE_HOP)
+        assert min_path_length(concat) == 1
+        # A repeat whose body is the width-0 extension stays width 0.
+        assert max_path_length(ast.Repeat(node, 0, None)) == 0
+
+
+class TestValidateApproach1:
+    def test_edgeless_repeat_body_rejected(self):
+        with pytest.raises(CollectError):
+            validate_approach1(ast.Repeat(NODE, 1, 2))
+
+    def test_extension_edgeless_body_rejected(self):
+        body = NodeWithLabelExpr(LabelAtom("P"), "x")
+        with pytest.raises(CollectError):
+            validate_approach1(ast.Repeat(body, 0, 3))
+
+    def test_nested_repeat_body_rejected(self):
+        # The outer body has positive width, the inner body does not.
+        inner = ast.Repeat(NODE, 1, 2)
+        outer = ast.Repeat(ast.Concat(inner, EDGE_HOP), 1, 2)
+        with pytest.raises(CollectError):
+            validate_approach1(outer)
+
+    def test_positive_width_bodies_accepted(self):
+        validate_approach1(
+            pattern_of("TRAIL (s) [(x) -[:r]-> (y)]{0,3} (t)")
+        )

@@ -2,10 +2,8 @@
 
 import pytest
 
-from repro.gpc import ast
 from repro.gpc.parser import parse_pattern, parse_query
 from repro.gpc.planner import (
-    EndpointConstraint,
     estimate_pattern_cardinality,
     estimate_query_cardinality,
     explain_plan,

@@ -4,11 +4,10 @@ import pytest
 
 from repro.errors import GPCTypeError
 from repro.graph.builder import GraphBuilder
-from repro.graph.generators import cycle_graph, theorem13_gadget
-from repro.graph.ids import DirectedEdgeId as E, NodeId as N
+from repro.graph.generators import cycle_graph
+from repro.graph.ids import NodeId as N
 from repro.graph.paths import Path, is_simple, is_trail
-from repro.gpc import ast
-from repro.gpc.engine import EngineConfig, Evaluator, evaluate
+from repro.gpc.engine import evaluate
 from repro.gpc.parser import parse_query
 
 

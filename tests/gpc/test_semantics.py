@@ -6,10 +6,8 @@ full engine, asserting exact answer sets on hand-checkable graphs.
 
 import pytest
 
-from repro.graph.builder import GraphBuilder
 from repro.graph.ids import DirectedEdgeId as E, NodeId as N, UndirectedEdgeId as U
 from repro.graph.paths import Path
-from repro.gpc import ast
 from repro.gpc.assignments import Assignment
 from repro.gpc.engine import EngineConfig, Evaluator
 from repro.gpc.collect import CollectMode

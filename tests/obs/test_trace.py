@@ -365,4 +365,7 @@ class TestEvalCounters:
             "masks_built",
             "mask_probes",
             "dense_fast_lane",
+            "queries_proven_empty",
+            "conditions_simplified",
+            "dead_branches_pruned",
         }

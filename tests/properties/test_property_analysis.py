@@ -1,0 +1,122 @@
+"""Differential equivalence: static analysis on vs off.
+
+The analyzer rewrites queries before evaluation — conditions are
+simplified, dead union branches pruned, provably-empty queries
+short-circuited — and every rewrite must preserve the answer set
+*exactly* on every graph. Random graphs come from a hypothesis-drawn
+seed; each query shape runs with ``use_analysis`` on and off and the
+frozensets are compared. Shapes cover every rewrite the analyzer
+performs plus shapes it must leave alone.
+
+The soundness half is sharper than equality: whenever the analyzer
+claims ``provably_empty``, the evaluated answer set must actually be
+empty — on every random graph, not just the ones hypothesis happened
+to draw for the equality check.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpc.analysis import analyze_query
+from repro.gpc.engine import EngineConfig, Evaluator
+from repro.gpc.parser import parse_query
+from repro.graph import PropertyGraph
+
+#: Bracketed conditions throughout: `<< >>` binds tighter than concat,
+#: so an unbracketed `(x) -> (y) << c >>` conditions `(y)` alone.
+QUERY_TEXTS = (
+    # Dedup + double negation: simplifies, answers unchanged.
+    "TRAIL [(x:P) -[:r]-> (y)] << x.k = 1 AND (x.k = 1 AND NOT (NOT y.k = 2)) >>",
+    # Complement pair: provably empty.
+    "TRAIL [(x:P) -[:r]-> (y)] << x.k = 1 AND NOT x.k = 1 >>",
+    # Contradictory constants on the And spine: provably empty.
+    "TRAIL [(x:P) -[:r]-> (y)] << x.k = 0 AND x.k = 1 >>",
+    # Dead union branch pruned, the live branch must supply everything.
+    "TRAIL [(x:P) << x.k = 0 AND x.k = 1 >> + (x:P)] -[:r]-> (y)",
+    # Tautology dropped (two-valued semantics: theta OR NOT theta).
+    "TRAIL [(x:P) -[:r]-> (y)] << x.k = 1 OR NOT x.k = 1 >>",
+    # Cross-concat saturation: both parts bind the singleton x.
+    "TRAIL [(x) << x.k = 0 >>] [(x) << x.k = 1 >>]",
+    # Repeat body provably empty, lower = 0: only zero iterations left.
+    "TRAIL (s) [[(x:P) -[:r]-> (y)] << x.k = 0 AND x.k = 1 >>]{0,2} (t)",
+    # Repeat body provably empty, lower >= 1: whole query empty.
+    "TRAIL (s) [[(x:P) -[:r]-> (y)] << x.k = 0 AND x.k = 1 >>]{1,2} (t)",
+    # x.k = x.k is NOT a tautology (tests definedness) — no rewrite.
+    "TRAIL [(x:P) -[:r]-> (y)] << x.k = x.k >>",
+    # Multi-label concat on one variable is NOT unsat (label sets).
+    "TRAIL [(x:P)] [(x:Q)] -[:r]-> (y)",
+    # Shortest with union and unbounded repeat: diagnostics fire,
+    # answers must not move.
+    "SHORTEST [(x:P) -[:r]-> (y) + (x:Q) -[:s]-> (y)] ->{0,2} (z)",
+    "SHORTEST (x:P) -[:r]->{1,} (y:Q)",
+)
+QUERIES = tuple(parse_query(text) for text in QUERY_TEXTS)
+
+ANALYSIS_ON = EngineConfig(use_analysis=True)
+ANALYSIS_OFF = EngineConfig(use_analysis=False)
+
+
+def random_graph(rng: random.Random) -> PropertyGraph:
+    graph = PropertyGraph()
+    handles = [
+        graph.add_node(
+            f"n{i}",
+            labels=rng.choice([(), ("P",), ("Q",), ("P", "Q")]),
+            properties=rng.choice([None, {"k": rng.randrange(3)}]),
+        )
+        for i in range(rng.randrange(3, 9))
+    ]
+    for i in range(rng.randrange(2, 14)):
+        graph.add_edge(
+            f"e{i}",
+            rng.choice(handles),
+            rng.choice(handles),
+            labels=rng.choice([("r",), ("s",), ("r", "s")]),
+            properties=rng.choice([None, {"w": rng.randrange(2)}]),
+        )
+    return graph
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_analysis_preserves_answers(seed):
+    rng = random.Random(seed)
+    graph = random_graph(rng)
+    with_analysis = Evaluator(graph, ANALYSIS_ON)
+    without = Evaluator(graph, ANALYSIS_OFF)
+    for text, query in zip(QUERY_TEXTS, QUERIES):
+        on = with_analysis.evaluate(query)
+        off = without.evaluate(query)
+        assert on == off, f"analysis changed answers: {text}"
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_proven_empty_is_actually_empty(seed):
+    rng = random.Random(seed)
+    graph = random_graph(rng)
+    evaluator = Evaluator(graph, ANALYSIS_OFF)  # no short-circuit help
+    for text, query in zip(QUERY_TEXTS, QUERIES):
+        if analyze_query(query).provably_empty:
+            assert evaluator.evaluate(query) == frozenset(), (
+                f"unsound emptiness proof: {text}"
+            )
+
+
+def test_expected_rewrites_fire():
+    """Pin which shapes the analyzer acts on, so the suite cannot rot
+    into testing a no-op analyzer."""
+    verdicts = [analyze_query(query) for query in QUERIES]
+    assert [v.provably_empty for v in verdicts] == [
+        False, True, True, False, False, True, False, True,
+        False, False, False, False,
+    ]
+    assert verdicts[0].conditions_simplified == 1
+    assert verdicts[3].dead_branches_pruned == 1
+    assert verdicts[4].conditions_simplified == 1  # tautology dropped
+    assert verdicts[8].simplified is QUERIES[8]  # x.k = x.k untouched
+    assert verdicts[9].simplified is QUERIES[9]  # multi-label untouched

@@ -13,8 +13,8 @@ from repro.errors import GPCTypeError
 from repro.gpc import ast
 from repro.gpc.parser import parse_pattern, parse_query
 from repro.gpc.pretty import pretty
-from repro.gpc.types import MaybeType, is_singleton
-from repro.gpc.typing import infer_schema, is_well_typed
+from repro.gpc.types import MaybeType
+from repro.gpc.typing import infer_schema
 
 
 @settings(max_examples=200, deadline=None)

@@ -1,0 +1,80 @@
+"""End-to-end tests for the ``/lint`` endpoint: diagnostics over HTTP
+for both service facades, GET and POST forms, validation errors, the
+``lints`` stats counter, and totality on malformed queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from urllib.parse import quote
+
+from repro.cluster import ClusterService
+from repro.graph.generators import social_network
+from repro.server import HttpServiceClient, serve_background
+from repro.service import GraphService
+
+EMPTY = "TRAIL [(x:Person) -[:knows]-> (y)] << x.age = 0 AND x.age = 1 >>"
+CLEAN = "TRAIL (x:Person) -[:knows]-> (y:Person)"
+BROKEN = "TRAIL (x:"
+
+
+def _graph():
+    return social_network(num_people=8, friend_degree=2, seed=3)
+
+
+def _serve_graph():
+    return serve_background(GraphService(_graph()))
+
+
+def _serve_cluster():
+    return serve_background(
+        ClusterService(_graph(), backend="serial", num_workers=2)
+    )
+
+
+@pytest.mark.parametrize("serve", [_serve_graph, _serve_cluster])
+class TestLintEndpoint:
+    def test_post_lint_reports_provably_empty(self, serve):
+        with serve() as handle:
+            with HttpServiceClient(*handle.address) as client:
+                payload = client.lint(EMPTY)
+        assert payload["provably_empty"] is True
+        codes = [d["code"] for d in payload["diagnostics"]]
+        assert "GPC010" in codes
+        assert "version" in payload
+
+    def test_clean_query_has_no_diagnostics(self, serve):
+        with serve() as handle:
+            with HttpServiceClient(*handle.address) as client:
+                payload = client.lint(CLEAN)
+        assert payload["diagnostics"] == []
+        assert payload["provably_empty"] is False
+
+    def test_lint_is_total_on_parse_errors(self, serve):
+        with serve() as handle:
+            with HttpServiceClient(*handle.address) as client:
+                payload = client.lint(BROKEN)
+        codes = [d["code"] for d in payload["diagnostics"]]
+        assert codes == ["GPC000"]
+        assert payload["diagnostics"][0]["severity"] == "error"
+
+    def test_get_form_and_stats_counter(self, serve):
+        with serve() as handle:
+            with HttpServiceClient(*handle.address) as client:
+                reply = client.request(
+                    "GET", f"/lint?query={quote(EMPTY)}"
+                ).raise_for_status()
+                assert reply.payload["provably_empty"] is True
+                client.lint(CLEAN)
+                stats = client.stats()
+        assert stats["lints"] == 2
+
+    def test_validation_errors(self, serve):
+        with serve() as handle:
+            with HttpServiceClient(*handle.address) as client:
+                assert client.request("GET", "/lint").status == 400
+                assert client.request("POST", "/lint", {"nope": 1}).status == 400
+                assert (
+                    client.request("POST", "/lint", {"query": 7}).status == 400
+                )
+                assert client.request("PUT", "/lint", {}).status == 405

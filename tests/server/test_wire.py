@@ -8,7 +8,6 @@ import json
 import pytest
 
 from repro.errors import WireError
-from repro.gpc.answers import Answer
 from repro.gpc.assignments import Assignment
 from repro.gpc.engine import Evaluator
 from repro.gpc.parser import parse_query

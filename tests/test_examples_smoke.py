@@ -1,7 +1,6 @@
 """Every example script runs to completion (the quickstart promise)."""
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

@@ -1,0 +1,133 @@
+"""Tests for ``tools/lint_invariants.py`` (the repo-invariant linter).
+
+The tool lives outside the ``repro`` package, so it is loaded by file
+path. ``check_source`` is the testable core; ``main`` is exercised for
+its exit codes on seeded good/bad trees.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+_SPEC = importlib.util.spec_from_file_location(
+    "lint_invariants", REPO_ROOT / "tools" / "lint_invariants.py"
+)
+lint_invariants = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(lint_invariants)
+
+
+def codes(source: str, **kwargs) -> list[str]:
+    return [
+        finding.code
+        for finding in lint_invariants.check_source(
+            source, Path("probe.py"), **kwargs
+        )
+    ]
+
+
+class TestBroadExcept:
+    BROAD = "try:\n    pass\nexcept Exception:\n    pass\n"
+    BARE = "try:\n    pass\nexcept:\n    pass\n"
+    NARROW = "try:\n    pass\nexcept ValueError:\n    pass\n"
+    TUPLE = "try:\n    pass\nexcept (ValueError, Exception):\n    pass\n"
+    WAIVED = (
+        "try:\n    pass\n"
+        "except Exception:  # lint: allow-broad-except\n    pass\n"
+    )
+
+    def test_broad_except_flagged(self):
+        assert codes(self.BROAD) == ["INV001"]
+
+    def test_bare_except_flagged(self):
+        assert codes(self.BARE) == ["INV001"]
+
+    def test_exception_inside_tuple_flagged(self):
+        assert codes(self.TUPLE) == ["INV001"]
+
+    def test_narrow_except_ok(self):
+        assert codes(self.NARROW) == []
+
+    def test_waiver_comment_suppresses(self):
+        assert codes(self.WAIVED) == []
+
+    def test_out_of_scope_files_skip_broad_except(self):
+        assert codes(self.BROAD, scope_broad_except=False) == []
+
+
+class TestMutableDefaults:
+    def test_list_default(self):
+        assert codes("def f(x=[]):\n    pass\n") == ["INV002"]
+
+    def test_dict_and_set_calls(self):
+        assert codes("def f(x=dict(), y=set()):\n    pass\n") == [
+            "INV002",
+            "INV002",
+        ]
+
+    def test_keyword_only_default(self):
+        assert codes("def f(*, x={}):\n    pass\n") == ["INV002"]
+
+    def test_comprehension_default(self):
+        assert codes("def f(x=[i for i in range(3)]):\n    pass\n") == [
+            "INV002"
+        ]
+
+    def test_lambda_default(self):
+        assert codes("g = lambda x=[]: x\n") == ["INV002"]
+
+    def test_immutable_defaults_ok(self):
+        assert codes("def f(x=(), y=None, z=1, w=frozenset()):\n    pass\n") == []
+
+
+class TestAsserts:
+    def test_assert_flagged(self):
+        assert codes("def f(x):\n    assert x\n") == ["INV003"]
+
+    def test_waived_assert_ok(self):
+        assert (
+            codes("def f(x):\n    assert x  # lint: allow-assert\n") == []
+        )
+
+    def test_asserts_unscoped_like_defaults(self):
+        # INV002/INV003 apply everywhere, even when broad-except
+        # checking is scoped out.
+        assert codes(
+            "def f(x=[]):\n    assert x\n", scope_broad_except=False
+        ) == ["INV002", "INV003"]
+
+
+class TestMain:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        good = tmp_path / "good.py"
+        good.write_text("def f(x=None):\n    return x\n", encoding="utf-8")
+        assert lint_invariants.main([str(good)]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_seeded_violations_exit_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "def f(x=[]):\n"
+            "    assert x\n"
+            "    try:\n"
+            "        pass\n"
+            "    except Exception:\n"
+            "        pass\n",
+            encoding="utf-8",
+        )
+        assert lint_invariants.main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        for code in ("INV001", "INV002", "INV003"):
+            assert code in out
+
+    def test_unparsable_file_exits_two(self, tmp_path, capsys):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def f(:\n", encoding="utf-8")
+        assert lint_invariants.main([str(broken)]) == 2
+        assert "broken.py" in capsys.readouterr().err
+
+    def test_repo_tree_is_clean(self):
+        # The invariant the CI job enforces: the committed tree lints
+        # clean with default roots.
+        assert lint_invariants.main([]) == 0

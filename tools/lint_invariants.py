@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Repo-specific invariant linter (stdlib ``ast`` only — runs anywhere).
+
+Three invariants that generic linters don't enforce the way this
+codebase needs them:
+
+- **No bare/broad ``except`` in the engine core** (``src/repro/gpc``
+  and ``src/repro/graph``): a ``try: ... except Exception`` in the
+  evaluation path swallows :class:`DeadlineExceededError` /
+  :class:`EvaluationLimitError` and turns a cancelled request into a
+  silently-wrong answer. A deliberately-defensive site must carry the
+  waiver comment ``lint: allow-broad-except`` on the ``except`` line
+  (and should re-raise budget errors first).
+- **No mutable default arguments** anywhere in ``src/repro``: the
+  classic shared-``[]`` bug, but also a cache-poisoning hazard in a
+  library whose plans are memoised and shared across threads.
+- **No ``assert`` statements for control flow** anywhere in
+  ``src/repro``: asserts vanish under ``python -O``; library-side
+  validation must raise typed :mod:`repro.errors` exceptions.
+  ``lint: allow-assert`` waives a site (e.g. a typing-only narrow).
+
+Exit status 0 when clean, 1 with findings (one per line, parseable as
+``path:line: CODE message``), 2 on usage/syntax errors.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import NamedTuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+
+#: Packages where broad excepts are banned (the evaluation path).
+BROAD_EXCEPT_SCOPES = ("gpc", "graph")
+
+BROAD_EXCEPT_WAIVER = "lint: allow-broad-except"
+ASSERT_WAIVER = "lint: allow-assert"
+
+#: Exception names considered "broad" when caught directly.
+BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+#: Call targets considered mutable default constructors.
+MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+
+
+class Finding(NamedTuple):
+    path: str
+    line: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+def _is_broad_exception(node: "ast.expr | None") -> bool:
+    if node is None:
+        return True  # bare ``except:``
+    if isinstance(node, ast.Name):
+        return node.id in BROAD_NAMES
+    if isinstance(node, ast.Tuple):
+        return any(_is_broad_exception(item) for item in node.elts)
+    return False
+
+
+def _is_mutable_default(node: "ast.expr | None") -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in MUTABLE_CALLS
+    return False
+
+
+class _Checker(ast.NodeVisitor):
+    def __init__(self, path: str, lines: list[str], scope_broad: bool):
+        self.path = path
+        self.lines = lines
+        self.scope_broad = scope_broad
+        self.findings: list[Finding] = []
+
+    def _line(self, lineno: int) -> str:
+        return self.lines[lineno - 1] if 0 < lineno <= len(self.lines) else ""
+
+    def _add(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append(Finding(self.path, node.lineno, code, message))
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if (
+            self.scope_broad
+            and _is_broad_exception(node.type)
+            and BROAD_EXCEPT_WAIVER not in self._line(node.lineno)
+        ):
+            caught = "bare except" if node.type is None else "except Exception"
+            self._add(
+                node,
+                "INV001",
+                f"{caught} in the evaluation path swallows deadline/limit "
+                f"errors; narrow it or waive with '{BROAD_EXCEPT_WAIVER}'",
+            )
+        self.generic_visit(node)
+
+    def _check_defaults(self, node) -> None:
+        arguments = node.args
+        name = getattr(node, "name", "<lambda>")
+        for default in [*arguments.defaults, *arguments.kw_defaults]:
+            if _is_mutable_default(default):
+                self._add(
+                    default,
+                    "INV002",
+                    f"mutable default argument in {name}(); "
+                    "use None and construct inside the body",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_Assert(self, node: ast.Assert) -> None:
+        if ASSERT_WAIVER not in self._line(node.lineno):
+            self._add(
+                node,
+                "INV003",
+                "assert used for control flow vanishes under python -O; "
+                "raise a typed repro.errors exception instead",
+            )
+        self.generic_visit(node)
+
+
+def check_source(
+    source: str, path: str = "<string>", *, scope_broad_except: bool = True
+) -> list[Finding]:
+    """Lint one module's source text (the unit-testable core)."""
+    tree = ast.parse(source, filename=path)
+    checker = _Checker(path, source.splitlines(), scope_broad_except)
+    checker.visit(tree)
+    return sorted(checker.findings)
+
+
+def _in_broad_scope(path: Path) -> bool:
+    relative = path.relative_to(SRC_ROOT)
+    return bool(relative.parts) and relative.parts[0] in BROAD_EXCEPT_SCOPES
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    roots = [Path(arg) for arg in (argv or [])] or [SRC_ROOT]
+    findings: list[Finding] = []
+    for root in roots:
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for file in files:
+            try:
+                source = file.read_text(encoding="utf-8")
+            except OSError as exc:
+                print(f"error: cannot read {file}: {exc}", file=sys.stderr)
+                return 2
+            # Files outside src/repro (explicit arguments, e.g. in the
+            # linter's own tests) get the strict scope.
+            scoped = (
+                _in_broad_scope(file)
+                if file.is_relative_to(SRC_ROOT)
+                else True
+            )
+            try:
+                findings.extend(
+                    check_source(
+                        source,
+                        str(file.relative_to(REPO_ROOT))
+                        if file.is_relative_to(REPO_ROOT)
+                        else str(file),
+                        scope_broad_except=scoped,
+                    )
+                )
+            except SyntaxError as exc:
+                print(f"error: cannot parse {file}: {exc}", file=sys.stderr)
+                return 2
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"{len(findings)} invariant violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
